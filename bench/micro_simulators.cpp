@@ -1,0 +1,118 @@
+// Micro-benchmarks for the simulation kernels underneath GATEST: logic
+// simulation, PROOFS-style fault simulation (committed and evaluate paths),
+// fault collapsing, and synthetic circuit generation.  These are the knobs
+// that dominate end-to-end test-generation time.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "circuitgen/circuitgen.h"
+#include "fault/fault.h"
+#include "fsim/fault_sim.h"
+#include "gatest/fitness.h"
+#include "sim/parallel_sim.h"
+#include "util/rng.h"
+
+namespace gatest {
+namespace {
+
+TestVector rand_vec(const Circuit& c, Rng& rng) {
+  TestVector v(c.num_inputs());
+  for (Logic& b : v) b = rng.coin() ? Logic::One : Logic::Zero;
+  return v;
+}
+
+const Circuit& cached_static(const char* name) {
+  static std::map<std::string, Circuit> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) it = cache.emplace(name, benchmark_circuit(name)).first;
+  return it->second;
+}
+
+const Circuit& circuit_for(const benchmark::State& state) {
+  static const char* kNames[] = {"s298", "s526", "s1423"};
+  return cached_static(kNames[state.range(0)]);
+}
+
+void BM_LogicSimStep(benchmark::State& state) {
+  const Circuit& c = circuit_for(state);
+  ParallelLogicSim sim(c);
+  Rng rng(1);
+  const TestVector v = rand_vec(c, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step_broadcast(rand_vec(c, rng)));
+  }
+  state.SetItemsProcessed(state.iterations() * c.num_gates());
+  (void)v;
+}
+
+void BM_FaultSimApplyVector(benchmark::State& state) {
+  const Circuit& c = circuit_for(state);
+  Rng rng(2);
+  FaultList faults(c);
+  SequentialFaultSimulator sim(c, faults);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    if (faults.num_undetected() < faults.size() / 2) {
+      state.PauseTiming();
+      faults.reset();
+      sim.reset();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(sim.apply_vector(rand_vec(c, rng), t++));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+}
+
+void BM_FaultSimEvaluateVector(benchmark::State& state) {
+  const Circuit& c = circuit_for(state);
+  Rng rng(3);
+  FaultList faults(c);
+  SequentialFaultSimulator sim(c, faults);
+  for (int i = 0; i < 10; ++i) sim.apply_vector(rand_vec(c, rng), i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.evaluate_vector(rand_vec(c, rng)));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.num_undetected());
+}
+
+void BM_FaultSimEvaluateSampled100(benchmark::State& state) {
+  const Circuit& c = circuit_for(state);
+  Rng rng(4);
+  FaultList faults(c);
+  SequentialFaultSimulator sim(c, faults);
+  for (int i = 0; i < 10; ++i) sim.apply_vector(rand_vec(c, rng), i);
+  std::vector<std::uint32_t> sample;
+  for (std::uint32_t i = 0; i < 100 && i < faults.size(); ++i)
+    sample.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.evaluate_vector(rand_vec(c, rng), sample));
+  }
+}
+
+void BM_FaultCollapse(benchmark::State& state) {
+  const Circuit& c = circuit_for(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collapse_faults(c));
+  }
+}
+
+void BM_GenerateCircuit(benchmark::State& state) {
+  static const char* kNames[] = {"s298", "s526", "s1423"};
+  const CircuitProfile& p = profile_by_name(kNames[state.range(0)]);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_circuit(p, seed++));
+  }
+}
+
+BENCHMARK(BM_LogicSimStep)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_FaultSimApplyVector)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_FaultSimEvaluateVector)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_FaultSimEvaluateSampled100)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_FaultCollapse)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_GenerateCircuit)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace gatest

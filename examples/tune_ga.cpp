@@ -1,0 +1,88 @@
+// GA parameter tuning on your own circuit: sweep the knobs the paper
+// studies (selection scheme, crossover operator, generation gap, fault
+// sampling) on one circuit and print a ranked summary.  Useful to pick a
+// configuration before a long run on a large design.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuitgen/circuitgen.h"
+#include "experiments/harness.h"
+#include "fault/fault.h"
+#include "gatest/test_generator.h"
+#include "util/table.h"
+
+using namespace gatest;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "s298";
+  const unsigned runs = argc > 2 ? std::stoul(argv[2]) : 3;
+
+  struct Entry {
+    std::string label;
+    double det, vec, sec;
+  };
+  std::vector<Entry> entries;
+
+  auto sweep = [&](const std::string& label, const TestGenConfig& cfg) {
+    const RunSummary s = run_gatest_repeated(name, cfg, runs, 12345);
+    entries.push_back(
+        {label, s.detected.mean(), s.vectors.mean(), s.seconds.mean()});
+    std::printf(".");
+    std::fflush(stdout);
+  };
+
+  std::printf("sweeping GA configurations on %s (%u runs each) ", name.c_str(),
+              runs);
+
+  const TestGenConfig base = paper_config_for(name);
+  sweep("paper default (TN/uniform)", base);
+
+  for (auto [label, sel] : {std::pair<const char*, SelectionScheme>{
+                                "roulette", SelectionScheme::RouletteWheel},
+                            {"stoch-universal",
+                             SelectionScheme::StochasticUniversal},
+                            {"tournament-repl",
+                             SelectionScheme::TournamentWithReplacement}}) {
+    TestGenConfig cfg = base;
+    cfg.selection = sel;
+    sweep(std::string("selection: ") + label, cfg);
+  }
+  for (auto [label, xov] : {std::pair<const char*, CrossoverScheme>{
+                                "1-point", CrossoverScheme::OnePoint},
+                            {"2-point", CrossoverScheme::TwoPoint}}) {
+    TestGenConfig cfg = base;
+    cfg.crossover = xov;
+    sweep(std::string("crossover: ") + label, cfg);
+  }
+  {
+    TestGenConfig cfg = base;
+    cfg.generation_gap = 0.75;
+    sweep("generation gap 3/4", cfg);
+  }
+  {
+    TestGenConfig cfg = base;
+    cfg.fault_sample_size = 100;
+    sweep("fault sample 100", cfg);
+  }
+  {
+    TestGenConfig cfg = base;
+    cfg.sequence_coding = Coding::NonBinary;
+    sweep("nonbinary coding", cfg);
+  }
+
+  std::printf(" done\n\n");
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.det > b.det; });
+
+  AsciiTable table({"Rank", "Configuration", "Det", "Vec", "Time(s)"});
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    table.add_row({strprintf("%zu", i + 1), entries[i].label,
+                   strprintf("%.1f", entries[i].det),
+                   strprintf("%.0f", entries[i].vec),
+                   strprintf("%.2f", entries[i].sec)});
+  table.print(std::cout);
+  return 0;
+}

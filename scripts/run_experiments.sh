@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper table.
+#
+#   scripts/run_experiments.sh            # scaled-down defaults (minutes)
+#   scripts/run_experiments.sh --full     # paper-scale protocol (hours)
+#
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "=== $(basename "$b") ==="
+    "$b" "$@"
+    echo
+  done
+} 2>&1 | tee bench_output.txt

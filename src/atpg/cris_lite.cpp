@@ -1,0 +1,91 @@
+#include "atpg/cris_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fsim/fault_sim.h"
+#include "gatest/fitness.h"
+#include "sim/parallel_sim.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace gatest {
+
+TestGenResult run_cris_lite(const Circuit& c, FaultList& faults,
+                            const CrisLiteConfig& config) {
+  Timer timer;
+  Rng rng(config.seed);
+  SequentialFaultSimulator fsim(c, faults);
+
+  TestGenResult result;
+  result.faults_total = faults.size();
+
+  const unsigned depth = std::max(1u, c.sequential_depth());
+  const unsigned frames = std::max(
+      1u, static_cast<unsigned>(
+              std::lround(config.seq_length_multiplier * depth)));
+
+  // Activity-only fitness: simulate the candidate on a fault-free logic
+  // simulator primed with the committed machine state; score events and
+  // flip-flop movement.  No fault information enters the score.
+  auto activity_fitness = [&](const TestSequence& seq) {
+    ParallelLogicSim lsim(c);
+    lsim.set_ff_state_all(fsim.good_ff_state());
+    double events = 0.0;
+    unsigned ffs_changed = 0;
+    std::vector<Logic> prev = fsim.good_ff_state();
+    for (const TestVector& v : seq) {
+      events += static_cast<double>(lsim.step_broadcast(v).events);
+      const std::vector<Logic> now = lsim.ff_state_lane(0);
+      for (std::size_t i = 0; i < now.size(); ++i)
+        if (now[i] != prev[i] && is_binary(now[i])) ++ffs_changed;
+      prev = now;
+    }
+    const double n_nodes = std::max<std::size_t>(1, c.num_gates());
+    return events / n_nodes + static_cast<double>(ffs_changed) +
+           static_cast<double>(lsim.ffs_set_lane(0));
+  };
+
+  GaConfig ga_cfg;
+  ga_cfg.population_size = config.population_size;
+  ga_cfg.num_generations = config.num_generations;
+  ga_cfg.mutation_prob = config.mutation_prob;
+  ga_cfg.selection = config.selection;
+  ga_cfg.crossover = config.crossover;
+  ga_cfg.coding = Coding::Binary;
+
+  unsigned no_progress = 0;
+  while (no_progress < config.no_progress_limit &&
+         faults.num_undetected() > 0 &&
+         result.test_set.size() + frames <= config.max_vectors) {
+    GeneticAlgorithm ga(ga_cfg,
+                        static_cast<std::size_t>(frames) * c.num_inputs(),
+                        rng);
+    const Individual& best =
+        ga.run([&](const std::vector<std::uint8_t>& genes) {
+          return activity_fitness(decode_sequence(genes, c.num_inputs()));
+        });
+    result.fitness_evaluations += ga.evaluations();
+
+    const TestSequence seq = decode_sequence(best.genes, c.num_inputs());
+    ++result.sequence_attempts;
+    const FaultSimStats stats = fsim.apply_sequence(
+        seq, static_cast<std::int64_t>(result.test_set.size()));
+    for (const TestVector& v : seq) result.test_set.push_back(v);
+    result.vectors_from_sequences += seq.size();
+    if (stats.detected > 0) {
+      no_progress = 0;
+      result.detected_by_sequences += stats.detected;
+      ++result.sequences_committed;
+    } else {
+      ++no_progress;
+    }
+  }
+
+  result.faults_detected = faults.num_detected();
+  result.fault_coverage = faults.coverage();
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace gatest

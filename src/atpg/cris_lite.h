@@ -1,0 +1,40 @@
+// CRIS-style baseline (Saab, Saab, Abraham, ICCAD 1992): a GA that evolves
+// test sequences using only *logic simulation* in the fitness function —
+// candidate sequences are scored by the circuit activity and state changes
+// they cause, never by faults they detect.  The paper contrasts GATEST
+// against CRIS precisely on this point: logic-simulation fitness is cheap
+// but inaccurate, and typically yields lower fault coverage.
+//
+// Committed sequences are still run through the fault simulator so that the
+// test set's coverage can be reported and detected faults dropped; the GA
+// never sees that information.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault.h"
+#include "ga/ga.h"
+#include "gatest/test_generator.h"
+#include "netlist/circuit.h"
+
+namespace gatest {
+
+struct CrisLiteConfig {
+  unsigned population_size = 32;
+  unsigned num_generations = 8;
+  double mutation_prob = 1.0 / 64.0;
+  SelectionScheme selection = SelectionScheme::TournamentNoReplacement;
+  CrossoverScheme crossover = CrossoverScheme::Uniform;
+  /// Sequence length as a multiple of the sequential depth.
+  double seq_length_multiplier = 2.0;
+  /// Stop after this many consecutive committed sequences detect nothing.
+  unsigned no_progress_limit = 8;
+  std::size_t max_vectors = 1u << 16;
+  std::uint64_t seed = 1;
+};
+
+/// Run the CRIS-like activity-driven GA test generator.
+TestGenResult run_cris_lite(const Circuit& c, FaultList& faults,
+                            const CrisLiteConfig& config);
+
+}  // namespace gatest

@@ -1,0 +1,40 @@
+// HITEC-style deterministic, fault-oriented sequential test generator
+// baseline (cf. Niermann, "Techniques for sequential circuit automatic test
+// generation", CRHC-91-8): target each undetected fault with time-frame
+// PODEM, fault-simulate every derived sequence to drop collateral
+// detections, and record faults the search exhausted as untestable within
+// the window.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault.h"
+#include "gatest/test_generator.h"
+#include "netlist/circuit.h"
+
+namespace gatest {
+
+struct HitecLiteConfig {
+  /// Time-frame window as a multiple of the sequential depth.
+  double frame_multiplier = 4.0;
+  /// Minimum window size regardless of depth.
+  unsigned min_frames = 4;
+  /// PODEM backtrack limit per fault.
+  unsigned backtrack_limit = 400;
+  /// Hard cap on test-set length.
+  std::size_t max_vectors = 1u << 16;
+};
+
+struct HitecLiteResult {
+  TestGenResult gen;              ///< test set + coverage + timing
+  std::size_t targeted = 0;       ///< faults handed to PODEM
+  std::size_t test_found = 0;     ///< PODEM successes
+  std::size_t aborted = 0;        ///< backtrack limit exceeded
+  std::size_t no_test_in_window = 0;  ///< search space exhausted
+};
+
+/// Run the deterministic baseline over all undetected faults in the list.
+HitecLiteResult run_hitec_lite(const Circuit& c, FaultList& faults,
+                               const HitecLiteConfig& config);
+
+}  // namespace gatest

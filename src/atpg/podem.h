@@ -1,0 +1,123 @@
+// Deterministic fault-oriented test generation for sequential circuits:
+// PODEM over a bounded time-frame expansion.
+//
+// The circuit is unrolled for a window of T frames; frame-0 flip-flops hold
+// X (uncontrollable), the target fault is injected in every frame, and a
+// composite (good, faulty) three-valued pair is simulated per net per frame.
+// PODEM decisions assign primary inputs of specific frames; a test is found
+// when some primary output in some frame carries a definite D (good and
+// faulty binary and different).  Because the derivation assumes an unknown
+// initial state, a found sequence is valid from *any* starting state and can
+// be appended to a growing test set directly.
+//
+// This is the engine behind the HITEC-style deterministic baseline
+// (hitec_lite.h); HITEC itself [Niermann 1991] adds targeted state
+// justification and dominator analysis that are out of scope here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/circuit.h"
+#include "netlist/scoap.h"
+#include "sim/logic.h"
+
+namespace gatest {
+
+/// Composite good/faulty machine value of one net in one frame.
+struct DVal {
+  Logic good = Logic::X;
+  Logic faulty = Logic::X;
+
+  /// Definite fault effect (Roth's D or D-bar).
+  bool is_d() const {
+    return is_binary(good) && is_binary(faulty) && good != faulty;
+  }
+  friend bool operator==(const DVal&, const DVal&) = default;
+};
+
+class TimeFramePodem {
+ public:
+  enum class Outcome {
+    TestFound,
+    Aborted,          ///< backtrack limit exceeded
+    NoTestInWindow,   ///< decision space exhausted for this window size
+  };
+
+  struct Result {
+    Outcome outcome = Outcome::NoTestInWindow;
+    TestSequence sequence;   ///< valid only when outcome == TestFound
+    unsigned backtracks = 0;
+  };
+
+  TimeFramePodem(const Circuit& c, unsigned max_frames,
+                 unsigned backtrack_limit);
+
+  /// Attempt to generate a test sequence for one stuck-at fault.
+  Result generate(const Fault& f);
+
+  unsigned max_frames() const { return frames_; }
+
+ private:
+  struct Decision {
+    std::uint32_t frame;
+    std::uint32_t pi_ordinal;
+    Logic value;
+    bool flipped;  ///< both values tried
+  };
+
+  // Indexing helper for the unrolled arrays.
+  std::size_t idx(std::uint32_t frame, GateId g) const {
+    return static_cast<std::size_t>(frame) * circuit_->num_gates() + g;
+  }
+
+  void resimulate(const Fault& f, std::uint32_t from_frame = 0);
+  DVal eval_gate(const Fault& f, std::uint32_t frame, GateId g) const;
+
+  /// Good value of the faulted line (stem for output faults, branch driver
+  /// for pin faults) in `frame`.
+  Logic site_good(const Fault& f, std::uint32_t frame) const;
+
+  /// True if some PO in some frame carries a D. Sets detect_frame_.
+  bool detected() const;
+
+  /// True if the fault is activated (a D exists anywhere).
+  bool any_d() const;
+
+  /// X-path check: some fault effect can still reach a primary output
+  /// through not-yet-blocked nets (crossing flip-flops into later frames).
+  /// When false with the fault activated, the current assignments can never
+  /// yield a test — prune immediately.
+  bool has_x_path() const;
+
+  struct Objective {
+    GateId gate;
+    std::uint32_t frame;
+    Logic value;
+  };
+
+  /// Gather candidate objectives in preference order: activation first
+  /// (earliest frame), then D-frontier advances.  Empty means a dead end.
+  void collect_objectives(const Fault& f, std::vector<Objective>& out) const;
+
+  /// Map an objective to a primary-input assignment. Returns false when no
+  /// X-path to a controllable PI exists.
+  bool backtrace(const Objective& obj, std::uint32_t& frame,
+                 std::uint32_t& pi_ordinal, Logic& value) const;
+
+  const Circuit* circuit_;
+  unsigned frames_;
+  unsigned backtrack_limit_;
+  ScoapMeasures scoap_;  // guides the backtrace input choice
+
+  std::vector<DVal> val_;                  // frames_ * num_gates
+  std::vector<Logic> pi_assign_;           // frames_ * num_inputs
+  std::vector<Decision> stack_;
+  std::vector<Objective> objective_scratch_;
+  mutable std::vector<std::uint8_t> xpath_visited_;
+  mutable std::vector<std::pair<std::uint32_t, GateId>> xpath_queue_;
+  mutable std::uint32_t detect_frame_ = 0;
+};
+
+}  // namespace gatest

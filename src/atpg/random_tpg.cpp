@@ -1,0 +1,42 @@
+#include "atpg/random_tpg.h"
+
+#include "fsim/fault_sim.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace gatest {
+
+TestGenResult run_random_tpg(const Circuit& c, FaultList& faults,
+                             const RandomTpgConfig& config) {
+  Timer timer;
+  Rng rng(config.seed);
+  SequentialFaultSimulator sim(c, faults);
+
+  TestGenResult result;
+  result.faults_total = faults.size();
+
+  unsigned no_progress = 0;
+  while (no_progress < config.no_progress_limit &&
+         faults.num_undetected() > 0 &&
+         result.test_set.size() < config.max_vectors) {
+    TestVector v(c.num_inputs());
+    for (Logic& b : v) b = rng.coin() ? Logic::One : Logic::Zero;
+    const FaultSimStats stats =
+        sim.apply_vector(v, static_cast<std::int64_t>(result.test_set.size()));
+    result.test_set.push_back(std::move(v));
+    if (stats.detected > 0) {
+      no_progress = 0;
+      result.detected_by_vectors += stats.detected;
+    } else {
+      ++no_progress;
+    }
+  }
+
+  result.faults_detected = faults.num_detected();
+  result.fault_coverage = faults.coverage();
+  result.vectors_from_vector_phases = result.test_set.size();
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace gatest

@@ -1,0 +1,26 @@
+// Random test generation baseline: fault-simulated random vectors with a
+// no-progress stopping rule.  The classic cheap comparator for any
+// simulation-based test generator.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault.h"
+#include "gatest/test_generator.h"
+#include "netlist/circuit.h"
+
+namespace gatest {
+
+struct RandomTpgConfig {
+  /// Stop after this many consecutive vectors detect nothing.
+  unsigned no_progress_limit = 64;
+  /// Hard cap on test-set length.
+  std::size_t max_vectors = 1u << 16;
+  std::uint64_t seed = 1;
+};
+
+/// Generate tests by fault-simulating uniform random vectors.
+TestGenResult run_random_tpg(const Circuit& c, FaultList& faults,
+                             const RandomTpgConfig& config);
+
+}  // namespace gatest

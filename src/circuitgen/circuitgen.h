@@ -1,0 +1,60 @@
+// Benchmark circuit substrate.
+//
+// The ISCAS89 netlists themselves are not redistributable in this repository
+// (and are unavailable offline), so the experiment harness runs on:
+//   - the genuine s27 circuit (small enough to embed from its published
+//     listing), and
+//   - seeded synthetic circuits that match each ISCAS89 circuit's *profile*:
+//     primary input / primary output / flip-flop / gate counts and the
+//     structural sequential depth reported in the paper's Table 2.
+//
+// The generator builds a staged netlist that provably reproduces the target
+// sequential depth (see generate_circuit), with reconvergent fanout, feedback
+// through flip-flops, and mixed gate types, so the test-generation dynamics
+// the paper studies (initialization phases, hard-to-detect faults, sequence
+// length effects) all arise.  See DESIGN.md §3 for the substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace gatest {
+
+/// Shape of a benchmark circuit.
+struct CircuitProfile {
+  std::string name;       ///< ISCAS89-style name, e.g. "s298"
+  unsigned num_pis = 0;   ///< primary inputs
+  unsigned num_pos = 0;   ///< primary outputs
+  unsigned num_ffs = 0;   ///< D flip-flops
+  unsigned num_gates = 0; ///< logic gates (approximate target)
+  unsigned seq_depth = 0; ///< structural sequential depth (exact)
+};
+
+/// Profiles for the 19 ISCAS89 circuits in the paper's Table 2, in table
+/// order (PI counts and sequential depths from the paper; PO/FF/gate counts
+/// from the published benchmark descriptions).
+const std::vector<CircuitProfile>& iscas89_profiles();
+
+/// Look up a profile by name; throws std::runtime_error if unknown.
+const CircuitProfile& profile_by_name(const std::string& name);
+
+/// The genuine ISCAS89 s27 netlist (4 PIs, 1 PO, 3 FFs, 10 gates).
+Circuit make_s27();
+
+/// Deterministically generate a synthetic circuit matching `profile`.
+/// The result is finalized and satisfies:
+///   - inputs/outputs/dffs counts equal the profile,
+///   - sequential_depth() == profile.seq_depth,
+///   - every PI, FF output, and gate has at least one reader or is observed,
+///   - gate count within a few percent of the target (fix-up logic that
+///     keeps the graph connected may add a handful of gates).
+Circuit generate_circuit(const CircuitProfile& profile, std::uint64_t seed);
+
+/// Convenience: "s27" returns the genuine circuit; any other profile name
+/// returns generate_circuit(profile, seed).
+Circuit benchmark_circuit(const std::string& name, std::uint64_t seed = 1994);
+
+}  // namespace gatest

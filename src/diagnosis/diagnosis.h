@@ -1,0 +1,83 @@
+// Fault diagnosis with full-response fault dictionaries.
+//
+// A test set does more than screen manufacturing defects: once a part fails
+// on the tester, the observed failures (which vector, which output) point
+// back at candidate defect locations.  This module builds the classic
+// full-response dictionary — for every modeled fault, the complete set of
+// (vector, output) positions where the faulty machine's response provably
+// differs from the fault-free one — and ranks candidate faults for an
+// observed failure signature.
+//
+// Dictionaries are offline artifacts: construction simulates every fault
+// over the whole test set *without* fault dropping (unlike test generation,
+// a detected fault keeps being simulated so its later failures are recorded
+// too).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/circuit.h"
+#include "sim/logic.h"
+
+namespace gatest {
+
+/// One failing position: (test-vector index, primary-output ordinal).
+using FailurePosition = std::pair<std::uint32_t, std::uint32_t>;
+
+/// A failure signature: all failing positions, sorted ascending.
+using Signature = std::vector<FailurePosition>;
+
+class FaultDictionary {
+ public:
+  /// Build the dictionary by simulating every fault against `tests`.
+  /// Cost: O(#faults * #vectors * circuit); meant for offline use.
+  FaultDictionary(const Circuit& c, std::vector<Fault> faults,
+                  std::vector<TestVector> tests);
+
+  const Circuit& circuit() const { return *circuit_; }
+  std::size_t num_faults() const { return faults_.size(); }
+  const Fault& fault(std::size_t i) const { return faults_[i]; }
+  const std::vector<TestVector>& tests() const { return tests_; }
+
+  /// Full failure signature of fault i over the test set.
+  const Signature& signature(std::size_t i) const { return signatures_[i]; }
+
+  /// Faults with identical signatures are indistinguishable by this test
+  /// set; returns the number of distinct nonempty signatures.
+  std::size_t num_distinguishable_classes() const;
+
+  /// Diagnostic resolution: fraction of detected faults whose signature is
+  /// unique (a tester log pins them down exactly).
+  double diagnostic_resolution() const;
+
+  struct Candidate {
+    std::uint32_t fault_index;
+    double score;  ///< Jaccard similarity in [0,1]; 1 = exact match
+  };
+
+  /// Rank candidate faults for an observed signature, best first.  Exact
+  /// matches score 1; others by Jaccard similarity of failing positions.
+  /// Faults with empty signatures (undetected by this set) never match.
+  std::vector<Candidate> diagnose(const Signature& observed,
+                                  std::size_t top_k = 10) const;
+
+  /// Simulate the observed signature of an arbitrary fault (e.g. to model a
+  /// defective part in tests and demos; the fault need not be in the
+  /// dictionary).
+  Signature observe(const Fault& f) const;
+
+ private:
+  const Circuit* circuit_;
+  std::vector<Fault> faults_;
+  std::vector<TestVector> tests_;
+  std::vector<Signature> signatures_;
+  std::vector<std::vector<Logic>> good_pos_;  // fault-free PO values per frame
+  // Full fault-free net values per frame (pre-latch); observe() needs them
+  // for PO comparison context and the transition models' launch values.
+  std::vector<std::vector<Logic>> good_vals_frames_;
+};
+
+}  // namespace gatest

@@ -1,0 +1,192 @@
+// PROOFS-style sequential circuit fault simulator (Niermann, Cheng, Patel,
+// IEEE TCAD 1992), extended with the modifications the GATEST paper's §IV
+// describes: candidate tests can be *evaluated* against the committed
+// good/faulty machine state without disturbing it, and the simulator reports
+// the observables GATEST's fitness functions need (fault-effects-at-flip-
+// flops and good+faulty circuit event counts).
+//
+// Algorithm: for each vector, the fault-free machine is simulated first;
+// undetected faults are then simulated in groups of up to 64, one faulty
+// machine per bit lane, event-driven from the fault-injection sites and from
+// flip-flops whose faulty state differs from the good state.  Faulty state
+// is stored per fault as a diff list against the good flip-flop state, so
+// the (typical) fault whose machine re-converged to the good machine costs
+// nothing.  Detected faults are dropped.
+//
+// Fault models: classic single stuck-at faults plus gross-delay transition
+// faults (slow-to-rise/slow-to-fall, modeled as conditional stuck-at — the
+// faulty line holds its previous fault-free value through a missed edge;
+// see FaultModel).  The GA test generator runs on either universe.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/circuit.h"
+#include "sim/logic.h"
+#include "sim/packed.h"
+
+namespace gatest {
+
+/// Observables from simulating one vector (or accumulated over a sequence).
+/// These are exactly the quantities GATEST's four fitness phases consume.
+struct FaultSimStats {
+  /// Faults newly detected at a primary output (definite binary difference).
+  unsigned detected = 0;
+  /// (fault, flip-flop) pairs where a definite fault effect (good and faulty
+  /// next-state both binary and different) reached a flip-flop.
+  unsigned fault_effects_at_ffs = 0;
+  /// Fault-free machine events: gates whose value changed this frame.
+  std::uint64_t good_events = 0;
+  /// Faulty machine events: per-lane value deviations created while settling
+  /// the fault groups (proxy for faulty-circuit activity, cf. paper §III-B).
+  std::uint64_t faulty_events = 0;
+  /// Fault-free flip-flops holding a binary value after the frame.
+  unsigned ffs_set = 0;
+  /// Fault-free flip-flops whose value changed to a (different) binary value.
+  unsigned ffs_changed = 0;
+  /// Number of faults actually simulated (sample size in sampling mode).
+  unsigned faults_simulated = 0;
+
+  void accumulate(const FaultSimStats& s) {
+    detected += s.detected;
+    fault_effects_at_ffs += s.fault_effects_at_ffs;
+    good_events += s.good_events;
+    faulty_events += s.faulty_events;
+    ffs_set = s.ffs_set;          // state-like: keep last frame's
+    ffs_changed += s.ffs_changed;
+    faults_simulated = std::max(faults_simulated, s.faults_simulated);
+  }
+};
+
+class SequentialFaultSimulator {
+ public:
+  /// The fault list is shared, mutable bookkeeping: committed vectors mark
+  /// faults detected there.  Both objects must outlive the simulator.
+  SequentialFaultSimulator(const Circuit& c, FaultList& faults);
+
+  const Circuit& circuit() const { return *circuit_; }
+  const FaultList& faults() const { return *faults_; }
+
+  /// Forget all committed state: good machine all-X, every faulty machine
+  /// equal to the good machine.  Does not reset the fault list.
+  void reset();
+
+  // ---- committed simulation ----------------------------------------------
+
+  /// Simulate one vector, update good and faulty state, and drop faults it
+  /// detects (marked detected-by `test_index` in the fault list).
+  FaultSimStats apply_vector(const TestVector& v, std::int64_t test_index);
+
+  /// Apply a whole sequence (indices test_index, test_index+1, ...).
+  FaultSimStats apply_sequence(const TestSequence& seq, std::int64_t test_index);
+
+  // ---- candidate evaluation (no state mutation) ---------------------------
+
+  /// Fitness-evaluate a candidate vector against the committed state.
+  /// `fault_subset`: indices into the fault list to simulate (the paper's
+  /// fault sampling); empty means every undetected fault.
+  FaultSimStats evaluate_vector(const TestVector& v,
+                                std::span<const std::uint32_t> fault_subset = {});
+
+  /// Fitness-evaluate a candidate sequence (faulty state evolves in scratch
+  /// storage across the frames; committed state is untouched).
+  FaultSimStats evaluate_sequence(const TestSequence& seq,
+                                  std::span<const std::uint32_t> fault_subset = {});
+
+  /// Fault-free-machine-only evaluation (GATEST phase 1 needs just the
+  /// flip-flop initialization observables; no fault simulation is run).
+  FaultSimStats evaluate_vector_good_only(const TestVector& v);
+
+  // ---- state access & checkpointing (paper §IV) ---------------------------
+
+  /// Committed good-machine flip-flop state.
+  std::vector<Logic> good_ff_state() const;
+
+  /// Number of committed-good-machine flip-flops with binary values.
+  unsigned good_ffs_set() const;
+
+  /// Everything needed to roll the simulator back: good values, per-fault
+  /// state diffs, and fault detection status.
+  struct Snapshot {
+    std::vector<Logic> good_values;
+    std::vector<Logic> prev_values;  // pre-latch values of the last frame
+    std::vector<std::vector<std::pair<std::uint32_t, Logic>>> diffs;
+    std::vector<FaultStatus> status;
+    std::vector<std::int64_t> detected_by;
+    bool started = false;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
+ private:
+  using FfDiff = std::pair<std::uint32_t, Logic>;  // (ff ordinal, faulty val)
+
+  struct EvalContext {
+    // Good net values evolving frame by frame: &good_val_ when committing,
+    // a scratch copy when evaluating.
+    std::vector<Logic>* val = nullptr;
+    // Previous frame's *pre-latch* good values (transition-fault launch
+    // reference: flip-flop entries hold the state as seen during the
+    // previous frame, so clock-edge transitions on flop outputs count).
+    std::vector<Logic>* prev = nullptr;
+    bool commit = false;
+    std::int64_t test_index = -1;
+  };
+
+  /// Simulate one frame: good machine, then all faults in `active`
+  /// (already filtered to undetected; newly detected faults are removed).
+  FaultSimStats simulate_frame(const TestVector& v,
+                               std::vector<std::uint32_t>& active,
+                               EvalContext& ctx);
+
+  void settle_good(const TestVector& v, EvalContext& ctx, FaultSimStats& stats);
+  void latch_good(EvalContext& ctx, FaultSimStats& stats);
+  void simulate_fault_groups(std::vector<std::uint32_t>& active,
+                             EvalContext& ctx, FaultSimStats& stats);
+
+  const std::vector<FfDiff>& diff_of(std::uint32_t fi, bool commit) const;
+  void write_diff(std::uint32_t fi, std::vector<FfDiff> d, bool commit);
+  void begin_eval();  // reset scratch diffs / scratch detection flags
+
+  /// True if the fault can deviate this frame: nonempty state diff or an
+  /// injection whose forced value may differ from the good value.
+  bool fault_is_active(std::uint32_t fi, const EvalContext& ctx) const;
+
+  std::vector<std::uint32_t> default_active_set() const;
+
+  const Circuit* circuit_;
+  FaultList* faults_;
+
+  // Committed state.
+  std::vector<Logic> good_val_;                 // every net, last frame
+  std::vector<Logic> prev_val_;                 // pre-latch values, last frame
+  std::vector<std::vector<FfDiff>> diffs_;      // per fault
+  bool started_ = false;                        // any vector committed yet
+
+  // Pre-computed per-FF ordinal of each DFF node and reverse map.
+  std::vector<std::uint32_t> ff_ordinal_;       // gate id -> ordinal or ~0
+
+  // Scratch for fault-group settling (sized once).
+  std::vector<PackedVal> fval_;
+  std::vector<std::uint8_t> ftouched_;
+  std::vector<GateId> touched_list_;
+  std::vector<std::vector<GateId>> flevel_queue_;
+  std::vector<std::uint8_t> fqueued_;
+
+  // Copy-on-write scratch diffs for evaluation mode.
+  std::vector<std::vector<FfDiff>> scratch_diffs_;
+  std::vector<std::uint8_t> scratch_dirty_;
+  std::vector<std::uint32_t> scratch_dirty_list_;
+  std::vector<std::uint8_t> eval_detected_;
+  std::vector<std::uint32_t> eval_detected_list_;
+
+  // Other per-call scratch.
+  std::vector<Logic> eval_val_;
+  std::vector<Logic> eval_prev_val_;
+  std::vector<Logic> latch_scratch_;
+};
+
+}  // namespace gatest

@@ -1,0 +1,91 @@
+#include "gatest/compaction.h"
+
+#include <algorithm>
+
+#include "fault/fault.h"
+#include "fsim/fault_sim.h"
+
+namespace gatest {
+namespace {
+
+/// Detected-fault indices (into the collapsed list) after replaying `tests`
+/// against the subset of faults in `universe`.
+std::vector<std::uint32_t> detections_of(const Circuit& c,
+                                         const std::vector<Fault>& universe,
+                                         const std::vector<TestVector>& tests) {
+  FaultList faults(c, universe);
+  SequentialFaultSimulator sim(c, faults);
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    sim.apply_vector(tests[i], static_cast<std::int64_t>(i));
+    if (faults.num_undetected() == 0) break;
+  }
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < faults.size(); ++i)
+    if (faults.status(i) == FaultStatus::Detected) out.push_back(i);
+  return out;
+}
+
+}  // namespace
+
+CompactionResult compact_test_set(const Circuit& c,
+                                  const std::vector<TestVector>& tests,
+                                  const CompactionConfig& config) {
+  CompactionResult result;
+  result.original_length = tests.size();
+  result.test_set = tests;
+
+  // Baseline: which faults does the set detect?  Compaction only needs to
+  // resimulate those.
+  const std::vector<Fault> all = collapse_faults(c);
+  const std::vector<std::uint32_t> baseline = detections_of(c, all, tests);
+  ++result.simulation_passes;
+  result.detections = baseline.size();
+  std::vector<Fault> kept;
+  kept.reserve(baseline.size());
+  for (std::uint32_t i : baseline) kept.push_back(all[i]);
+
+  if (tests.empty() || kept.empty()) {
+    result.compacted_length = result.test_set.size();
+    return result;
+  }
+
+  auto still_complete = [&](const std::vector<TestVector>& candidate) {
+    return detections_of(c, kept, candidate).size() == kept.size();
+  };
+
+  std::size_t block = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(result.test_set.size()) *
+                                  config.initial_block_fraction));
+  while (true) {
+    bool any_removed = false;
+    // Sweep from the tail: late vectors most often detect nothing new.
+    std::size_t pos = result.test_set.size();
+    while (pos > 0) {
+      const std::size_t begin = pos > block ? pos - block : 0;
+      if (result.simulation_passes >= config.max_passes) break;
+      std::vector<TestVector> candidate;
+      candidate.reserve(result.test_set.size() - (pos - begin));
+      candidate.insert(candidate.end(), result.test_set.begin(),
+                       result.test_set.begin() + static_cast<std::ptrdiff_t>(begin));
+      candidate.insert(candidate.end(),
+                       result.test_set.begin() + static_cast<std::ptrdiff_t>(pos),
+                       result.test_set.end());
+      ++result.simulation_passes;
+      if (still_complete(candidate)) {
+        result.test_set = std::move(candidate);
+        any_removed = true;
+        pos = begin;  // continue left of the removed block
+      } else {
+        pos = begin;
+      }
+    }
+    if (block == 1 && !any_removed) break;
+    if (result.simulation_passes >= config.max_passes) break;
+    block = std::max<std::size_t>(1, block / 2);
+  }
+
+  result.compacted_length = result.test_set.size();
+  return result;
+}
+
+}  // namespace gatest

@@ -1,0 +1,280 @@
+#include "gatest/test_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace gatest {
+
+GaTestGenerator::GaTestGenerator(const Circuit& c, FaultList& faults,
+                                 TestGenConfig config)
+    : circuit_(&c),
+      faults_(&faults),
+      config_(config),
+      sim_(c, faults),
+      fitness_(sim_, config_),
+      rng_(config.seed) {
+  depth_ = std::max(1u, c.sequential_depth());
+  if (config_.num_threads > 1) {
+    // One extra simulator replica per additional thread; the main simulator
+    // doubles as replica 0 during parallel evaluation.
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    for (unsigned t = 1; t < config_.num_threads; ++t) {
+      worker_faults_.push_back(std::make_unique<FaultList>(c));
+      // Mirror any pre-detected faults.
+      for (std::size_t i = 0; i < faults.size(); ++i)
+        worker_faults_.back()->set_status(i, faults.status(i));
+      worker_sims_.push_back(std::make_unique<SequentialFaultSimulator>(
+          c, *worker_faults_.back()));
+      worker_fitness_.push_back(
+          std::make_unique<FitnessEvaluator>(*worker_sims_.back(), config_));
+    }
+  }
+}
+
+FaultSimStats GaTestGenerator::commit_vector(const TestVector& v,
+                                             std::int64_t index) {
+  const FaultSimStats stats = sim_.apply_vector(v, index);
+  for (auto& wsim : worker_sims_) wsim->apply_vector(v, index);
+  return stats;
+}
+
+const Individual& GaTestGenerator::run_ga(
+    GeneticAlgorithm& ga,
+    const std::function<double(FitnessEvaluator&,
+                               const std::vector<std::uint8_t>&)>& fit) {
+  if (!pool_) {
+    return ga.run([&](const std::vector<std::uint8_t>& genes) {
+      return fit(fitness_, genes);
+    });
+  }
+  // Parallel path: split each unevaluated batch across the simulator
+  // replicas.  Fitness values are identical to the serial path (replicas are
+  // committed-state clones), so results do not depend on the thread count.
+  return ga.run([&](const std::vector<const std::vector<std::uint8_t>*>& batch,
+                    std::vector<double>& out) {
+    const std::size_t sims = worker_sims_.size() + 1;
+    const std::size_t chunk = (batch.size() + sims - 1) / sims;
+    for (std::size_t s = 0; s < sims; ++s) {
+      const std::size_t begin = s * chunk;
+      const std::size_t end = std::min(batch.size(), begin + chunk);
+      if (begin >= end) break;
+      FitnessEvaluator* ev = s == 0 ? &fitness_ : worker_fitness_[s - 1].get();
+      pool_->submit([&batch, &out, &fit, ev, begin, end] {
+        for (std::size_t i = begin; i < end; ++i)
+          out[i] = fit(*ev, *batch[i]);
+      });
+    }
+    pool_->wait_idle();
+  });
+}
+
+GaConfig GaTestGenerator::vector_ga_config() const {
+  const auto L = static_cast<unsigned>(circuit_->num_inputs());
+  const VectorPhaseGaParams t1 = table1_params(L);
+  GaConfig ga;
+  ga.population_size = config_.vec_population_override
+                           ? config_.vec_population_override
+                           : t1.population_size;
+  ga.mutation_prob = config_.vec_mutation_override > 0.0
+                         ? config_.vec_mutation_override
+                         : t1.mutation_prob;
+  ga.num_generations = config_.num_generations;
+  ga.selection = config_.selection;
+  ga.crossover = config_.crossover;
+  ga.crossover_prob = config_.crossover_prob;
+  ga.coding = Coding::Binary;  // single vectors are always binary-coded
+  ga.generation_gap = config_.generation_gap;
+  ga.elitism = config_.elitism;
+  return ga;
+}
+
+GaConfig GaTestGenerator::sequence_ga_config(unsigned frames) const {
+  GaConfig ga;
+  ga.population_size = config_.seq_population;
+  ga.mutation_prob = config_.seq_mutation;
+  ga.num_generations = config_.num_generations;
+  ga.selection = config_.selection;
+  ga.crossover = config_.crossover;
+  ga.crossover_prob = config_.crossover_prob;
+  ga.coding = config_.sequence_coding;
+  ga.gene_block = static_cast<unsigned>(circuit_->num_inputs());
+  ga.generation_gap = config_.generation_gap;
+  ga.elitism = config_.elitism;
+  (void)frames;
+  return ga;
+}
+
+void GaTestGenerator::refresh_sample() {
+  std::vector<std::uint32_t> sample;
+  if (config_.fault_sample_size > 0) {
+    sample = faults_->undetected_indices();
+    if (sample.size() > config_.fault_sample_size) {
+      // Partial Fisher-Yates: draw sample_size distinct faults.  If fewer
+      // faults remain than the sample size, all are simulated (paper §V).
+      for (unsigned i = 0; i < config_.fault_sample_size; ++i) {
+        const std::size_t j = i + rng_.below(sample.size() - i);
+        std::swap(sample[i], sample[j]);
+      }
+      sample.resize(config_.fault_sample_size);
+    }
+  }
+  for (auto& wf : worker_fitness_) wf->set_sample(sample);
+  fitness_.set_sample(std::move(sample));
+}
+
+TestVector GaTestGenerator::evolve_vector(Phase phase) {
+  refresh_sample();
+  GeneticAlgorithm ga(vector_ga_config(), circuit_->num_inputs(), rng_);
+  if (config_.seed_with_previous_best &&
+      last_best_genes_.size() == circuit_->num_inputs()) {
+    // Warm start: GeneticAlgorithm::run() randomizes before evaluating, so
+    // plant the seed through a wrapper around the first evaluation instead.
+    ga.randomize_population();
+    ga.set_individual(0, last_best_genes_);
+    const auto fit = [this, phase](FitnessEvaluator& ev,
+                                   const std::vector<std::uint8_t>& genes) {
+      return ev.vector_fitness(decode_vector(genes, circuit_->num_inputs()),
+                               phase);
+    };
+    for (unsigned gen = 0; gen < config_.num_generations; ++gen) {
+      ga.evaluate([&](const std::vector<std::uint8_t>& genes) {
+        return fit(fitness_, genes);
+      });
+      if (gen + 1 < config_.num_generations) ga.next_generation();
+    }
+    last_best_genes_ = ga.best().genes;
+    return decode_vector(ga.best().genes, circuit_->num_inputs());
+  }
+  const Individual& best = run_ga(
+      ga, [this, phase](FitnessEvaluator& ev,
+                        const std::vector<std::uint8_t>& genes) {
+        return ev.vector_fitness(decode_vector(genes, circuit_->num_inputs()),
+                                 phase);
+      });
+  last_best_genes_ = best.genes;
+  return decode_vector(best.genes, circuit_->num_inputs());
+}
+
+TestSequence GaTestGenerator::evolve_sequence(unsigned frames) {
+  refresh_sample();
+  GeneticAlgorithm ga(sequence_ga_config(frames),
+                      static_cast<std::size_t>(frames) * circuit_->num_inputs(),
+                      rng_);
+  const Individual& best = run_ga(
+      ga, [this](FitnessEvaluator& ev, const std::vector<std::uint8_t>& genes) {
+        return ev.sequence_fitness(
+            decode_sequence(genes, circuit_->num_inputs()));
+      });
+  return decode_sequence(best.genes, circuit_->num_inputs());
+}
+
+void GaTestGenerator::generate_vectors(TestGenResult& result) {
+  const unsigned progress_limit = std::max(
+      1u, static_cast<unsigned>(std::lround(config_.progress_limit_multiplier *
+                                            static_cast<double>(depth_))));
+  const unsigned phase1_stall_limit = std::max(
+      1u, static_cast<unsigned>(std::lround(config_.phase1_stall_multiplier *
+                                            static_cast<double>(depth_))));
+  result.progress_limit = progress_limit;
+
+  Phase phase = circuit_->num_dffs() == 0 ? Phase::DetectFaults
+                                          : Phase::InitializeFfs;
+  unsigned noncontributing = 0;
+  unsigned phase1_stall = 0;
+  unsigned best_ffs_set = 0;
+
+  while (faults_->num_undetected() > 0 &&
+         result.test_set.size() < config_.max_vectors) {
+    const TestVector best = evolve_vector(phase);
+    const FaultSimStats committed = commit_vector(
+        best, static_cast<std::int64_t>(result.test_set.size()));
+    result.test_set.push_back(best);
+    ++result.vectors_from_vector_phases;
+    result.detected_by_vectors += committed.detected;
+
+    if (phase == Phase::InitializeFfs) {
+      const unsigned set_now = sim_.good_ffs_set();
+      if (set_now >= circuit_->num_dffs()) {
+        result.all_ffs_initialized = true;
+        phase = Phase::DetectFaults;
+      } else if (set_now > best_ffs_set) {
+        best_ffs_set = set_now;
+        phase1_stall = 0;
+      } else if (++phase1_stall >= phase1_stall_limit) {
+        // Robustness guard (see config.h): some flip-flops appear
+        // uninitializable; proceed to detection with partial state.
+        phase = Phase::DetectFaults;
+      }
+      continue;
+    }
+
+    if (committed.detected > 0) {
+      phase = Phase::DetectFaults;
+      noncontributing = 0;
+    } else {
+      phase = config_.use_activity_fitness ? Phase::DetectWithActivity
+                                           : Phase::DetectFaults;
+      if (++noncontributing >= progress_limit) break;
+    }
+  }
+}
+
+void GaTestGenerator::generate_sequences(TestGenResult& result) {
+  for (double mult : config_.seq_length_multipliers) {
+    const unsigned frames = std::max(
+        1u, static_cast<unsigned>(std::lround(mult * static_cast<double>(depth_))));
+    result.sequence_lengths_tried.push_back(frames);
+
+    unsigned consecutive_failures = 0;
+    while (consecutive_failures < config_.seq_fail_limit &&
+           faults_->num_undetected() > 0 &&
+           result.test_set.size() + frames <= config_.max_vectors) {
+      ++result.sequence_attempts;
+      const TestSequence best = evolve_sequence(frames);
+
+      // Commit only sequences that actually detect something against the
+      // full fault list; a side-effect-free evaluation makes the decision,
+      // so the committed state (and every parallel replica) only ever moves
+      // forward (paper §IV's store/restore, realized by scratch evaluation).
+      const FaultSimStats probe = sim_.evaluate_sequence(best);
+      if (probe.detected == 0) {
+        ++consecutive_failures;
+        continue;
+      }
+      FaultSimStats committed;
+      for (std::size_t i = 0; i < best.size(); ++i)
+        committed.accumulate(commit_vector(
+            best[i],
+            static_cast<std::int64_t>(result.test_set.size() + i)));
+      for (const TestVector& v : best) result.test_set.push_back(v);
+      result.vectors_from_sequences += best.size();
+      result.detected_by_sequences += committed.detected;
+      ++result.sequences_committed;
+      consecutive_failures = 0;
+    }
+
+    if (faults_->num_undetected() == 0) break;
+  }
+}
+
+TestGenResult GaTestGenerator::run() {
+  Timer timer;
+  TestGenResult result;
+  result.faults_total = faults_->size();
+
+  if (config_.enable_vector_phases) generate_vectors(result);
+  if (config_.enable_sequence_phase && faults_->num_undetected() > 0)
+    generate_sequences(result);
+
+  result.faults_detected = faults_->num_detected();
+  result.fault_coverage = faults_->coverage();
+  result.fitness_evaluations = fitness_.evaluations();
+  for (const auto& wf : worker_fitness_)
+    result.fitness_evaluations += wf->evaluations();
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace gatest

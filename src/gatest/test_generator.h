@@ -1,0 +1,108 @@
+// GATEST: the GA-based sequential circuit test generator (paper §III, Figures
+// 1 and 2).
+//
+// The generator first evolves individual test vectors (phases 1-3), then
+// whole test sequences of increasing length (phase 4).  Every GA run starts
+// from a fresh random population; the best candidate evolved is committed to
+// the test set through the fault simulator, which updates circuit state and
+// drops detected faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <memory>
+
+#include "fault/fault.h"
+#include "fsim/fault_sim.h"
+#include "gatest/config.h"
+#include "gatest/fitness.h"
+#include "netlist/circuit.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace gatest {
+
+/// Outcome of one test-generation run.
+struct TestGenResult {
+  std::vector<TestVector> test_set;
+
+  std::size_t faults_total = 0;
+  std::size_t faults_detected = 0;
+  double fault_coverage = 0.0;  ///< detected / total
+
+  double seconds = 0.0;              ///< wall-clock test-generation time
+  std::size_t fitness_evaluations = 0;
+
+  // Breakdown for analysis.
+  std::size_t vectors_from_vector_phases = 0;  ///< phases 1-3
+  std::size_t vectors_from_sequences = 0;      ///< phase 4
+  std::size_t detected_by_vectors = 0;
+  std::size_t detected_by_sequences = 0;
+  std::size_t sequence_attempts = 0;
+  std::size_t sequences_committed = 0;
+  bool all_ffs_initialized = false;
+  unsigned progress_limit = 0;
+  std::vector<unsigned> sequence_lengths_tried;
+};
+
+class GaTestGenerator {
+ public:
+  /// The fault list carries detection state in and out: pre-detected faults
+  /// are skipped, and the run marks everything it detects.
+  GaTestGenerator(const Circuit& c, FaultList& faults, TestGenConfig config);
+
+  /// Run full test generation (vectors, then sequences).
+  TestGenResult run();
+
+  /// Effective sequential depth used for limits: max(1, structural depth).
+  unsigned effective_depth() const { return depth_; }
+
+ private:
+  /// Phases 1-3; returns when the progress limit is exhausted.
+  void generate_vectors(TestGenResult& result);
+  /// Phase 4; returns when every sequence length stopped making progress.
+  void generate_sequences(TestGenResult& result);
+
+  /// One GA run evolving a single vector under `phase`; returns the best.
+  TestVector evolve_vector(Phase phase);
+  /// One GA run evolving a sequence of `frames` vectors; returns the best.
+  TestSequence evolve_sequence(unsigned frames);
+
+  /// Draw a fresh fault sample if sampling is enabled (applied to every
+  /// evaluator so parallel workers score identically).
+  void refresh_sample();
+
+  /// Commit a vector through the main simulator and every worker replica.
+  FaultSimStats commit_vector(const TestVector& v, std::int64_t index);
+
+  /// Run one GA with the right (serial or parallel) evaluation strategy.
+  /// `fit` computes the fitness of one chromosome on a given evaluator.
+  const Individual& run_ga(
+      GeneticAlgorithm& ga,
+      const std::function<double(FitnessEvaluator&,
+                                 const std::vector<std::uint8_t>&)>& fit);
+
+  GaConfig vector_ga_config() const;
+  GaConfig sequence_ga_config(unsigned frames) const;
+
+  const Circuit* circuit_;
+  FaultList* faults_;
+  TestGenConfig config_;
+  SequentialFaultSimulator sim_;
+  FitnessEvaluator fitness_;
+  Rng rng_;
+  unsigned depth_ = 1;
+  std::vector<std::uint8_t> last_best_genes_;  // for population seeding
+
+  // Parallel evaluation replicas (config_.num_threads > 1): each worker owns
+  // a fault-list copy and simulator kept in lockstep with the main one by
+  // replaying every committed vector.
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<FaultList>> worker_faults_;
+  std::vector<std::unique_ptr<SequentialFaultSimulator>> worker_sims_;
+  std::vector<std::unique_ptr<FitnessEvaluator>> worker_fitness_;
+};
+
+}  // namespace gatest

@@ -1,0 +1,220 @@
+#include "netlist/bench_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace gatest {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("bench parse error at line " +
+                           std::to_string(line) + ": " + msg);
+}
+
+bool gate_type_from_keyword(const std::string& kw, GateType& out) {
+  const std::string k = upper(kw);
+  if (k == "AND")  { out = GateType::And;  return true; }
+  if (k == "NAND") { out = GateType::Nand; return true; }
+  if (k == "OR")   { out = GateType::Or;   return true; }
+  if (k == "NOR")  { out = GateType::Nor;  return true; }
+  if (k == "NOT")  { out = GateType::Not;  return true; }
+  if (k == "INV")  { out = GateType::Not;  return true; }
+  if (k == "BUF")  { out = GateType::Buf;  return true; }
+  if (k == "BUFF") { out = GateType::Buf;  return true; }
+  if (k == "XOR")  { out = GateType::Xor;  return true; }
+  if (k == "XNOR") { out = GateType::Xnor; return true; }
+  if (k == "DFF")  { out = GateType::Dff;  return true; }
+  return false;
+}
+
+// Statements collected in a first pass so signals may be used before defined.
+struct Stmt {
+  int line;
+  std::string lhs;
+  GateType type;
+  std::vector<std::string> args;
+};
+
+}  // namespace
+
+Circuit parse_bench(std::istream& in, std::string circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<Stmt> stmts;
+  std::vector<int> output_lines;
+
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const auto lp = line.find('(');
+      const auto rp = line.rfind(')');
+      if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+        fail(lineno, "expected INPUT(..) / OUTPUT(..) / assignment");
+      const std::string kw = upper(trim(line.substr(0, lp)));
+      const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
+      if (arg.empty()) fail(lineno, "empty signal name");
+      if (kw == "INPUT")
+        input_names.push_back(arg);
+      else if (kw == "OUTPUT") {
+        output_names.push_back(arg);
+        output_lines.push_back(lineno);
+      } else
+        fail(lineno, "unknown directive '" + kw + "'");
+      continue;
+    }
+
+    // name = GATE(args)
+    Stmt st;
+    st.line = lineno;
+    st.lhs = trim(line.substr(0, eq));
+    if (st.lhs.empty()) fail(lineno, "empty signal name on lhs");
+    const std::string rhs = trim(line.substr(eq + 1));
+    const auto lp = rhs.find('(');
+    const auto rp = rhs.rfind(')');
+    if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+      fail(lineno, "expected GATE(arg, ...)");
+    const std::string kw = trim(rhs.substr(0, lp));
+    if (!gate_type_from_keyword(kw, st.type))
+      fail(lineno, "unknown gate type '" + kw + "'");
+    std::string args = rhs.substr(lp + 1, rp - lp - 1);
+    std::stringstream ss(args);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      tok = trim(tok);
+      if (tok.empty()) fail(lineno, "empty fanin name");
+      st.args.push_back(tok);
+    }
+    if (st.args.empty()) fail(lineno, "gate with no fanins");
+    const auto arity = static_cast<unsigned>(st.args.size());
+    if (arity < min_fanin(st.type) || arity > max_fanin(st.type))
+      fail(lineno, "gate type " + std::string(gate_type_name(st.type)) +
+                       " cannot take " + std::to_string(arity) + " fanins");
+    stmts.push_back(std::move(st));
+  }
+
+  // Second pass: create nodes, then connect.  Inputs and flip-flops are
+  // created up front (flop outputs may be referenced before definition);
+  // logic gates are created in dependency order.
+  Circuit out(std::move(circuit_name));
+  std::unordered_map<std::string, GateId> ids;
+  auto define = [&](const std::string& name, GateId id, int line) {
+    if (!ids.emplace(name, id).second)
+      fail(line, "signal '" + name + "' defined twice");
+  };
+  for (const std::string& n : input_names) define(n, out.add_input(n), 0);
+  for (const Stmt& st : stmts)
+    if (st.type == GateType::Dff) define(st.lhs, out.add_dff(st.lhs), st.line);
+  auto resolve = [&](const std::string& n, int line) -> GateId {
+    auto it = ids.find(n);
+    if (it == ids.end()) fail(line, "undefined signal '" + n + "'");
+    return it->second;
+  };
+  // Logic gates must be added in dependency order; iterate until all placed.
+  std::vector<bool> placed(stmts.size(), false);
+  std::size_t remaining = 0;
+  for (const Stmt& st : stmts)
+    if (st.type != GateType::Dff) ++remaining;
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t i = 0; i < stmts.size(); ++i) {
+      const Stmt& st = stmts[i];
+      if (placed[i] || st.type == GateType::Dff) continue;
+      bool ready = true;
+      for (const std::string& a : st.args)
+        if (!ids.count(a)) { ready = false; break; }
+      if (!ready) continue;
+      std::vector<GateId> fin;
+      fin.reserve(st.args.size());
+      for (const std::string& a : st.args) fin.push_back(ids[a]);
+      define(st.lhs, out.add_gate(st.type, st.lhs, std::move(fin)), st.line);
+      placed[i] = true;
+      --remaining;
+      progress = true;
+    }
+    if (!progress) {
+      for (std::size_t i = 0; i < stmts.size(); ++i)
+        if (!placed[i] && stmts[i].type != GateType::Dff)
+          fail(stmts[i].line,
+               "combinational cycle or undefined signal involving '" +
+                   stmts[i].lhs + "'");
+    }
+  }
+  // Flop data inputs.
+  for (const Stmt& st : stmts) {
+    if (st.type != GateType::Dff) continue;
+    if (st.args.size() != 1) fail(st.line, "DFF takes exactly one fanin");
+    out.set_dff_input(ids[st.lhs], resolve(st.args[0], st.line));
+  }
+  // Outputs.
+  for (std::size_t i = 0; i < output_names.size(); ++i)
+    out.add_output(resolve(output_names[i], output_lines[i]));
+
+  out.finalize();
+  return out;
+}
+
+Circuit parse_bench_string(const std::string& text, std::string circuit_name) {
+  std::istringstream ss(text);
+  return parse_bench(ss, std::move(circuit_name));
+}
+
+Circuit load_bench_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open bench file: " + path);
+  std::string name = path;
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name.erase(0, slash + 1);
+  const auto dot = name.find_last_of('.');
+  if (dot != std::string::npos) name.erase(dot);
+  return parse_bench(f, std::move(name));
+}
+
+void write_bench(const Circuit& c, std::ostream& out) {
+  out << "# " << c.name() << " — written by gatest\n";
+  for (GateId pi : c.inputs()) out << "INPUT(" << c.gate(pi).name << ")\n";
+  for (GateId po : c.outputs()) out << "OUTPUT(" << c.gate(po).name << ")\n";
+  out << '\n';
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const Gate& g = c.gate(id);
+    if (g.type == GateType::Input) continue;
+    out << g.name << " = " << gate_type_name(g.type) << '(';
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << c.gate(g.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Circuit& c) {
+  std::ostringstream ss;
+  write_bench(c, ss);
+  return ss.str();
+}
+
+}  // namespace gatest

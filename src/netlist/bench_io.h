@@ -1,0 +1,35 @@
+// ISCAS89 .bench netlist reader/writer.
+//
+// Grammar handled (case-insensitive keywords, '#' comments):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = DFF(d)
+//   name = GATE(a, b, ...)       GATE in {AND,NAND,OR,NOR,NOT,BUF,XOR,XNOR}
+// Signals may be referenced before definition (feedback through flip-flops).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace gatest {
+
+/// Parse a .bench netlist. The returned circuit is finalized.
+/// Throws std::runtime_error with a line number on syntax or semantic errors.
+Circuit parse_bench(std::istream& in, std::string circuit_name = "bench");
+
+/// Parse from a string (convenience for embedded netlists and tests).
+Circuit parse_bench_string(const std::string& text,
+                           std::string circuit_name = "bench");
+
+/// Parse from a file path.
+Circuit load_bench_file(const std::string& path);
+
+/// Serialize to .bench text; parse_bench(write_bench(c)) round-trips the
+/// structure (names, types, pin order, outputs).
+void write_bench(const Circuit& c, std::ostream& out);
+std::string write_bench_string(const Circuit& c);
+
+}  // namespace gatest

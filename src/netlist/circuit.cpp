@@ -1,0 +1,202 @@
+#include "netlist/circuit.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace gatest {
+
+GateId Circuit::add_input(std::string name) {
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.type = GateType::Input;
+  g.name = std::move(name);
+  gates_.push_back(std::move(g));
+  inputs_.push_back(id);
+  finalized_ = false;
+  return id;
+}
+
+GateId Circuit::add_dff(std::string name, GateId data_in) {
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.type = GateType::Dff;
+  g.name = std::move(name);
+  if (data_in != kNoGate) g.fanins.push_back(data_in);
+  gates_.push_back(std::move(g));
+  dffs_.push_back(id);
+  finalized_ = false;
+  return id;
+}
+
+GateId Circuit::add_gate(GateType type, std::string name,
+                         std::vector<GateId> fanins) {
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.type = type;
+  g.name = std::move(name);
+  g.fanins = std::move(fanins);
+  gates_.push_back(std::move(g));
+  finalized_ = false;
+  return id;
+}
+
+void Circuit::add_output(GateId id) {
+  if (std::find(outputs_.begin(), outputs_.end(), id) == outputs_.end())
+    outputs_.push_back(id);
+  finalized_ = false;
+}
+
+void Circuit::set_dff_input(GateId dff, GateId data_in) {
+  if (dff >= gates_.size() || gates_[dff].type != GateType::Dff)
+    throw std::runtime_error("set_dff_input: node is not a DFF");
+  gates_[dff].fanins.assign(1, data_in);
+  finalized_ = false;
+}
+
+void Circuit::finalize() {
+  validate();
+  compute_fanouts();
+  levelize();
+  compute_sequential_depth();
+  finalized_ = true;
+}
+
+GateId Circuit::find(const std::string& name) const {
+  for (GateId i = 0; i < gates_.size(); ++i)
+    if (gates_[i].name == name) return i;
+  return kNoGate;
+}
+
+std::size_t Circuit::num_logic_gates() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    switch (g.type) {
+      case GateType::Input:
+      case GateType::Dff:
+      case GateType::Const0:
+      case GateType::Const1:
+        break;
+      default:
+        ++n;
+    }
+  }
+  return n;
+}
+
+void Circuit::compute_fanouts() {
+  for (Gate& g : gates_) g.fanouts.clear();
+  for (GateId id = 0; id < gates_.size(); ++id)
+    for (GateId f : gates_[id].fanins) gates_[f].fanouts.push_back(id);
+}
+
+void Circuit::levelize() {
+  // Kahn topological sort over combinational edges only: flip-flop data
+  // inputs are sinks (next-state), flip-flop outputs are sources.
+  const std::size_t n = gates_.size();
+  std::vector<std::uint32_t> pending(n, 0);
+  topo_.clear();
+  topo_.reserve(n);
+
+  std::deque<GateId> ready;
+  for (GateId id = 0; id < n; ++id) {
+    Gate& g = gates_[id];
+    if (is_combinational_source(g.type)) {
+      g.level = 0;
+      pending[id] = 0;
+      ready.push_back(id);
+    } else {
+      pending[id] = static_cast<std::uint32_t>(g.fanins.size());
+      if (pending[id] == 0)
+        throw std::runtime_error("levelize: gate '" + g.name +
+                                 "' has no fanins");
+    }
+  }
+
+  num_levels_ = 1;
+  while (!ready.empty()) {
+    const GateId id = ready.front();
+    ready.pop_front();
+    topo_.push_back(id);
+    for (GateId out : gates_[id].fanouts) {
+      Gate& og = gates_[out];
+      if (is_combinational_source(og.type)) continue;  // DFF data input: sink
+      if (--pending[out] == 0) {
+        std::uint32_t lvl = 0;
+        for (GateId f : og.fanins) lvl = std::max(lvl, gates_[f].level + 1);
+        og.level = lvl;
+        num_levels_ = std::max(num_levels_, lvl + 1);
+        ready.push_back(out);
+      }
+    }
+  }
+
+  if (topo_.size() != n) {
+    // Some gate never became ready: combinational cycle (or unreachable
+    // gate with cyclic deps).
+    for (GateId id = 0; id < n; ++id) {
+      const bool placed =
+          std::find(topo_.begin(), topo_.end(), id) != topo_.end();
+      if (!placed)
+        throw std::runtime_error("levelize: combinational cycle through '" +
+                                 gates_[id].name + "'");
+    }
+  }
+
+  // Keep the topological order stable by level for cache-friendly
+  // level-ordered evaluation.
+  std::stable_sort(topo_.begin(), topo_.end(), [&](GateId a, GateId b) {
+    return gates_[a].level < gates_[b].level;
+  });
+}
+
+void Circuit::compute_sequential_depth() {
+  // 0-1 BFS: crossing into a flip-flop node (from its data input) costs 1
+  // (one more flop on the path); all other edges cost 0.  d(PI) = 0.
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(gates_.size(), kInf);
+  std::deque<GateId> dq;
+  for (GateId pi : inputs_) {
+    dist[pi] = 0;
+    dq.push_back(pi);
+  }
+  while (!dq.empty()) {
+    const GateId u = dq.front();
+    dq.pop_front();
+    const std::uint32_t du = dist[u];
+    for (GateId v : gates_[u].fanouts) {
+      const std::uint32_t w = gates_[v].type == GateType::Dff ? 1 : 0;
+      if (du + w < dist[v]) {
+        dist[v] = du + w;
+        if (w == 0)
+          dq.push_front(v);
+        else
+          dq.push_back(v);
+      }
+    }
+  }
+  seq_depth_ = 0;
+  for (GateId id = 0; id < gates_.size(); ++id)
+    if (dist[id] != kInf) seq_depth_ = std::max(seq_depth_, dist[id]);
+}
+
+void Circuit::validate() const {
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    const auto n = static_cast<unsigned>(g.fanins.size());
+    if (n < min_fanin(g.type) || n > max_fanin(g.type))
+      throw std::runtime_error("validate: gate '" + g.name + "' (" +
+                               std::string(gate_type_name(g.type)) + ") has " +
+                               std::to_string(n) + " fanins");
+    for (GateId f : g.fanins)
+      if (f >= gates_.size())
+        throw std::runtime_error("validate: gate '" + g.name +
+                                 "' references missing fanin");
+  }
+  for (GateId o : outputs_)
+    if (o >= gates_.size())
+      throw std::runtime_error("validate: dangling primary output id");
+}
+
+}  // namespace gatest

@@ -1,0 +1,118 @@
+// Gate-level sequential circuit model.
+//
+// A Circuit is a flat array of nodes (gates, primary inputs, D flip-flops)
+// indexed by GateId, plus a list of observed primary-output node ids.
+// Flip-flop nodes represent the flop *output*; their single fanin is the
+// next-state function.  All simulators and the ATPG engines in this library
+// operate on this structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.h"
+
+namespace gatest {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = 0xffffffffu;
+
+/// One node of the netlist graph.
+struct Gate {
+  GateType type = GateType::Buf;
+  std::string name;                 ///< .bench signal name (unique)
+  std::vector<GateId> fanins;       ///< driver node ids, pin order preserved
+  std::vector<GateId> fanouts;      ///< reader node ids (computed)
+  std::uint32_t level = 0;          ///< combinational level (sources = 0)
+};
+
+/// Immutable-after-finalize netlist.  Build with add_* calls, then call
+/// finalize() which computes fanouts, levelizes, validates, and computes
+/// the structural sequential depth.
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(std::string name) : name_(std::move(name)) {}
+
+  // ---- construction -------------------------------------------------------
+
+  /// Add a primary input node. Returns its id.
+  GateId add_input(std::string name);
+
+  /// Add a D flip-flop node (fanin assigned later or now). Returns its id.
+  GateId add_dff(std::string name, GateId data_in = kNoGate);
+
+  /// Add a logic gate. Returns its id.
+  GateId add_gate(GateType type, std::string name, std::vector<GateId> fanins);
+
+  /// Mark a node as a primary output (may be called multiple times,
+  /// duplicates ignored).
+  void add_output(GateId id);
+
+  /// Late-bind a flip-flop's data input (for circuits with feedback).
+  void set_dff_input(GateId dff, GateId data_in);
+
+  /// Compute fanouts, levelize, validate structure. Throws std::runtime_error
+  /// on malformed netlists (bad fanin counts, combinational cycles,
+  /// dangling references). Must be called before simulation.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // ---- topology queries ---------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::size_t num_gates() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<GateId>& dffs() const { return dffs_; }
+  const std::vector<GateId>& outputs() const { return outputs_; }
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_dffs() const { return dffs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+
+  /// Gates in combinational topological order: every node appears after all
+  /// of its fanins, except that flip-flop and input nodes (frame sources)
+  /// appear first. Valid after finalize().
+  const std::vector<GateId>& topo_order() const { return topo_; }
+
+  /// Number of combinational levels (sources at level 0). Valid after
+  /// finalize().
+  std::uint32_t num_levels() const { return num_levels_; }
+
+  /// Structural sequential depth per Niermann [20] as used in the paper:
+  /// the minimum number of flip-flops on a path between the primary inputs
+  /// and the furthest gate, maximized over gates reachable from some PI.
+  /// Circuits with no PIs or no reachable gates report 0.
+  std::uint32_t sequential_depth() const { return seq_depth_; }
+
+  /// Look up a node id by .bench name; returns kNoGate if absent.
+  GateId find(const std::string& name) const;
+
+  /// Count of logic gates (excludes Input/Dff/Const nodes).
+  std::size_t num_logic_gates() const;
+
+ private:
+  void compute_fanouts();
+  void levelize();
+  void compute_sequential_depth();
+  void validate() const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> dffs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> topo_;
+  std::uint32_t num_levels_ = 0;
+  std::uint32_t seq_depth_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace gatest

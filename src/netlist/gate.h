@@ -1,0 +1,101 @@
+// Gate-level primitives for ISCAS89-style netlists.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gatest {
+
+/// Gate/node kinds appearing in ISCAS89 .bench netlists.
+///
+/// `Input` is a primary input.  `Dff` is a D flip-flop: the node's value is
+/// the flop's *output* (current state); its single fanin is the next-state
+/// data input.  Primary outputs are not separate nodes — the circuit keeps a
+/// list of observed node ids.
+enum class GateType : std::uint8_t {
+  Input,
+  Dff,
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+  Const0,
+  Const1,
+};
+
+/// Printable .bench keyword for a gate type.
+constexpr std::string_view gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::Input:  return "INPUT";
+    case GateType::Dff:    return "DFF";
+    case GateType::Buf:    return "BUF";
+    case GateType::Not:    return "NOT";
+    case GateType::And:    return "AND";
+    case GateType::Nand:   return "NAND";
+    case GateType::Or:     return "OR";
+    case GateType::Nor:    return "NOR";
+    case GateType::Xor:    return "XOR";
+    case GateType::Xnor:   return "XNOR";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+  }
+  return "?";
+}
+
+/// True for node kinds that source value into the combinational network
+/// (evaluated per time frame without reading fanins).
+constexpr bool is_combinational_source(GateType t) {
+  return t == GateType::Input || t == GateType::Dff ||
+         t == GateType::Const0 || t == GateType::Const1;
+}
+
+/// True for gates whose output is the complement of the underlying
+/// AND/OR/XOR/identity function (NAND, NOR, XNOR, NOT).
+constexpr bool is_inverting(GateType t) {
+  return t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor ||
+         t == GateType::Not;
+}
+
+/// Controlling input value for simple gates: 0 for AND/NAND, 1 for OR/NOR.
+/// Returns -1 for gates without a controlling value (XOR, BUF, ...).
+constexpr int controlling_value(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand: return 0;
+    case GateType::Or:
+    case GateType::Nor:  return 1;
+    default:             return -1;
+  }
+}
+
+/// Minimum legal fanin count for a gate type.
+constexpr unsigned min_fanin(GateType t) {
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1: return 0;
+    case GateType::Dff:
+    case GateType::Buf:
+    case GateType::Not:    return 1;
+    default:               return 2;
+  }
+}
+
+/// Maximum legal fanin count (unbounded kinds return a large sentinel).
+constexpr unsigned max_fanin(GateType t) {
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1: return 0;
+    case GateType::Dff:
+    case GateType::Buf:
+    case GateType::Not:    return 1;
+    default:               return 1u << 16;
+  }
+}
+
+}  // namespace gatest

@@ -1,0 +1,29 @@
+#include "netlist/scan.h"
+
+#include <vector>
+
+namespace gatest {
+
+Circuit full_scan_version(const Circuit& c, const std::string& name_suffix) {
+  Circuit scan(c.name() + name_suffix);
+  std::vector<GateId> map(c.num_gates(), kNoGate);
+  // topo_order() lists sources first and respects fanin order, so a single
+  // pass can rebuild the combinational structure.
+  for (GateId id : c.topo_order()) {
+    const Gate& g = c.gate(id);
+    if (g.type == GateType::Input || g.type == GateType::Dff) {
+      map[id] = scan.add_input(g.name);
+      continue;
+    }
+    std::vector<GateId> fanins;
+    fanins.reserve(g.fanins.size());
+    for (GateId f : g.fanins) fanins.push_back(map[f]);
+    map[id] = scan.add_gate(g.type, g.name, std::move(fanins));
+  }
+  for (GateId po : c.outputs()) scan.add_output(map[po]);
+  for (GateId ff : c.dffs()) scan.add_output(map[c.gate(ff).fanins[0]]);
+  scan.finalize();
+  return scan;
+}
+
+}  // namespace gatest

@@ -1,0 +1,26 @@
+// Full-scan transform: the standard design-for-test view of a sequential
+// circuit in which every flip-flop is directly controllable and observable.
+//
+// Flip-flop nodes become primary inputs (scan-in) and their data nets become
+// additional primary outputs (scan-out), leaving a purely combinational
+// circuit.  Uses:
+//   - combinational ATPG on scan designs (the deterministic engine then
+//     needs a single time frame),
+//   - measuring how much coverage the *sequential* problem costs: the gap
+//     between full-scan and sequential fault coverage is exactly the
+//     justification/propagation difficulty GATEST attacks.
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace gatest {
+
+/// Build the full-scan version of `c`.  Node names are preserved; flip-flop
+/// nodes turn into primary inputs of the same name.  The result is
+/// finalized, has c.num_inputs() + c.num_dffs() inputs, and observes every
+/// original output plus each flip-flop's data net.
+Circuit full_scan_version(const Circuit& c, const std::string& name_suffix = "_scan");
+
+}  // namespace gatest

@@ -1,0 +1,222 @@
+#include "netlist/scoap.h"
+
+#include <algorithm>
+
+namespace gatest {
+namespace {
+
+constexpr std::uint32_t kInf = ScoapMeasures::kInfinity;
+
+std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+  return s >= kInf ? kInf : static_cast<std::uint32_t>(s);
+}
+
+/// Pairwise XOR controllability combine: cost of making the parity of two
+/// subexpressions 0 / 1.
+void xor_combine(std::uint32_t a0, std::uint32_t a1, std::uint32_t b0,
+                 std::uint32_t b1, std::uint32_t& out0, std::uint32_t& out1) {
+  out0 = std::min(sat_add(a0, b0), sat_add(a1, b1));
+  out1 = std::min(sat_add(a0, b1), sat_add(a1, b0));
+}
+
+struct CtrlTables {
+  std::vector<std::uint32_t>& c0;
+  std::vector<std::uint32_t>& c1;
+  std::uint32_t gate_cost;  // 1 for combinational measures, 0 for sequential
+  std::uint32_t ff_cost;    // 1 frame per flip-flop for sequential measures
+};
+
+/// One relaxation pass of the controllability equations; returns true if
+/// any value improved.
+bool relax_controllability(const Circuit& c, const CtrlTables& t) {
+  bool changed = false;
+  auto update = [&](GateId id, std::uint32_t v0, std::uint32_t v1) {
+    if (v0 < t.c0[id]) { t.c0[id] = v0; changed = true; }
+    if (v1 < t.c1[id]) { t.c1[id] = v1; changed = true; }
+  };
+
+  for (GateId id : c.topo_order()) {
+    const Gate& g = c.gate(id);
+    auto in0 = [&](std::size_t i) { return t.c0[g.fanins[i]]; };
+    auto in1 = [&](std::size_t i) { return t.c1[g.fanins[i]]; };
+    switch (g.type) {
+      case GateType::Input:
+        break;  // fixed at initialization
+      case GateType::Const0:
+        update(id, 0, kInf);
+        break;
+      case GateType::Const1:
+        update(id, kInf, 0);
+        break;
+      case GateType::Dff:
+        update(id, sat_add(in0(0), t.ff_cost), sat_add(in1(0), t.ff_cost));
+        break;
+      case GateType::Buf:
+        update(id, sat_add(in0(0), t.gate_cost), sat_add(in1(0), t.gate_cost));
+        break;
+      case GateType::Not:
+        update(id, sat_add(in1(0), t.gate_cost), sat_add(in0(0), t.gate_cost));
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        std::uint32_t all1 = 0, any0 = kInf;
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+          all1 = sat_add(all1, in1(i));
+          any0 = std::min(any0, in0(i));
+        }
+        const std::uint32_t v0 = sat_add(any0, t.gate_cost);
+        const std::uint32_t v1 = sat_add(all1, t.gate_cost);
+        if (g.type == GateType::And) update(id, v0, v1);
+        else update(id, v1, v0);
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        std::uint32_t all0 = 0, any1 = kInf;
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+          all0 = sat_add(all0, in0(i));
+          any1 = std::min(any1, in1(i));
+        }
+        const std::uint32_t v1 = sat_add(any1, t.gate_cost);
+        const std::uint32_t v0 = sat_add(all0, t.gate_cost);
+        if (g.type == GateType::Or) update(id, v0, v1);
+        else update(id, v1, v0);
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        std::uint32_t p0 = in0(0), p1 = in1(0);
+        for (std::size_t i = 1; i < g.fanins.size(); ++i) {
+          std::uint32_t n0, n1;
+          xor_combine(p0, p1, in0(i), in1(i), n0, n1);
+          p0 = n0;
+          p1 = n1;
+        }
+        const std::uint32_t v0 = sat_add(p0, t.gate_cost);
+        const std::uint32_t v1 = sat_add(p1, t.gate_cost);
+        if (g.type == GateType::Xor) update(id, v0, v1);
+        else update(id, v1, v0);
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+struct ObsTables {
+  const std::vector<std::uint32_t>& c0;
+  const std::vector<std::uint32_t>& c1;
+  std::vector<std::uint32_t>& obs;
+  std::uint32_t gate_cost;
+  std::uint32_t ff_cost;
+};
+
+/// One relaxation pass of the observability equations (stem observability is
+/// the best branch; a pin's observability adds the cost of sensitizing the
+/// gate's other inputs).
+bool relax_observability(const Circuit& c, const ObsTables& t) {
+  bool changed = false;
+  auto update = [&](GateId id, std::uint32_t v) {
+    if (v < t.obs[id]) { t.obs[id] = v; changed = true; }
+  };
+
+  const auto& order = c.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId gid = *it;
+    const Gate& g = c.gate(gid);
+    const std::uint32_t out_obs = t.obs[gid];
+    if (out_obs >= kInf && g.type != GateType::Dff) {
+      // Even with an unobservable output the pass continues: other branches
+      // of our fanins may observe them, handled when visiting those gates.
+    }
+    switch (g.type) {
+      case GateType::Input:
+      case GateType::Const0:
+      case GateType::Const1:
+        break;
+      case GateType::Dff:
+        update(g.fanins[0], sat_add(out_obs, t.ff_cost));
+        break;
+      case GateType::Buf:
+      case GateType::Not:
+        update(g.fanins[0], sat_add(out_obs, t.gate_cost));
+        break;
+      case GateType::And:
+      case GateType::Nand:
+      case GateType::Or:
+      case GateType::Nor: {
+        const bool and_like =
+            g.type == GateType::And || g.type == GateType::Nand;
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+          std::uint32_t side = 0;
+          for (std::size_t j = 0; j < g.fanins.size(); ++j) {
+            if (j == i) continue;
+            side = sat_add(side, and_like ? t.c1[g.fanins[j]]
+                                          : t.c0[g.fanins[j]]);
+          }
+          update(g.fanins[i], sat_add(sat_add(out_obs, side), t.gate_cost));
+        }
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+          std::uint32_t side = 0;
+          for (std::size_t j = 0; j < g.fanins.size(); ++j) {
+            if (j == i) continue;
+            side = sat_add(side,
+                           std::min(t.c0[g.fanins[j]], t.c1[g.fanins[j]]));
+          }
+          update(g.fanins[i], sat_add(sat_add(out_obs, side), t.gate_cost));
+        }
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+void solve_controllability(const Circuit& c, std::vector<std::uint32_t>& c0,
+                           std::vector<std::uint32_t>& c1,
+                           std::uint32_t gate_cost, std::uint32_t ff_cost,
+                           std::uint32_t pi_cost) {
+  c0.assign(c.num_gates(), kInf);
+  c1.assign(c.num_gates(), kInf);
+  for (GateId pi : c.inputs()) {
+    c0[pi] = pi_cost;
+    c1[pi] = pi_cost;
+  }
+  CtrlTables t{c0, c1, gate_cost, ff_cost};
+  // Feedback through flip-flops needs iteration; each pass can only lower
+  // values, so the fixed point arrives in at most O(#flops) passes.
+  for (std::size_t pass = 0; pass < c.num_dffs() + 2; ++pass)
+    if (!relax_controllability(c, t)) break;
+}
+
+void solve_observability(const Circuit& c,
+                         const std::vector<std::uint32_t>& c0,
+                         const std::vector<std::uint32_t>& c1,
+                         std::vector<std::uint32_t>& obs,
+                         std::uint32_t gate_cost, std::uint32_t ff_cost) {
+  obs.assign(c.num_gates(), kInf);
+  for (GateId po : c.outputs()) obs[po] = 0;
+  ObsTables t{c0, c1, obs, gate_cost, ff_cost};
+  for (std::size_t pass = 0; pass < c.num_dffs() + 2; ++pass)
+    if (!relax_observability(c, t)) break;
+}
+
+}  // namespace
+
+ScoapMeasures compute_scoap(const Circuit& c) {
+  ScoapMeasures m;
+  // Combinational: assignments — primary inputs cost 1, every gate adds 1.
+  solve_controllability(c, m.cc0, m.cc1, 1, 1, 1);
+  solve_observability(c, m.cc0, m.cc1, m.co, 1, 1);
+  // Sequential: time frames — only flip-flop crossings cost.
+  solve_controllability(c, m.sc0, m.sc1, 0, 1, 0);
+  solve_observability(c, m.sc0, m.sc1, m.so, 0, 1);
+  return m;
+}
+
+}  // namespace gatest

@@ -1,0 +1,54 @@
+// SCOAP testability measures (Goldstein 1979), combinational and sequential.
+//
+// For every net the analysis computes:
+//   CC0 / CC1 — combinational 0/1-controllability: the minimum number of
+//               line assignments needed to drive the net to 0 / 1;
+//   CO        — combinational observability: assignments needed to propagate
+//               the net's value to a primary output;
+//   SC0 / SC1 / SO — sequential variants counting *time frames* instead of
+//               assignments (crossing a flip-flop costs one frame).
+//
+// Uses here:
+//   - the deterministic engine's backtrace picks the cheapest X-input by
+//     controllability instead of by level (fewer backtracks);
+//   - testability profiling of generated circuits (tests assert that the
+//     narrow kernels really are harder to control than the global mix);
+//   - a ranked hard-fault report in the CLI.
+//
+// Values saturate at kInfinity for uncontrollable/unobservable nets (e.g.
+// logic locked by constants).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace gatest {
+
+struct ScoapMeasures {
+  static constexpr std::uint32_t kInfinity = 0x3fffffffu;
+
+  // Indexed by GateId.
+  std::vector<std::uint32_t> cc0, cc1, co;
+  std::vector<std::uint32_t> sc0, sc1, so;
+
+  /// Controllability of value v on net n.
+  std::uint32_t cc(GateId n, bool v) const { return v ? cc1[n] : cc0[n]; }
+  std::uint32_t sc(GateId n, bool v) const { return v ? sc1[n] : sc0[n]; }
+
+  /// Detection-difficulty estimate for a stuck-at-v fault on net n:
+  /// controllability of v-bar plus observability.
+  std::uint32_t stuck_at_difficulty(GateId n, bool stuck_value) const {
+    const std::uint32_t c = cc(n, !stuck_value);
+    const std::uint32_t sum = c + co[n];
+    return sum > kInfinity ? kInfinity : sum;
+  }
+};
+
+/// Compute all six measures.  Controllabilities iterate to a fixed point
+/// (flip-flop feedback), observabilities follow in reverse topological
+/// order; complexity O(iterations * edges).
+ScoapMeasures compute_scoap(const Circuit& c);
+
+}  // namespace gatest

@@ -1,0 +1,75 @@
+// Scalar three-valued logic (0 / 1 / X) used at API boundaries: test vectors,
+// flip-flop states, primary-output observations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gatest {
+
+/// Ternary logic value.
+enum class Logic : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+constexpr char logic_char(Logic v) {
+  switch (v) {
+    case Logic::Zero: return '0';
+    case Logic::One:  return '1';
+    case Logic::X:    return 'x';
+  }
+  return '?';
+}
+
+/// Parse '0' / '1' / anything-else→X.
+constexpr Logic logic_from_char(char c) {
+  if (c == '0') return Logic::Zero;
+  if (c == '1') return Logic::One;
+  return Logic::X;
+}
+
+inline std::string logic_string(const std::vector<Logic>& vs) {
+  std::string s;
+  s.reserve(vs.size());
+  for (Logic v : vs) s.push_back(logic_char(v));
+  return s;
+}
+
+inline std::vector<Logic> logic_vector(const std::string& s) {
+  std::vector<Logic> out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(logic_from_char(c));
+  return out;
+}
+
+constexpr bool is_binary(Logic v) { return v != Logic::X; }
+
+constexpr Logic logic_not(Logic v) {
+  if (v == Logic::Zero) return Logic::One;
+  if (v == Logic::One) return Logic::Zero;
+  return Logic::X;
+}
+
+constexpr Logic logic_and(Logic a, Logic b) {
+  if (a == Logic::Zero || b == Logic::Zero) return Logic::Zero;
+  if (a == Logic::One && b == Logic::One) return Logic::One;
+  return Logic::X;
+}
+
+constexpr Logic logic_or(Logic a, Logic b) {
+  if (a == Logic::One || b == Logic::One) return Logic::One;
+  if (a == Logic::Zero && b == Logic::Zero) return Logic::Zero;
+  return Logic::X;
+}
+
+constexpr Logic logic_xor(Logic a, Logic b) {
+  if (a == Logic::X || b == Logic::X) return Logic::X;
+  return a == b ? Logic::Zero : Logic::One;
+}
+
+/// A fully or partially specified input vector: one Logic per primary input.
+using TestVector = std::vector<Logic>;
+
+/// An ordered list of vectors applied in consecutive time frames.
+using TestSequence = std::vector<TestVector>;
+
+}  // namespace gatest

@@ -1,0 +1,19 @@
+#include "sim/responses.h"
+
+#include "sim/parallel_sim.h"
+
+namespace gatest {
+
+std::vector<std::vector<Logic>> capture_responses(
+    const Circuit& c, const std::vector<TestVector>& tests) {
+  ParallelLogicSim sim(c);
+  std::vector<std::vector<Logic>> out;
+  out.reserve(tests.size());
+  for (const TestVector& v : tests) {
+    sim.step_broadcast(v);
+    out.push_back(sim.outputs_lane(0));
+  }
+  return out;
+}
+
+}  // namespace gatest

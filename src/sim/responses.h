@@ -1,0 +1,19 @@
+// Expected-response capture: the fault-free primary-output values for each
+// vector of a test set, starting from the all-X reset state.  A tester needs
+// these alongside the stimuli; positions that are X in the fault-free
+// machine must be masked (don't-compare) on the tester.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "sim/logic.h"
+
+namespace gatest {
+
+/// responses[t][k] is the fault-free value of circuit output k after vector
+/// t has been applied (and before the next vector).
+std::vector<std::vector<Logic>> capture_responses(
+    const Circuit& c, const std::vector<TestVector>& tests);
+
+}  // namespace gatest

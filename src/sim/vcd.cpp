@@ -1,0 +1,83 @@
+#include "sim/vcd.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/parallel_sim.h"
+
+namespace gatest {
+namespace {
+
+/// VCD identifier: base-94 over the printable ASCII range '!'..'~'.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+char vcd_char(Logic v) {
+  switch (v) {
+    case Logic::Zero: return '0';
+    case Logic::One:  return '1';
+    case Logic::X:    return 'x';
+  }
+  return 'x';
+}
+
+}  // namespace
+
+void write_vcd(const Circuit& c, const std::vector<TestVector>& tests,
+               std::ostream& out, const VcdOptions& options) {
+  // Select the nets to trace.
+  std::vector<GateId> traced;
+  if (options.interface_only) {
+    traced.insert(traced.end(), c.inputs().begin(), c.inputs().end());
+    traced.insert(traced.end(), c.dffs().begin(), c.dffs().end());
+    for (GateId po : c.outputs())
+      if (std::find(traced.begin(), traced.end(), po) == traced.end())
+        traced.push_back(po);
+  } else {
+    for (GateId id = 0; id < c.num_gates(); ++id) traced.push_back(id);
+  }
+
+  out << "$date gatest $end\n"
+      << "$version gatest fault-free trace of " << c.name() << " $end\n"
+      << "$timescale 1ns $end\n"
+      << "$scope module " << options.module_name << " $end\n";
+  for (std::size_t i = 0; i < traced.size(); ++i)
+    out << "$var wire 1 " << vcd_id(i) << ' ' << c.gate(traced[i]).name
+        << " $end\n";
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  ParallelLogicSim sim(c);
+  std::vector<Logic> last(traced.size(), Logic::X);
+  out << "$dumpvars\n";
+  for (std::size_t i = 0; i < traced.size(); ++i)
+    out << vcd_char(Logic::X) << vcd_id(i) << '\n';
+  out << "$end\n";
+
+  for (std::size_t t = 0; t < tests.size(); ++t) {
+    sim.step_broadcast(tests[t]);
+    out << '#' << (t + 1) * options.ns_per_vector << '\n';
+    for (std::size_t i = 0; i < traced.size(); ++i) {
+      const Logic v = sim.value(traced[i]).lane(0);
+      if (v != last[i]) {
+        out << vcd_char(v) << vcd_id(i) << '\n';
+        last[i] = v;
+      }
+    }
+  }
+  out << '#' << (tests.size() + 1) * options.ns_per_vector << '\n';
+}
+
+std::string vcd_string(const Circuit& c, const std::vector<TestVector>& tests,
+                       const VcdOptions& options) {
+  std::ostringstream ss;
+  write_vcd(c, tests, ss, options);
+  return ss.str();
+}
+
+}  // namespace gatest

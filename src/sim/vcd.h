@@ -1,0 +1,34 @@
+// VCD (Value Change Dump, IEEE 1364) waveform export of a fault-free
+// simulation, for viewing test sequences in GTKWave & co.  Three-valued
+// values map directly onto VCD's 0/1/x.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "sim/logic.h"
+
+namespace gatest {
+
+struct VcdOptions {
+  /// Dump only primary inputs, flip-flops, and primary outputs (default);
+  /// with false, every net is dumped.
+  bool interface_only = true;
+  /// Module name in the $scope header.
+  std::string module_name = "dut";
+  /// Nanoseconds per test vector (cosmetic).
+  unsigned ns_per_vector = 10;
+};
+
+/// Simulate `tests` on the fault-free machine (from the all-X state) and
+/// write one VCD timestep per vector.
+void write_vcd(const Circuit& c, const std::vector<TestVector>& tests,
+               std::ostream& out, const VcdOptions& options = {});
+
+/// Convenience: VCD text as a string.
+std::string vcd_string(const Circuit& c, const std::vector<TestVector>& tests,
+                       const VcdOptions& options = {});
+
+}  // namespace gatest

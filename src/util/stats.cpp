@@ -1,0 +1,35 @@
+#include "util/stats.h"
+
+#include <cstdio>
+
+namespace gatest {
+
+std::string format_mean_stddev(const RunningStats& s, int mean_precision,
+                               int sd_precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f(%.*f)", mean_precision, s.mean(),
+                sd_precision, s.stddev());
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 0) seconds = 0;
+  if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof buf, "%.2fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace gatest

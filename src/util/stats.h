@@ -1,0 +1,52 @@
+// Small statistics helpers used when averaging experiment runs, mirroring the
+// paper's "average over ten runs (standard deviation in parentheses)" style.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gatest {
+
+/// Welford-style accumulator for mean and sample standard deviation.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const {
+    return n_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_ - 1)) : 0.0;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// "264.7(0.5)" — the paper's mean(stddev) cell format.
+std::string format_mean_stddev(const RunningStats& s, int mean_precision = 1,
+                               int sd_precision = 1);
+
+/// Format seconds the way Table 2 does: "6.05m", "2.83h", "45.1s".
+std::string format_duration(double seconds);
+
+/// Mean of a vector (0 for empty).
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace gatest

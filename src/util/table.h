@@ -1,0 +1,37 @@
+// Minimal ASCII table printer used by the benchmark harness to emit
+// paper-shaped tables (Table 2 .. Table 7).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gatest {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Append one row; it may have fewer cells than the header (padded).
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with a header rule, e.g.
+  ///   Circuit  Det    Vec  Time
+  ///   -------  -----  ---  ------
+  ///   s298     264.7  161  6.05m
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style convenience: format into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace gatest

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "atpg/cris_lite.h"
+#include "atpg/hitec_lite.h"
+#include "atpg/podem.h"
+#include "atpg/random_tpg.h"
+#include "circuitgen/circuitgen.h"
+#include "fault/fault.h"
+#include "fsim/fault_sim.h"
+
+namespace gatest {
+namespace {
+
+// a XOR b realized with redundancy: z = OR(AND(a, na), xor_out) where
+// AND(a, NOT(a)) == 0 always; its s-a-0 output fault is undetectable.
+Circuit redundant_circuit() {
+  Circuit c("redundant");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId na = c.add_gate(GateType::Not, "na", {a});
+  const GateId dead = c.add_gate(GateType::And, "dead", {a, na});
+  const GateId x = c.add_gate(GateType::Xor, "x", {a, b});
+  const GateId z = c.add_gate(GateType::Or, "z", {dead, x});
+  c.add_output(z);
+  c.finalize();
+  return c;
+}
+
+// ---- random baseline --------------------------------------------------------
+
+TEST(RandomTpg, FullCoverageOnS27) {
+  const Circuit c = make_s27();
+  FaultList faults(c);
+  RandomTpgConfig cfg;
+  cfg.seed = 3;
+  const TestGenResult res = run_random_tpg(c, faults, cfg);
+  EXPECT_EQ(res.faults_detected, 32u);
+  EXPECT_GT(res.test_set.size(), 0u);
+}
+
+TEST(RandomTpg, StopsAfterNoProgress) {
+  const Circuit c = make_s27();
+  FaultList faults(c);
+  RandomTpgConfig cfg;
+  cfg.seed = 3;
+  cfg.no_progress_limit = 5;
+  const TestGenResult res = run_random_tpg(c, faults, cfg);
+  EXPECT_LE(res.test_set.size(), cfg.max_vectors);
+}
+
+TEST(RandomTpg, RespectsMaxVectors) {
+  const Circuit c = benchmark_circuit("s298", 3);
+  FaultList faults(c);
+  RandomTpgConfig cfg;
+  cfg.seed = 3;
+  cfg.max_vectors = 16;
+  const TestGenResult res = run_random_tpg(c, faults, cfg);
+  EXPECT_LE(res.test_set.size(), 16u);
+}
+
+// ---- time-frame PODEM ----------------------------------------------------------
+
+TEST(Podem, FindsTestForCombinationalFault) {
+  Circuit c("and2");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId g = c.add_gate(GateType::And, "g", {a, b});
+  c.add_output(g);
+  c.finalize();
+
+  TimeFramePodem podem(c, 1, 100);
+  const auto r = podem.generate(Fault{g, Fault::kOutputPin, 0});
+  ASSERT_EQ(r.outcome, TimeFramePodem::Outcome::TestFound);
+  ASSERT_EQ(r.sequence.size(), 1u);
+  // The only test for AND-output s-a-0 is a=b=1.
+  EXPECT_EQ(logic_string(r.sequence[0]), "11");
+}
+
+TEST(Podem, ProvesRedundantFaultUntestable) {
+  const Circuit c = redundant_circuit();
+  TimeFramePodem podem(c, 1, 1000);
+  const auto r =
+      podem.generate(Fault{c.find("dead"), Fault::kOutputPin, 0});
+  EXPECT_EQ(r.outcome, TimeFramePodem::Outcome::NoTestInWindow);
+}
+
+TEST(Podem, FindsSequentialTestAcrossFrames) {
+  // pi -> ff -> buf -> po: a flop output fault needs 2 frames.
+  Circuit c("seq");
+  const GateId pi = c.add_input("pi");
+  const GateId ff = c.add_dff("ff", pi);
+  const GateId bufg = c.add_gate(GateType::Buf, "buf", {ff});
+  c.add_output(bufg);
+  c.finalize();
+
+  TimeFramePodem podem(c, 4, 100);
+  const auto r = podem.generate(Fault{ff, Fault::kOutputPin, 0});
+  ASSERT_EQ(r.outcome, TimeFramePodem::Outcome::TestFound);
+  EXPECT_GE(r.sequence.size(), 2u);
+}
+
+TEST(Podem, WindowTooSmallReportsNoTest) {
+  // The fault needs 2 frames; a 1-frame window cannot find it.
+  Circuit c("seq");
+  const GateId pi = c.add_input("pi");
+  const GateId ff = c.add_dff("ff", pi);
+  const GateId bufg = c.add_gate(GateType::Buf, "buf", {ff});
+  c.add_output(bufg);
+  c.finalize();
+
+  TimeFramePodem podem(c, 1, 100);
+  const auto r = podem.generate(Fault{ff, Fault::kOutputPin, 0});
+  EXPECT_EQ(r.outcome, TimeFramePodem::Outcome::NoTestInWindow);
+}
+
+/// The central PODEM property: every sequence it reports is a real test —
+/// fault-simulating it from the all-X state detects the target fault.
+class PodemValidityTest
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
+};
+
+TEST_P(PodemValidityTest, FoundSequencesDetectTheirTarget) {
+  const auto [name, seed] = GetParam();
+  const Circuit c = benchmark_circuit(name, seed);
+  FaultList faults(c);
+  const unsigned frames = std::max(4u, 2 * c.sequential_depth());
+  TimeFramePodem podem(c, frames, 50);
+
+  unsigned found = 0;
+  for (std::size_t fi = 0; fi < faults.size() && found < 25; ++fi) {
+    const auto r = podem.generate(faults.fault(fi));
+    if (r.outcome != TimeFramePodem::Outcome::TestFound) continue;
+    ++found;
+    // Replay through the fault simulator, targeting only this fault.
+    FaultList single(c, {faults.fault(fi)});
+    SequentialFaultSimulator sim(c, single);
+    for (std::size_t t = 0; t < r.sequence.size(); ++t)
+      sim.apply_vector(r.sequence[t], static_cast<std::int64_t>(t));
+    EXPECT_EQ(single.num_detected(), 1u)
+        << "PODEM sequence does not detect " << fault_name(c, faults.fault(fi));
+  }
+  EXPECT_GT(found, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Circuits, PodemValidityTest,
+    ::testing::Combine(::testing::Values("s27", "s298"),
+                       ::testing::Values(2, 7)));
+
+// ---- HITEC-lite ------------------------------------------------------------------
+
+TEST(HitecLite, FullCoverageOnS27) {
+  const Circuit c = make_s27();
+  FaultList faults(c);
+  HitecLiteConfig cfg;
+  const HitecLiteResult res = run_hitec_lite(c, faults, cfg);
+  EXPECT_EQ(res.gen.faults_detected, 32u);
+  EXPECT_EQ(res.aborted + res.no_test_in_window, 0u);
+}
+
+TEST(HitecLite, MarksWindowUntestableFaults) {
+  const Circuit c = redundant_circuit();
+  FaultList faults(c);
+  HitecLiteConfig cfg;
+  const HitecLiteResult res = run_hitec_lite(c, faults, cfg);
+  EXPECT_GE(res.no_test_in_window, 1u);
+  EXPECT_GE(faults.num_untestable(), 1u);
+  // Everything else in this tiny circuit is testable.
+  EXPECT_EQ(res.gen.faults_detected + faults.num_untestable(), faults.size());
+}
+
+TEST(HitecLite, AccountsForEveryTargetedFault) {
+  const Circuit c = benchmark_circuit("s386", 3);
+  FaultList faults(c);
+  HitecLiteConfig cfg;
+  cfg.backtrack_limit = 20;  // keep the test fast
+  const HitecLiteResult res = run_hitec_lite(c, faults, cfg);
+  // targeted = found + aborted + no-test (collaterally detected faults are
+  // never targeted).
+  EXPECT_EQ(res.test_found + res.aborted + res.no_test_in_window,
+            res.targeted);
+  EXPECT_EQ(res.gen.faults_detected + faults.num_untestable() +
+                faults.num_undetected(),
+            faults.size());
+}
+
+// ---- CRIS-lite -------------------------------------------------------------------
+
+TEST(CrisLite, GeneratesTestsWithoutFaultFeedback) {
+  const Circuit c = make_s27();
+  FaultList faults(c);
+  CrisLiteConfig cfg;
+  cfg.seed = 3;
+  const TestGenResult res = run_cris_lite(c, faults, cfg);
+  EXPECT_GT(res.faults_detected, 0u);
+  EXPECT_GT(res.test_set.size(), 0u);
+  EXPECT_GT(res.fitness_evaluations, 0u);
+}
+
+TEST(CrisLite, StopsOnNoProgress) {
+  const Circuit c = benchmark_circuit("s298", 3);
+  FaultList faults(c);
+  CrisLiteConfig cfg;
+  cfg.seed = 3;
+  cfg.no_progress_limit = 2;
+  cfg.max_vectors = 4096;
+  const TestGenResult res = run_cris_lite(c, faults, cfg);
+  EXPECT_LE(res.test_set.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace gatest

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuitgen/circuitgen.h"
+#include "fsim/fault_sim.h"
+#include "fault/fault.h"
+#include "netlist/bench_io.h"
+#include "util/rng.h"
+
+namespace gatest {
+namespace {
+
+TEST(Profiles, CoverTable2Circuits) {
+  const auto& profiles = iscas89_profiles();
+  EXPECT_EQ(profiles.size(), 20u);  // 19 Table-2 circuits + s27
+  std::set<std::string> names;
+  for (const auto& p : profiles) names.insert(p.name);
+  for (const char* required :
+       {"s27", "s298", "s344", "s349", "s382", "s386", "s400", "s444", "s526",
+        "s641", "s713", "s820", "s832", "s1196", "s1238", "s1423", "s1488",
+        "s1494", "s5378", "s35932"})
+    EXPECT_TRUE(names.count(required)) << required;
+}
+
+TEST(Profiles, PaperDepthValues) {
+  EXPECT_EQ(profile_by_name("s298").seq_depth, 8u);
+  EXPECT_EQ(profile_by_name("s5378").seq_depth, 36u);
+  EXPECT_EQ(profile_by_name("s35932").seq_depth, 35u);
+  EXPECT_EQ(profile_by_name("s1423").seq_depth, 10u);
+  EXPECT_THROW(profile_by_name("s9999"), std::runtime_error);
+}
+
+TEST(S27, MatchesPublishedStructure) {
+  const Circuit c = make_s27();
+  EXPECT_EQ(c.num_inputs(), 4u);
+  EXPECT_EQ(c.num_outputs(), 1u);
+  EXPECT_EQ(c.num_dffs(), 3u);
+  EXPECT_EQ(c.num_logic_gates(), 10u);
+  EXPECT_EQ(c.gate(c.find("G10")).type, GateType::Nor);
+  EXPECT_EQ(c.gate(c.find("G9")).type, GateType::Nand);
+}
+
+class GeneratorProfileTest
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
+};
+
+TEST_P(GeneratorProfileTest, MatchesProfileExactly) {
+  const auto [name, seed] = GetParam();
+  const CircuitProfile& p = profile_by_name(name);
+  const Circuit c = generate_circuit(p, seed);
+  EXPECT_EQ(c.num_inputs(), p.num_pis);
+  EXPECT_EQ(c.num_outputs(), p.num_pos);
+  EXPECT_EQ(c.num_dffs(), p.num_ffs);
+  EXPECT_EQ(c.sequential_depth(), p.seq_depth);
+  // Gate count within 35% of the target (fix-up logic adds/removes a few).
+  EXPECT_GT(c.num_logic_gates(), p.num_gates * 65 / 100);
+  EXPECT_LT(c.num_logic_gates(), p.num_gates * 135 / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesAndSeeds, GeneratorProfileTest,
+    ::testing::Combine(::testing::Values("s298", "s386", "s526", "s820",
+                                         "s1196", "s1423"),
+                       ::testing::Values(1, 2, 1994)));
+
+TEST(Generator, DeterministicForSeed) {
+  const CircuitProfile& p = profile_by_name("s298");
+  const Circuit a = generate_circuit(p, 7);
+  const Circuit b = generate_circuit(p, 7);
+  EXPECT_EQ(write_bench_string(a), write_bench_string(b));
+  const Circuit c = generate_circuit(p, 8);
+  EXPECT_NE(write_bench_string(a), write_bench_string(c));
+}
+
+TEST(Generator, NoDeadLogic) {
+  const Circuit c = benchmark_circuit("s526", 5);
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const bool observed = std::find(c.outputs().begin(), c.outputs().end(),
+                                    id) != c.outputs().end();
+    EXPECT_TRUE(!c.gate(id).fanouts.empty() || observed)
+        << "dangling " << c.gate(id).name;
+  }
+}
+
+TEST(Generator, RejectsImpossibleProfiles) {
+  CircuitProfile p{"bad", 0, 1, 1, 10, 1};
+  EXPECT_THROW(generate_circuit(p, 1), std::runtime_error);
+  CircuitProfile p2{"bad2", 2, 1, 1, 10, 5};  // fewer flops than depth
+  EXPECT_THROW(generate_circuit(p2, 1), std::runtime_error);
+}
+
+/// The generator's headline property: random vectors synchronize every
+/// flip-flop to a binary value within a small multiple of the depth.
+class InitializabilityTest
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
+};
+
+TEST_P(InitializabilityTest, AllFlopsInitializeUnderRandomVectors) {
+  const auto [name, seed] = GetParam();
+  const Circuit c = benchmark_circuit(name, seed);
+  FaultList faults(c, {});  // no faults: plain good-machine stepping
+  SequentialFaultSimulator sim(c, faults);
+  Rng rng(seed * 31 + 7);
+  const unsigned budget = 30 * std::max(1u, c.sequential_depth());
+  unsigned frame = 0;
+  for (; frame < budget; ++frame) {
+    TestVector v(c.num_inputs());
+    for (Logic& b : v) b = rng.coin() ? Logic::One : Logic::Zero;
+    sim.apply_vector(v, frame);
+    if (sim.good_ffs_set() == c.num_dffs()) break;
+  }
+  EXPECT_EQ(sim.good_ffs_set(), c.num_dffs())
+      << "only " << sim.good_ffs_set() << "/" << c.num_dffs()
+      << " flops initialized after " << budget << " random vectors";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesAndSeeds, InitializabilityTest,
+    ::testing::Combine(::testing::Values("s298", "s386", "s526", "s820",
+                                         "s1196", "s1423"),
+                       ::testing::Values(1, 2, 1994)));
+
+// The big profiles run once each (good-machine stepping only, still fast).
+INSTANTIATE_TEST_SUITE_P(
+    BigProfiles, InitializabilityTest,
+    ::testing::Combine(::testing::Values("s5378", "s35932"),
+                       ::testing::Values(1994)));
+
+TEST(Generator, BenchmarkCircuitDispatch) {
+  const Circuit genuine = benchmark_circuit("s27");
+  EXPECT_EQ(genuine.num_logic_gates(), 10u);  // the embedded netlist
+  const Circuit synth = benchmark_circuit("s298");
+  EXPECT_EQ(synth.num_inputs(), 3u);
+  EXPECT_THROW(benchmark_circuit("nope"), std::runtime_error);
+}
+
+TEST(Generator, RoundTripsThroughBenchFormat) {
+  const Circuit c = benchmark_circuit("s386", 11);
+  const Circuit c2 = parse_bench_string(write_bench_string(c), "s386");
+  EXPECT_EQ(c2.num_inputs(), c.num_inputs());
+  EXPECT_EQ(c2.num_dffs(), c.num_dffs());
+  EXPECT_EQ(c2.num_outputs(), c.num_outputs());
+  EXPECT_EQ(c2.sequential_depth(), c.sequential_depth());
+}
+
+TEST(Generator, FaultUniverseScalesWithProfile) {
+  const Circuit small = benchmark_circuit("s298", 1);
+  const Circuit big = benchmark_circuit("s1423", 1);
+  FaultList fs(small), fb(big);
+  EXPECT_GT(fb.size(), 2 * fs.size());
+}
+
+}  // namespace
+}  // namespace gatest

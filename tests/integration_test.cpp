@@ -1,0 +1,240 @@
+// Cross-module integration tests: the full GATEST flow against the baselines
+// and the experiment harness, checking the paper's qualitative claims on the
+// synthetic ISCAS89-profile substrate.
+#include <gtest/gtest.h>
+
+#include "atpg/cris_lite.h"
+#include "atpg/random_tpg.h"
+#include "circuitgen/circuitgen.h"
+#include "experiments/harness.h"
+#include "fault/fault.h"
+#include "fsim/fault_sim.h"
+#include "gatest/compaction.h"
+#include "gatest/test_generator.h"
+#include "netlist/scan.h"
+#include "util/rng.h"
+
+namespace gatest {
+namespace {
+
+TEST(Harness, CircuitSetsAreSubsets) {
+  for (const std::string& name : default_circuit_set())
+    EXPECT_NO_THROW(cached_circuit(name));
+  EXPECT_EQ(full_circuit_set().size(), 19u);
+}
+
+TEST(Harness, PaperConfigSpecialCases) {
+  const TestGenConfig big = paper_config_for("s5378");
+  EXPECT_DOUBLE_EQ(big.progress_limit_multiplier, 1.0);
+  EXPECT_EQ(big.seq_length_multipliers, (std::vector<double>{0.25, 0.5, 1.0}));
+  const TestGenConfig normal = paper_config_for("s298");
+  EXPECT_DOUBLE_EQ(normal.progress_limit_multiplier, 4.0);
+  EXPECT_EQ(normal.seq_length_multipliers, (std::vector<double>{1.0, 2.0, 4.0}));
+}
+
+TEST(Harness, CachedCircuitIsStable) {
+  const Circuit& a = cached_circuit("s298");
+  const Circuit& b = cached_circuit("s298");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Harness, RepeatedRunsAggregate) {
+  const RunSummary s =
+      run_gatest_repeated("s27", paper_config_for("s27"), 3, 500);
+  EXPECT_EQ(s.detected.count(), 3u);
+  EXPECT_EQ(s.faults_total, 32u);
+  EXPECT_DOUBLE_EQ(s.detected.mean(), 32.0);  // s27 always reaches full cover
+  EXPECT_GT(s.vectors.mean(), 0.0);
+}
+
+TEST(Harness, ArgParsing) {
+  const char* argv[] = {"bench", "--runs=5", "--seed=9",
+                        "--circuits=s27,s298"};
+  const BenchArgs args = parse_bench_args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.runs, 5u);
+  EXPECT_EQ(args.seed, 9u);
+  EXPECT_EQ(args.circuits, (std::vector<std::string>{"s27", "s298"}));
+  EXPECT_EQ(args.pick_circuits(default_circuit_set(), full_circuit_set()),
+            args.circuits);
+
+  const char* argv2[] = {"bench", "--full"};
+  const BenchArgs full = parse_bench_args(2, const_cast<char**>(argv2));
+  EXPECT_TRUE(full.full);
+  EXPECT_EQ(full.runs, 10u);
+  EXPECT_EQ(full.pick_circuits(default_circuit_set(), full_circuit_set()),
+            full_circuit_set());
+}
+
+// ---- the paper's qualitative claims -------------------------------------------
+
+TEST(PaperClaims, GaTestSetMuchShorterThanRandomAtSimilarCoverage) {
+  // §V: GATEST's test sets are far more compact than undirected generation
+  // (one third of CRIS, 42% of HITEC); random vectors are the extreme case.
+  const Circuit& c = cached_circuit("s298");
+
+  FaultList f_ga(c);
+  TestGenConfig cfg = paper_config_for("s298");
+  cfg.seed = 71;
+  GaTestGenerator gen(c, f_ga, cfg);
+  const TestGenResult ga = gen.run();
+
+  FaultList f_rnd(c);
+  RandomTpgConfig rcfg;
+  rcfg.seed = 71;
+  rcfg.no_progress_limit = 256;
+  const TestGenResult rnd = run_random_tpg(c, f_rnd, rcfg);
+
+  EXPECT_GE(ga.faults_detected + 10, rnd.faults_detected);
+  EXPECT_LT(ga.test_set.size(), rnd.test_set.size());
+}
+
+TEST(PaperClaims, FaultSimFitnessBeatsLogicSimFitness) {
+  // §V: GATEST's fault-simulation fitness yields higher coverage than the
+  // CRIS-style logic-simulation fitness.
+  const Circuit& c = cached_circuit("s386");
+
+  FaultList f_ga(c);
+  TestGenConfig cfg = paper_config_for("s386");
+  cfg.seed = 73;
+  GaTestGenerator gen(c, f_ga, cfg);
+  const TestGenResult ga = gen.run();
+
+  FaultList f_cris(c);
+  CrisLiteConfig ccfg;
+  ccfg.seed = 73;
+  const TestGenResult cris = run_cris_lite(c, f_cris, ccfg);
+
+  EXPECT_GT(ga.faults_detected, cris.faults_detected);
+}
+
+TEST(PaperClaims, SequencePhaseAddsCoverage) {
+  // Figure 1: sequences detect faults that individual vectors miss.  Across
+  // the compact circuit set, phase 4 must contribute somewhere.
+  std::size_t seq_detections = 0;
+  for (const char* name : {"s298", "s526"}) {
+    const Circuit& c = cached_circuit(name);
+    FaultList faults(c);
+    TestGenConfig cfg = paper_config_for(name);
+    cfg.seed = 79;
+    GaTestGenerator gen(c, faults, cfg);
+    seq_detections += gen.run().detected_by_sequences;
+  }
+  EXPECT_GT(seq_detections, 0u);
+}
+
+TEST(PaperClaims, FaultSamplingTradesCoverageForEvaluationCost) {
+  // Table 6: small samples cost little coverage; the committed-vector
+  // simulation still uses the full list, so results stay valid tests.
+  const Circuit& c = cached_circuit("s298");
+
+  FaultList f_full(c);
+  TestGenConfig cfg = paper_config_for("s298");
+  cfg.seed = 83;
+  GaTestGenerator g_full(c, f_full, cfg);
+  const TestGenResult full = g_full.run();
+
+  FaultList f_samp(c);
+  cfg.fault_sample_size = 100;
+  GaTestGenerator g_samp(c, f_samp, cfg);
+  const TestGenResult samp = g_samp.run();
+
+  EXPECT_GT(samp.faults_detected, full.faults_detected / 2);
+}
+
+/// Full scan can only help: for matched fault sites, anything detectable
+/// sequentially is detectable with scan access, never the other way less.
+class ScanVsSequentialTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScanVsSequentialTest, ScanCoverageDominatesSequential) {
+  const Circuit& c = cached_circuit(GetParam());
+  const Circuit scan = full_scan_version(c);
+
+  // Sequential coverage via the GA.
+  FaultList seq_faults(c);
+  TestGenConfig cfg = paper_config_for(GetParam());
+  cfg.seed = 101;
+  GaTestGenerator gen(c, seq_faults, cfg);
+  const double seq_cov = gen.run().fault_coverage;
+
+  // Scan coverage via plain random vectors (cheap and strong on
+  // combinational logic).
+  FaultList scan_faults(scan);
+  SequentialFaultSimulator sim(scan, scan_faults);
+  Rng rng(202);
+  int plateau = 0;
+  std::size_t last = 0;
+  for (int t = 0; t < 6000 && plateau < 1500; ++t) {
+    TestVector v(scan.num_inputs());
+    for (Logic& b : v) b = rng.coin() ? Logic::One : Logic::Zero;
+    sim.apply_vector(v, t);
+    if (scan_faults.num_detected() > last) {
+      last = scan_faults.num_detected();
+      plateau = 0;
+    } else {
+      ++plateau;
+    }
+  }
+  // Fault universes differ slightly (collapsing across the flop boundary),
+  // so compare coverage with a small tolerance.
+  EXPECT_GE(scan_faults.coverage() + 0.05, seq_cov);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, ScanVsSequentialTest,
+                         ::testing::Values("s298", "s386"));
+
+TEST(Integration, CompactionIsIdempotent) {
+  const Circuit& c = cached_circuit("s298");
+  Rng rng(7);
+  std::vector<TestVector> tests;
+  for (int i = 0; i < 150; ++i) {
+    TestVector v(c.num_inputs());
+    for (Logic& b : v) b = rng.coin() ? Logic::One : Logic::Zero;
+    tests.push_back(std::move(v));
+  }
+  const CompactionResult once = compact_test_set(c, tests);
+  const CompactionResult twice = compact_test_set(c, once.test_set);
+  // Removing vectors changes later machine state, so a compacted set may
+  // detect *more* than the original (never fewer — that is the guarantee).
+  EXPECT_GE(twice.detections, once.detections);
+  // The second pass may shave a few more vectors (different block
+  // alignment) but must not grow the set.
+  EXPECT_LE(twice.compacted_length, once.compacted_length);
+}
+
+TEST(Integration, GatestPlusCompactionKeepsReplayInvariant) {
+  const Circuit& c = cached_circuit("s386");
+  FaultList faults(c);
+  TestGenConfig cfg = paper_config_for("s386");
+  cfg.seed = 303;
+  GaTestGenerator gen(c, faults, cfg);
+  const TestGenResult res = gen.run();
+  const CompactionResult comp = compact_test_set(c, res.test_set);
+
+  FaultList replay(c);
+  SequentialFaultSimulator sim(c, replay);
+  for (std::size_t i = 0; i < comp.test_set.size(); ++i)
+    sim.apply_vector(comp.test_set[i], static_cast<std::int64_t>(i));
+  EXPECT_EQ(replay.num_detected(), res.faults_detected);
+}
+
+TEST(Integration, StateCarriesAcrossGeneratorRuns) {
+  // A second generator over the remaining faults must not regress the
+  // fault list (supports multi-pass flows: GA first, deterministic later).
+  const Circuit& c = cached_circuit("s386");
+  FaultList faults(c);
+  TestGenConfig cfg = paper_config_for("s386");
+  cfg.seed = 89;
+  cfg.max_vectors = 30;
+  GaTestGenerator first(c, faults, cfg);
+  const TestGenResult r1 = first.run();
+
+  cfg.max_vectors = 60;
+  cfg.seed = 97;
+  GaTestGenerator second(c, faults, cfg);
+  const TestGenResult r2 = second.run();
+  EXPECT_GE(faults.num_detected(), r1.faults_detected);
+  EXPECT_EQ(faults.num_detected(), r2.faults_detected);
+}
+
+}  // namespace
+}  // namespace gatest

@@ -1,0 +1,489 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "circuitgen/circuitgen.h"
+#include "netlist/bench_io.h"
+#include "netlist/circuit.h"
+#include "netlist/gate.h"
+#include "netlist/scan.h"
+#include "netlist/scoap.h"
+
+namespace gatest {
+namespace {
+
+// A 2-bit shift register with an AND gate: pi -> ff0 -> ff1 -> and(pi,ff1).
+Circuit make_shift2() {
+  Circuit c("shift2");
+  const GateId pi = c.add_input("pi");
+  const GateId ff0 = c.add_dff("ff0", pi);
+  const GateId ff1 = c.add_dff("ff1", ff0);
+  const GateId g = c.add_gate(GateType::And, "g", {pi, ff1});
+  c.add_output(g);
+  c.finalize();
+  return c;
+}
+
+TEST(GateType, Names) {
+  EXPECT_EQ(gate_type_name(GateType::And), "AND");
+  EXPECT_EQ(gate_type_name(GateType::Dff), "DFF");
+  EXPECT_EQ(gate_type_name(GateType::Xnor), "XNOR");
+}
+
+TEST(GateType, ControllingValues) {
+  EXPECT_EQ(controlling_value(GateType::And), 0);
+  EXPECT_EQ(controlling_value(GateType::Nand), 0);
+  EXPECT_EQ(controlling_value(GateType::Or), 1);
+  EXPECT_EQ(controlling_value(GateType::Nor), 1);
+  EXPECT_EQ(controlling_value(GateType::Xor), -1);
+  EXPECT_EQ(controlling_value(GateType::Buf), -1);
+}
+
+TEST(GateType, InversionFlags) {
+  EXPECT_TRUE(is_inverting(GateType::Nand));
+  EXPECT_TRUE(is_inverting(GateType::Nor));
+  EXPECT_TRUE(is_inverting(GateType::Not));
+  EXPECT_TRUE(is_inverting(GateType::Xnor));
+  EXPECT_FALSE(is_inverting(GateType::And));
+  EXPECT_FALSE(is_inverting(GateType::Buf));
+}
+
+TEST(Circuit, BasicConstruction) {
+  const Circuit c = make_shift2();
+  EXPECT_EQ(c.num_gates(), 4u);
+  EXPECT_EQ(c.num_inputs(), 1u);
+  EXPECT_EQ(c.num_dffs(), 2u);
+  EXPECT_EQ(c.num_outputs(), 1u);
+  EXPECT_EQ(c.num_logic_gates(), 1u);
+  EXPECT_TRUE(c.finalized());
+}
+
+TEST(Circuit, FanoutsComputed) {
+  const Circuit c = make_shift2();
+  const GateId pi = c.find("pi");
+  ASSERT_NE(pi, kNoGate);
+  EXPECT_EQ(c.gate(pi).fanouts.size(), 2u);  // ff0 and the AND gate
+}
+
+TEST(Circuit, FindByName) {
+  const Circuit c = make_shift2();
+  EXPECT_NE(c.find("ff1"), kNoGate);
+  EXPECT_EQ(c.find("nonexistent"), kNoGate);
+}
+
+TEST(Circuit, DuplicateOutputIgnored) {
+  Circuit c("t");
+  const GateId pi = c.add_input("a");
+  const GateId g = c.add_gate(GateType::Not, "n", {pi});
+  c.add_output(g);
+  c.add_output(g);
+  c.finalize();
+  EXPECT_EQ(c.num_outputs(), 1u);
+}
+
+TEST(Circuit, TopoOrderRespectsFanins) {
+  const Circuit c = make_shift2();
+  std::vector<std::size_t> pos(c.num_gates());
+  for (std::size_t i = 0; i < c.topo_order().size(); ++i)
+    pos[c.topo_order()[i]] = i;
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    if (is_combinational_source(c.gate(id).type)) continue;
+    for (GateId f : c.gate(id).fanins) EXPECT_LT(pos[f], pos[id]);
+  }
+}
+
+TEST(Circuit, LevelsAreMonotone) {
+  const Circuit c = make_shift2();
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    if (is_combinational_source(c.gate(id).type)) continue;
+    for (GateId f : c.gate(id).fanins)
+      EXPECT_LT(c.gate(f).level, c.gate(id).level);
+  }
+}
+
+TEST(Circuit, SequentialDepthShiftRegister) {
+  // The AND gate is reachable directly from the PI (0 flops), ff1's input
+  // (= ff0 output) needs 1 flop.  Furthest node = ff1 at distance 2.
+  const Circuit c = make_shift2();
+  EXPECT_EQ(c.sequential_depth(), 2u);
+}
+
+TEST(Circuit, SequentialDepthPureCombinational) {
+  Circuit c("comb");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId g = c.add_gate(GateType::Nand, "g", {a, b});
+  c.add_output(g);
+  c.finalize();
+  EXPECT_EQ(c.sequential_depth(), 0u);
+}
+
+TEST(Circuit, SequentialDepthGatedChain) {
+  // pi -> g1 -> ff1 -> g2 -> ff2 -> g3(po).  Every gate g_{k+1} is only
+  // reachable through k flops.
+  Circuit c("chain");
+  const GateId pi = c.add_input("pi");
+  const GateId g1 = c.add_gate(GateType::Not, "g1", {pi});
+  const GateId ff1 = c.add_dff("ff1", g1);
+  const GateId g2 = c.add_gate(GateType::Not, "g2", {ff1});
+  const GateId ff2 = c.add_dff("ff2", g2);
+  const GateId g3 = c.add_gate(GateType::Not, "g3", {ff2});
+  c.add_output(g3);
+  c.finalize();
+  EXPECT_EQ(c.sequential_depth(), 2u);
+}
+
+TEST(Circuit, ValidateRejectsBadFaninCount) {
+  Circuit c("bad");
+  const GateId a = c.add_input("a");
+  c.add_gate(GateType::And, "g", {a});  // AND needs >= 2 fanins
+  EXPECT_THROW(c.finalize(), std::runtime_error);
+}
+
+TEST(Circuit, ValidateRejectsDanglingFanin) {
+  Circuit c("bad");
+  c.add_input("a");
+  c.add_gate(GateType::Not, "g", {999});
+  EXPECT_THROW(c.finalize(), std::runtime_error);
+}
+
+TEST(Circuit, DetectsCombinationalCycle) {
+  Circuit c("cyc");
+  const GateId a = c.add_input("a");
+  // g1 and g2 feed each other without a flop in between (g2 gets id 2).
+  const GateId g1 = c.add_gate(GateType::And, "g1", {a, 2});
+  const GateId g2 = c.add_gate(GateType::Or, "g2", {a, g1});
+  (void)g2;
+  EXPECT_THROW(c.finalize(), std::runtime_error);
+}
+
+TEST(Circuit, FeedbackThroughDffIsLegal) {
+  Circuit c("fb");
+  const GateId a = c.add_input("a");
+  const GateId ff = c.add_dff("ff");
+  const GateId g = c.add_gate(GateType::Nor, "g", {a, ff});
+  c.set_dff_input(ff, g);
+  c.add_output(g);
+  EXPECT_NO_THROW(c.finalize());
+  EXPECT_EQ(c.sequential_depth(), 1u);  // the flop node is distance 1
+}
+
+TEST(Circuit, SetDffInputRejectsNonDff) {
+  Circuit c("t");
+  const GateId a = c.add_input("a");
+  EXPECT_THROW(c.set_dff_input(a, a), std::runtime_error);
+}
+
+// ---- .bench I/O ------------------------------------------------------------
+
+constexpr const char* kTiny = R"(
+# comment line
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = nand(a, q)   # trailing comment
+q = DFF(d)
+d = OR(a, b)
+)";
+
+TEST(BenchIo, ParsesTinyNetlist) {
+  const Circuit c = parse_bench_string(kTiny, "tiny");
+  EXPECT_EQ(c.num_inputs(), 2u);
+  EXPECT_EQ(c.num_dffs(), 1u);
+  EXPECT_EQ(c.num_outputs(), 1u);
+  EXPECT_EQ(c.num_logic_gates(), 2u);
+  EXPECT_EQ(c.name(), "tiny");
+  // Use-before-definition (y references q before q is declared) works.
+  const GateId y = c.find("y");
+  ASSERT_NE(y, kNoGate);
+  EXPECT_EQ(c.gate(y).type, GateType::Nand);
+}
+
+TEST(BenchIo, RoundTripPreservesStructure) {
+  const Circuit c1 = parse_bench_string(kTiny, "tiny");
+  const std::string text = write_bench_string(c1);
+  const Circuit c2 = parse_bench_string(text, "tiny");
+  EXPECT_EQ(c1.num_gates(), c2.num_gates());
+  EXPECT_EQ(c1.num_inputs(), c2.num_inputs());
+  EXPECT_EQ(c1.num_dffs(), c2.num_dffs());
+  EXPECT_EQ(c1.num_outputs(), c2.num_outputs());
+  for (GateId id = 0; id < c1.num_gates(); ++id) {
+    const GateId other = c2.find(c1.gate(id).name);
+    ASSERT_NE(other, kNoGate);
+    EXPECT_EQ(c1.gate(id).type, c2.gate(other).type);
+    EXPECT_EQ(c1.gate(id).fanins.size(), c2.gate(other).fanins.size());
+  }
+}
+
+TEST(BenchIo, RejectsUnknownGate) {
+  EXPECT_THROW(parse_bench_string("x = FROB(a)\nINPUT(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RejectsUndefinedSignal) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(zz)\nx = NOT(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RejectsDoubleDefinition) {
+  EXPECT_THROW(
+      parse_bench_string("INPUT(a)\nx = NOT(a)\nx = BUF(a)\nOUTPUT(x)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIo, RejectsDffWithTwoFanins) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nq = DFF(a, a)\nOUTPUT(q)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RejectsCombinationalCycleWithLineNumber) {
+  try {
+    parse_bench_string("INPUT(a)\nx = AND(a, y)\ny = OR(a, x)\nOUTPUT(y)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, AcceptsBuffAndInvAliases) {
+  const Circuit c = parse_bench_string(
+      "INPUT(a)\nx = BUFF(a)\ny = INV(x)\nOUTPUT(y)\n");
+  EXPECT_EQ(c.gate(c.find("x")).type, GateType::Buf);
+  EXPECT_EQ(c.gate(c.find("y")).type, GateType::Not);
+}
+
+TEST(BenchIo, EmptyInputYieldsEmptyCircuit) {
+  const Circuit c = parse_bench_string("# nothing here\n");
+  EXPECT_EQ(c.num_gates(), 0u);
+}
+
+/// Robustness sweep: every malformed input must raise a parse error with a
+/// line reference, never crash or silently misparse.
+class BenchParserRobustnessTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(BenchParserRobustnessTest, RejectsMalformedInput) {
+  try {
+    parse_bench_string(GetParam());
+    FAIL() << "expected std::runtime_error for: " << GetParam();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+        << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MalformedInputs, BenchParserRobustnessTest,
+    ::testing::Values(
+        "INPUT\n",                             // missing parens
+        "INPUT()\n",                           // empty name
+        "FROBNICATE(a)\n",                     // unknown directive
+        "INPUT(a)\nx = \n",                    // missing rhs
+        "INPUT(a)\nx = NOT a)\n",              // missing open paren
+        "INPUT(a)\nx = NOT(a\n",               // missing close paren
+        "INPUT(a)\nx = NOT()\nOUTPUT(x)\n",    // no fanins
+        "INPUT(a)\nx = NOT(a,,b)\nOUTPUT(x)\n",  // empty fanin token
+        "INPUT(a)\n = NOT(a)\n",               // empty lhs
+        "INPUT(a)\nINPUT(a)\nx = NOT(a)\nOUTPUT(x)\n",  // duplicate input
+        "INPUT(a)\nx = AND(a)\nOUTPUT(x)\n",   // AND with one fanin
+        "INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)\n"));  // undefined output
+
+TEST(BenchIo, WhitespaceAndCaseTolerance) {
+  const Circuit c = parse_bench_string(
+      "  input( a )\n\toutput(y)\n y =  nOr( a , q )\nq=dff(y)\n");
+  EXPECT_EQ(c.num_inputs(), 1u);
+  EXPECT_EQ(c.num_dffs(), 1u);
+  EXPECT_EQ(c.gate(c.find("y")).type, GateType::Nor);
+}
+
+// ---- SCOAP testability -------------------------------------------------------
+
+TEST(Scoap, PrimaryInputValues) {
+  Circuit c("pi");
+  const GateId a = c.add_input("a");
+  const GateId g = c.add_gate(GateType::Buf, "g", {a});
+  c.add_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.cc0[a], 1u);
+  EXPECT_EQ(m.cc1[a], 1u);
+  EXPECT_EQ(m.sc0[a], 0u);
+  EXPECT_EQ(m.co[g], 0u);       // observed directly
+  EXPECT_EQ(m.co[a], 1u);       // through the buffer
+  EXPECT_EQ(m.cc0[g], 2u);      // buffer adds one
+}
+
+TEST(Scoap, AndGateClassicValues) {
+  // Goldstein's textbook example: AND(a, b) observed directly.
+  Circuit c("and");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId g = c.add_gate(GateType::And, "g", {a, b});
+  c.add_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.cc1[g], 1u + 1u + 1u);           // both inputs to 1, +1
+  EXPECT_EQ(m.cc0[g], 1u + 1u);                // one input to 0, +1
+  EXPECT_EQ(m.co[a], 0u + 1u + 1u);            // CO(g) + CC1(b) + 1
+  EXPECT_EQ(m.stuck_at_difficulty(g, false), 3u);  // need 1, observe free
+}
+
+TEST(Scoap, XorGateValues) {
+  Circuit c("xor");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId g = c.add_gate(GateType::Xor, "g", {a, b});
+  c.add_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.cc1[g], 3u);  // min(1+1, 1+1) + 1
+  EXPECT_EQ(m.cc0[g], 3u);
+  EXPECT_EQ(m.co[a], 2u);   // CO(g) + min(cc0(b), cc1(b)) + 1
+}
+
+TEST(Scoap, ConstantsAreOneSided) {
+  Circuit c("const");
+  const GateId k = c.add_gate(GateType::Const1, "k", {});
+  const GateId a = c.add_input("a");
+  const GateId g = c.add_gate(GateType::And, "g", {k, a});
+  c.add_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.cc1[k], 0u);
+  EXPECT_EQ(m.cc0[k], ScoapMeasures::kInfinity);  // can never be 0
+}
+
+TEST(Scoap, SequentialMeasuresCountFrames) {
+  // pi -> ff1 -> ff2 -> po: controlling ff2 costs two frames, gates free.
+  Circuit c("chain");
+  const GateId pi = c.add_input("pi");
+  const GateId ff1 = c.add_dff("ff1", pi);
+  const GateId ff2 = c.add_dff("ff2", ff1);
+  c.add_output(ff2);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.sc0[ff1], 1u);
+  EXPECT_EQ(m.sc1[ff2], 2u);
+  EXPECT_EQ(m.so[pi], 2u);  // value must ride through two flops
+  EXPECT_EQ(m.so[ff2], 0u);
+}
+
+TEST(Scoap, FeedbackLoopsConverge) {
+  // ff = DFF(NOR(a, ff)): controllability must reach a fixed point, not
+  // loop forever, and stay finite for reachable values.
+  Circuit c("loop");
+  const GateId a = c.add_input("a");
+  const GateId ff = c.add_dff("ff");
+  const GateId g = c.add_gate(GateType::Nor, "g", {a, ff});
+  c.set_dff_input(ff, g);
+  c.add_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_LT(m.cc0[ff], ScoapMeasures::kInfinity);  // a=1 forces g=0
+  EXPECT_LT(m.cc1[ff], ScoapMeasures::kInfinity);
+}
+
+TEST(Scoap, InverterShiftsObservabilityPolarity) {
+  // a -> NOT n -> AND(n, b) -> po: observing `a` costs CO(n) + 1, and
+  // controlling n to 1 means controlling a to 0.
+  Circuit c("inv");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId n = c.add_gate(GateType::Not, "n", {a});
+  const GateId g = c.add_gate(GateType::And, "g", {n, b});
+  c.add_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.cc1[n], 2u);            // CC0(a) + 1
+  EXPECT_EQ(m.co[n], 2u);             // CO(g)=0 + CC1(b)=1 + 1
+  EXPECT_EQ(m.co[a], 3u);             // through the inverter
+  EXPECT_EQ(m.stuck_at_difficulty(a, true), 1u + 3u);  // CC0(a) + CO(a)
+}
+
+TEST(Scoap, UnobservableNetIsInfinite) {
+  // A net feeding only a gate masked by a constant is unobservable.
+  Circuit c("masked");
+  const GateId a = c.add_input("a");
+  const GateId k = c.add_gate(GateType::Const0, "k", {});
+  const GateId g = c.add_gate(GateType::And, "g", {a, k});
+  c.add_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.co[a], ScoapMeasures::kInfinity);
+  EXPECT_EQ(m.cc1[g], ScoapMeasures::kInfinity);
+  EXPECT_LT(m.cc0[g], ScoapMeasures::kInfinity);
+}
+
+TEST(Scoap, StemObservabilityIsBestBranch) {
+  // a fans out to a direct PO buffer and a deep masked path: the stem's CO
+  // must follow the cheap branch.
+  Circuit c("stem");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId buf = c.add_gate(GateType::Buf, "buf", {a});
+  const GateId g1 = c.add_gate(GateType::And, "g1", {a, b});
+  const GateId g2 = c.add_gate(GateType::And, "g2", {g1, b});
+  c.add_output(buf);
+  c.add_output(g2);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(m.co[a], 1u);  // via the buffer, not the AND chain
+}
+
+TEST(Scoap, HarderLogicScoresHigher) {
+  // In generated circuits, deep-stage nets must be (weakly) harder to
+  // control sequentially than primary-input-adjacent ones on average.
+  const Circuit c = benchmark_circuit("s298", 3);
+  const ScoapMeasures m = compute_scoap(c);
+  double early = 0, late = 0;
+  unsigned n_early = 0, n_late = 0;
+  for (GateId ff : c.dffs()) {
+    const double cost = 0.5 * (std::min(m.sc0[ff], ScoapMeasures::kInfinity) +
+                               std::min(m.sc1[ff], ScoapMeasures::kInfinity));
+    if (m.sc0[ff] + m.sc1[ff] == 0) continue;
+    // Use the flop's own frame distance as the depth proxy.
+    if (cost <= 2) { early += cost; ++n_early; }
+    else { late += cost; ++n_late; }
+  }
+  // At least some flops are sequentially deep.
+  EXPECT_GT(n_late, 0u);
+}
+
+// ---- full-scan transform ----------------------------------------------------
+
+TEST(Scan, TransformShapes) {
+  const Circuit c = make_shift2();
+  const Circuit s = full_scan_version(c);
+  EXPECT_EQ(s.num_inputs(), c.num_inputs() + c.num_dffs());
+  EXPECT_EQ(s.num_outputs(), c.num_outputs() + c.num_dffs());
+  EXPECT_EQ(s.num_dffs(), 0u);
+  EXPECT_EQ(s.num_logic_gates(), c.num_logic_gates());
+  EXPECT_EQ(s.sequential_depth(), 0u);
+  EXPECT_EQ(s.name(), "shift2_scan");
+}
+
+TEST(Scan, PreservesNames) {
+  const Circuit c = make_shift2();
+  const Circuit s = full_scan_version(c);
+  // The flop became an input of the same name.
+  const GateId ff0 = s.find("ff0");
+  ASSERT_NE(ff0, kNoGate);
+  EXPECT_EQ(s.gate(ff0).type, GateType::Input);
+}
+
+TEST(Scan, CombinationalFunctionPreserved) {
+  // The AND gate in shift2 computes and(pi, ff1); in the scan version the
+  // same node must compute the same function of the now-free inputs.
+  const Circuit c = make_shift2();
+  const Circuit s = full_scan_version(c);
+  const GateId g = s.find("g");
+  ASSERT_NE(g, kNoGate);
+  EXPECT_EQ(s.gate(g).type, GateType::And);
+  ASSERT_EQ(s.gate(g).fanins.size(), 2u);
+  EXPECT_EQ(s.gate(s.gate(g).fanins[0]).name, "pi");
+  EXPECT_EQ(s.gate(s.gate(g).fanins[1]).name, "ff1");
+}
+
+}  // namespace
+}  // namespace gatest

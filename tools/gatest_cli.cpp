@@ -1,0 +1,234 @@
+// gatest_atpg — command-line sequential ATPG.
+//
+// Runs any of the library's engines on a .bench netlist (or a built-in
+// benchmark profile), optionally compacts the test set, and writes the
+// vectors plus a per-fault report.
+//
+// Examples:
+//   gatest_atpg --profile s298 --engine ga --seed 3 --out tests.txt
+//   gatest_atpg --circuit mydesign.bench --engine two-pass --report
+//   gatest_atpg --profile s1423 --engine ga --sample 200 --threads 4 --compact
+//   gatest_atpg --profile s386 --engine ga --scan        # full-scan version
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "atpg/cris_lite.h"
+#include "atpg/hitec_lite.h"
+#include "atpg/random_tpg.h"
+#include "circuitgen/circuitgen.h"
+#include "fault/fault.h"
+#include "fsim/fault_sim.h"
+#include "gatest/compaction.h"
+#include "gatest/test_generator.h"
+#include "netlist/bench_io.h"
+#include "netlist/scan.h"
+#include "sim/responses.h"
+#include "sim/vcd.h"
+
+using namespace gatest;
+
+namespace {
+
+[[noreturn]] void usage(const char* prog, int code) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--circuit FILE.bench | --profile NAME) [options]\n"
+      "\n"
+      "engines:\n"
+      "  --engine ga         GA-based generator (GATEST, default)\n"
+      "  --engine random     fault-simulated random vectors\n"
+      "  --engine cris       CRIS-style logic-simulation GA baseline\n"
+      "  --engine hitec      deterministic time-frame PODEM baseline\n"
+      "  --engine two-pass   GATEST first, then PODEM on the survivors\n"
+      "\n"
+      "options:\n"
+      "  --seed N            RNG seed (default 1)\n"
+      "  --sample N          fault-sample size for GA fitness (0 = full)\n"
+      "  --threads N         parallel fitness evaluation threads\n"
+      "  --gap G             generation gap in (0,1] (default 1 = "
+      "non-overlapping)\n"
+      "  --coding binary|nonbinary\n"
+      "  --selection roulette|sus|tournament|tournament-r\n"
+      "  --crossover 1point|2point|uniform\n"
+      "  --model stuck|transition   fault model (GA engines only for "
+      "transition)\n"
+      "  --scan              run on the full-scan version of the circuit\n"
+      "  --compact           compact the final test set\n"
+      "  --out FILE          write test vectors (one per line)\n"
+      "  --responses FILE    write fault-free output responses ('x' = mask)\n"
+      "  --vcd FILE          write a fault-free waveform trace of the tests\n"
+      "  --write-bench FILE  dump the (possibly generated) netlist\n"
+      "  --report            list undetected faults\n",
+      prog);
+  std::exit(code);
+}
+
+const char* arg_value(int argc, char** argv, int& i, const char* prog) {
+  if (i + 1 >= argc) usage(prog, 2);
+  return argv[++i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuit_file, profile, engine = "ga", out_file, bench_out;
+  std::string model = "stuck", resp_file, vcd_file;
+  bool do_compact = false, do_report = false, do_scan = false;
+  TestGenConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--circuit") circuit_file = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--profile") profile = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--engine") engine = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--seed") cfg.seed = std::strtoull(arg_value(argc, argv, i, argv[0]), nullptr, 10);
+    else if (a == "--sample") cfg.fault_sample_size = static_cast<unsigned>(std::strtoul(arg_value(argc, argv, i, argv[0]), nullptr, 10));
+    else if (a == "--threads") cfg.num_threads = static_cast<unsigned>(std::strtoul(arg_value(argc, argv, i, argv[0]), nullptr, 10));
+    else if (a == "--gap") cfg.generation_gap = std::strtod(arg_value(argc, argv, i, argv[0]), nullptr);
+    else if (a == "--coding") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      cfg.sequence_coding = v == "nonbinary" ? Coding::NonBinary : Coding::Binary;
+    } else if (a == "--selection") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      if (v == "roulette") cfg.selection = SelectionScheme::RouletteWheel;
+      else if (v == "sus") cfg.selection = SelectionScheme::StochasticUniversal;
+      else if (v == "tournament") cfg.selection = SelectionScheme::TournamentNoReplacement;
+      else if (v == "tournament-r") cfg.selection = SelectionScheme::TournamentWithReplacement;
+      else usage(argv[0], 2);
+    } else if (a == "--crossover") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      if (v == "1point") cfg.crossover = CrossoverScheme::OnePoint;
+      else if (v == "2point") cfg.crossover = CrossoverScheme::TwoPoint;
+      else if (v == "uniform") cfg.crossover = CrossoverScheme::Uniform;
+      else usage(argv[0], 2);
+    }
+    else if (a == "--model") {
+      model = arg_value(argc, argv, i, argv[0]);
+      if (model != "stuck" && model != "transition") usage(argv[0], 2);
+    }
+    else if (a == "--scan") do_scan = true;
+    else if (a == "--compact") do_compact = true;
+    else if (a == "--report") do_report = true;
+    else if (a == "--out") out_file = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--responses") resp_file = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--vcd") vcd_file = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--write-bench") bench_out = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--help" || a == "-h") usage(argv[0], 0);
+    else usage(argv[0], 2);
+  }
+  if (circuit_file.empty() == profile.empty()) usage(argv[0], 2);
+
+  Circuit circuit = circuit_file.empty() ? benchmark_circuit(profile)
+                                         : load_bench_file(circuit_file);
+  if (do_scan) circuit = full_scan_version(circuit);
+
+  std::printf("%s: %zu PIs, %zu POs, %zu FFs, %zu gates, depth %u\n",
+              circuit.name().c_str(), circuit.num_inputs(),
+              circuit.num_outputs(), circuit.num_dffs(),
+              circuit.num_logic_gates(), circuit.sequential_depth());
+
+  if (!bench_out.empty()) {
+    std::ofstream f(bench_out);
+    write_bench(circuit, f);
+    std::printf("netlist written to %s\n", bench_out.c_str());
+  }
+
+  FaultList faults = model == "transition"
+                         ? FaultList(circuit, enumerate_transition_faults(circuit))
+                         : FaultList(circuit);
+  std::printf("%zu %s faults\n\n", faults.size(),
+              model == "transition" ? "transition" : "collapsed stuck-at");
+
+  TestGenResult result;
+  if (engine == "ga" || engine == "two-pass") {
+    GaTestGenerator gen(circuit, faults, cfg);
+    result = gen.run();
+    std::printf("GATEST: %zu detected, %zu vectors, %.2fs, %zu evaluations\n",
+                result.faults_detected, result.test_set.size(), result.seconds,
+                result.fitness_evaluations);
+    if (engine == "two-pass") {
+      HitecLiteConfig hcfg;
+      const HitecLiteResult det = run_hitec_lite(circuit, faults, hcfg);
+      std::printf("PODEM pass: +%zu tests, %zu aborted, %zu "
+                  "untestable-in-window, %.2fs\n",
+                  det.test_found, det.aborted, det.no_test_in_window,
+                  det.gen.seconds);
+      for (const TestVector& v : det.gen.test_set)
+        result.test_set.push_back(v);
+      result.faults_detected = faults.num_detected();
+    }
+  } else if (engine == "random") {
+    RandomTpgConfig rcfg;
+    rcfg.seed = cfg.seed;
+    result = run_random_tpg(circuit, faults, rcfg);
+    std::printf("random: %zu detected, %zu vectors, %.2fs\n",
+                result.faults_detected, result.test_set.size(), result.seconds);
+  } else if (engine == "cris") {
+    CrisLiteConfig ccfg;
+    ccfg.seed = cfg.seed;
+    result = run_cris_lite(circuit, faults, ccfg);
+    std::printf("CRIS-like: %zu detected, %zu vectors, %.2fs\n",
+                result.faults_detected, result.test_set.size(), result.seconds);
+  } else if (engine == "hitec") {
+    HitecLiteConfig hcfg;
+    const HitecLiteResult det = run_hitec_lite(circuit, faults, hcfg);
+    result = det.gen;
+    std::printf("PODEM: %zu detected, %zu vectors, %zu aborted, %zu "
+                "untestable-in-window, %.2fs\n",
+                result.faults_detected, result.test_set.size(), det.aborted,
+                det.no_test_in_window, result.seconds);
+  } else {
+    usage(argv[0], 2);
+  }
+
+  if (do_compact && !result.test_set.empty()) {
+    const CompactionResult comp = compact_test_set(circuit, result.test_set);
+    std::printf("compaction: %zu -> %zu vectors (%zu simulation passes)\n",
+                comp.original_length, comp.compacted_length,
+                comp.simulation_passes);
+    result.test_set = comp.test_set;
+  }
+
+  std::printf("\nfinal: %zu/%zu detected (%.2f%% coverage), %zu untestable, "
+              "test length %zu\n",
+              faults.num_detected(), faults.size(), 100.0 * faults.coverage(),
+              faults.num_untestable(), result.test_set.size());
+
+  if (!out_file.empty()) {
+    std::ofstream f(out_file);
+    f << "# " << circuit.name() << " — " << result.test_set.size()
+      << " vectors, inputs:";
+    for (GateId pi : circuit.inputs()) f << ' ' << circuit.gate(pi).name;
+    f << '\n';
+    for (const TestVector& v : result.test_set) f << logic_string(v) << '\n';
+    std::printf("test set written to %s\n", out_file.c_str());
+  }
+
+  if (!resp_file.empty()) {
+    const auto responses = capture_responses(circuit, result.test_set);
+    std::ofstream f(resp_file);
+    f << "# " << circuit.name() << " fault-free responses, outputs:";
+    for (GateId po : circuit.outputs()) f << ' ' << circuit.gate(po).name;
+    f << '\n';
+    for (const auto& r : responses) f << logic_string(r) << '\n';
+    std::printf("responses written to %s\n", resp_file.c_str());
+  }
+
+  if (!vcd_file.empty()) {
+    std::ofstream f(vcd_file);
+    write_vcd(circuit, result.test_set, f);
+    std::printf("waveform written to %s\n", vcd_file.c_str());
+  }
+
+  if (do_report) {
+    std::printf("\nundetected faults:\n");
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (faults.status(i) == FaultStatus::Undetected)
+        std::printf("  %s\n", fault_name(circuit, faults.fault(i)).c_str());
+  }
+  return 0;
+}
