@@ -13,6 +13,18 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Sanitized run-control smoke: build the CLI with ASan+UBSan and assert that
+# a time-limited run (budget stop + checkpoint flush) exits cleanly.
+echo "=== sanitized run-control smoke (s298, 5s budget) ==="
+cmake -B build-sanitize -G Ninja -DGATEST_SANITIZE="address;undefined" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-sanitize --target gatest_atpg_cli
+smoke_ckpt=$(mktemp /tmp/gatest_smoke.XXXXXX.ckpt)
+build-sanitize/tools/gatest_atpg --profile s298 --time-limit 5 \
+    --checkpoint "$smoke_ckpt" --seed 1
+echo "sanitized smoke passed (exit 0)"
+rm -f "$smoke_ckpt" "$smoke_ckpt.tmp"
+
 {
   for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue

@@ -226,4 +226,20 @@ void FaultList::reset() {
   detected_by_.assign(faults_.size(), -1);
 }
 
+void FaultList::export_status(std::vector<FaultStatus>& status,
+                              std::vector<std::int64_t>& detected_by) const {
+  status = status_;
+  detected_by = detected_by_;
+}
+
+void FaultList::import_status(const std::vector<FaultStatus>& status,
+                              const std::vector<std::int64_t>& detected_by) {
+  if (status.size() != faults_.size() || detected_by.size() != faults_.size())
+    throw std::invalid_argument(
+        "FaultList::import_status: size mismatch (checkpoint from a "
+        "different fault universe?)");
+  status_ = status;
+  detected_by_ = detected_by;
+}
+
 }  // namespace gatest

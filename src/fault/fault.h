@@ -110,6 +110,17 @@ class FaultList {
   /// Reset every fault to Undetected.
   void reset();
 
+  // ---- status export/import (run-control checkpointing) -------------------
+
+  /// Copy out the full per-fault detection state.
+  void export_status(std::vector<FaultStatus>& status,
+                     std::vector<std::int64_t>& detected_by) const;
+
+  /// Restore previously exported state.  Sizes must match the fault list;
+  /// throws std::invalid_argument otherwise.
+  void import_status(const std::vector<FaultStatus>& status,
+                     const std::vector<std::int64_t>& detected_by);
+
  private:
   const Circuit* circuit_;
   std::vector<Fault> faults_;

@@ -207,6 +207,25 @@ FaultSimStats SequentialFaultSimulator::apply_sequence(
   return total;
 }
 
+FaultSimStats SequentialFaultSimulator::replay_committed(
+    const TestSequence& tests) {
+  faults_->reset();
+  reset();
+  return apply_sequence(tests, 0);
+}
+
+void SequentialFaultSimulator::export_fault_status(
+    std::vector<FaultStatus>& status,
+    std::vector<std::int64_t>& detected_by) const {
+  faults_->export_status(status, detected_by);
+}
+
+void SequentialFaultSimulator::import_fault_status(
+    const std::vector<FaultStatus>& status,
+    const std::vector<std::int64_t>& detected_by) {
+  faults_->import_status(status, detected_by);
+}
+
 FaultSimStats SequentialFaultSimulator::evaluate_vector(
     const TestVector& v, std::span<const std::uint32_t> fault_subset) {
   TestSequence seq(1, v);

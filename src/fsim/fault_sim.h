@@ -83,6 +83,22 @@ class SequentialFaultSimulator {
   /// Apply a whole sequence (indices test_index, test_index+1, ...).
   FaultSimStats apply_sequence(const TestSequence& seq, std::int64_t test_index);
 
+  /// Checkpoint resume: forget all committed state AND fault bookkeeping,
+  /// then re-commit `tests` from index 0, deterministically rebuilding the
+  /// good/faulty machine state and each fault's detected-by record.
+  FaultSimStats replay_committed(const TestSequence& tests);
+
+  // ---- fault-status export/import (run-control checkpointing) -------------
+
+  /// Snapshot the shared fault list's detection state.
+  void export_fault_status(std::vector<FaultStatus>& status,
+                           std::vector<std::int64_t>& detected_by) const;
+
+  /// Restore detection state exported earlier.  Only bookkeeping moves; the
+  /// simulator's machine state is untouched (pair with replay_committed()).
+  void import_fault_status(const std::vector<FaultStatus>& status,
+                           const std::vector<std::int64_t>& detected_by);
+
   // ---- candidate evaluation (no state mutation) ---------------------------
 
   /// Fitness-evaluate a candidate vector against the committed state.

@@ -101,11 +101,20 @@ std::size_t GeneticAlgorithm::evaluate(const BatchFitnessFn& fn) {
 
 const Individual& GeneticAlgorithm::run(const BatchFitnessFn& fn) {
   randomize_population();
+  stopped_early_ = false;
   for (unsigned gen = 0; gen < config_.num_generations; ++gen) {
     evaluate(fn);
+    if (stop_check_ && stop_check_()) {
+      stopped_early_ = gen + 1 < config_.num_generations;
+      break;
+    }
     if (gen + 1 < config_.num_generations) next_generation();
   }
   return best_;
+}
+
+void GeneticAlgorithm::set_stop_check(std::function<bool()> check) {
+  stop_check_ = std::move(check);
 }
 
 std::vector<std::uint32_t> GeneticAlgorithm::select_parents(std::size_t count) {
@@ -301,8 +310,13 @@ void GeneticAlgorithm::next_generation() {
 
 const Individual& GeneticAlgorithm::run(const FitnessFn& fn) {
   randomize_population();
+  stopped_early_ = false;
   for (unsigned gen = 0; gen < config_.num_generations; ++gen) {
     evaluate(fn);
+    if (stop_check_ && stop_check_()) {
+      stopped_early_ = gen + 1 < config_.num_generations;
+      break;
+    }
     if (gen + 1 < config_.num_generations) next_generation();
   }
   return best_;

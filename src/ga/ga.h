@@ -118,6 +118,14 @@ class GeneticAlgorithm {
   /// Returns the best individual ever evaluated.
   const Individual& run(const FitnessFn& fn);
 
+  /// Cooperative cancellation: run() polls `check` between generations and
+  /// returns the best-so-far early when it reports true (run-control
+  /// budgets/interrupts; the caller decides whether to use the result).
+  void set_stop_check(std::function<bool()> check);
+
+  /// True when the last run() exited early through the stop check.
+  bool stopped_early() const { return stopped_early_; }
+
   /// Best individual seen across all evaluate() calls.
   const Individual& best() const { return best_; }
 
@@ -142,6 +150,8 @@ class GeneticAlgorithm {
   std::vector<Individual> pop_;
   Individual best_;
   std::size_t evaluations_ = 0;
+  std::function<bool()> stop_check_;
+  bool stopped_early_ = false;
 };
 
 }  // namespace gatest

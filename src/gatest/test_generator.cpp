@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-
-#include "util/timer.h"
+#include <stdexcept>
 
 namespace gatest {
 
@@ -16,6 +15,7 @@ GaTestGenerator::GaTestGenerator(const Circuit& c, FaultList& faults,
       fitness_(sim_, config_),
       rng_(config.seed) {
   depth_ = std::max(1u, c.sequential_depth());
+  boundary_rng_ = rng_.state();
   if (config_.num_threads > 1) {
     // One extra simulator replica per additional thread; the main simulator
     // doubles as replica 0 during parallel evaluation.
@@ -40,10 +40,141 @@ FaultSimStats GaTestGenerator::commit_vector(const TestVector& v,
   return stats;
 }
 
+std::size_t GaTestGenerator::total_evaluations() const {
+  std::size_t n = prior_evals_ + fitness_.evaluations();
+  for (const auto& wf : worker_fitness_) n += wf->evaluations();
+  return n;
+}
+
+bool GaTestGenerator::stop_now() {
+  if (stop_reason_ != StopReason::Completed) return true;
+  const StopReason r = tracker_.check(total_evaluations(),
+                                      result_.test_set.size(), ctrl_.stop);
+  if (r == StopReason::Completed) return false;
+  stop_reason_ = r;
+  return true;
+}
+
+void GaTestGenerator::note_boundary() {
+  boundary_rng_ = rng_.state();
+  boundary_evals_ = total_evaluations();
+  if (!ctrl_.checkpoint_path.empty() &&
+      tracker_.elapsed_seconds() - last_checkpoint_elapsed_ >=
+          ctrl_.checkpoint_interval_seconds) {
+    last_checkpoint_elapsed_ = tracker_.elapsed_seconds();
+    make_checkpoint().save(ctrl_.checkpoint_path);
+  }
+}
+
+Checkpoint GaTestGenerator::make_checkpoint() const {
+  Checkpoint cp;
+  cp.circuit_name = circuit_->name();
+  cp.num_inputs = circuit_->num_inputs();
+  cp.num_faults = faults_->size();
+  cp.seed = config_.seed;
+  cp.test_set = result_.test_set;
+  faults_->export_status(cp.fault_status, cp.detected_by);
+  cp.rng_state = boundary_rng_;
+  cp.last_best_genes = last_best_genes_;
+  cp.macro = state_.macro;
+  cp.phase = state_.phase;
+  cp.noncontributing = state_.noncontributing;
+  cp.phase1_stall = state_.phase1_stall;
+  cp.best_ffs_set = state_.best_ffs_set;
+  cp.seq_mult_index = state_.seq_mult_index;
+  cp.seq_consecutive_failures = state_.seq_consecutive_failures;
+  cp.fitness_evaluations = boundary_evals_;
+  cp.seconds = prior_seconds_ + tracker_.elapsed_seconds();
+  cp.vectors_from_vector_phases = result_.vectors_from_vector_phases;
+  cp.vectors_from_sequences = result_.vectors_from_sequences;
+  cp.detected_by_vectors = result_.detected_by_vectors;
+  cp.detected_by_sequences = result_.detected_by_sequences;
+  cp.sequence_attempts = result_.sequence_attempts;
+  cp.sequences_committed = result_.sequences_committed;
+  cp.all_ffs_initialized = result_.all_ffs_initialized;
+  cp.progress_limit = result_.progress_limit;
+  cp.sequence_lengths_tried = result_.sequence_lengths_tried;
+  return cp;
+}
+
+void GaTestGenerator::restore_from_checkpoint(const Checkpoint& cp) {
+  if (cp.circuit_name != circuit_->name() ||
+      cp.num_inputs != circuit_->num_inputs())
+    throw std::runtime_error(
+        "checkpoint: circuit mismatch (checkpoint is for '" + cp.circuit_name +
+        "' with " + std::to_string(cp.num_inputs) + " inputs, generator has '" +
+        circuit_->name() + "' with " +
+        std::to_string(circuit_->num_inputs()) + ")");
+  if (cp.num_faults != faults_->size())
+    throw std::runtime_error(
+        "checkpoint: fault universe mismatch (checkpoint has " +
+        std::to_string(cp.num_faults) + " faults, generator has " +
+        std::to_string(faults_->size()) + ")");
+  // The RNG stream continues from the stored state; keep the stored seed so
+  // further checkpoints of this run stay self-consistent.
+  config_.seed = cp.seed;
+
+  sim_.replay_committed(cp.test_set);
+  for (auto& wsim : worker_sims_) wsim->replay_committed(cp.test_set);
+
+  // Replay rebuilds every Detected mark; Untestable marks came from outside
+  // (a deterministic engine) and are restored from the checkpoint.  Any
+  // other difference means the committed state did not reproduce — refuse to
+  // continue from a diverged world.
+  for (std::size_t i = 0; i < faults_->size(); ++i) {
+    const FaultStatus replayed = faults_->status(i);
+    const FaultStatus want = cp.fault_status[i];
+    if (replayed == want) continue;
+    if (want == FaultStatus::Untestable &&
+        replayed == FaultStatus::Undetected) {
+      faults_->set_status(i, FaultStatus::Untestable);
+      for (auto& wf : worker_faults_) wf->set_status(i, FaultStatus::Untestable);
+      continue;
+    }
+    throw std::runtime_error(
+        "checkpoint: replay diverged at fault " + std::to_string(i) +
+        " (replayed status " + std::to_string(static_cast<int>(replayed)) +
+        ", checkpoint has " + std::to_string(static_cast<int>(want)) +
+        ") — different build or corrupted checkpoint?");
+  }
+
+  rng_.set_state(cp.rng_state);
+  boundary_rng_ = cp.rng_state;
+  last_best_genes_ = cp.last_best_genes;
+
+  state_.macro = cp.macro;
+  state_.phase = cp.phase;
+  state_.noncontributing = cp.noncontributing;
+  state_.phase1_stall = cp.phase1_stall;
+  state_.best_ffs_set = cp.best_ffs_set;
+  state_.seq_mult_index = cp.seq_mult_index;
+  state_.seq_consecutive_failures = cp.seq_consecutive_failures;
+
+  result_ = TestGenResult{};
+  result_.faults_total = faults_->size();
+  result_.test_set = cp.test_set;
+  result_.resumed = true;
+  result_.vectors_from_vector_phases = cp.vectors_from_vector_phases;
+  result_.vectors_from_sequences = cp.vectors_from_sequences;
+  result_.detected_by_vectors = cp.detected_by_vectors;
+  result_.detected_by_sequences = cp.detected_by_sequences;
+  result_.sequence_attempts = cp.sequence_attempts;
+  result_.sequences_committed = cp.sequences_committed;
+  result_.all_ffs_initialized = cp.all_ffs_initialized;
+  result_.progress_limit = cp.progress_limit;
+  result_.sequence_lengths_tried = cp.sequence_lengths_tried;
+
+  prior_evals_ = cp.fitness_evaluations;
+  boundary_evals_ = cp.fitness_evaluations;
+  prior_seconds_ = cp.seconds;
+  resumed_ = true;
+}
+
 const Individual& GaTestGenerator::run_ga(
     GeneticAlgorithm& ga,
     const std::function<double(FitnessEvaluator&,
                                const std::vector<std::uint8_t>&)>& fit) {
+  ga.set_stop_check([this] { return stop_now(); });
   if (!pool_) {
     return ga.run([&](const std::vector<std::uint8_t>& genes) {
       return fit(fitness_, genes);
@@ -66,7 +197,7 @@ const Individual& GaTestGenerator::run_ga(
           out[i] = fit(*ev, *batch[i]);
       });
     }
-    pool_->wait_idle();
+    pool_->wait_idle();  // rethrows the first worker exception, if any
   });
 }
 
@@ -142,6 +273,7 @@ TestVector GaTestGenerator::evolve_vector(Phase phase) {
       ga.evaluate([&](const std::vector<std::uint8_t>& genes) {
         return fit(fitness_, genes);
       });
+      if (stop_now()) break;
       if (gen + 1 < config_.num_generations) ga.next_generation();
     }
     last_best_genes_ = ga.best().genes;
@@ -170,69 +302,73 @@ TestSequence GaTestGenerator::evolve_sequence(unsigned frames) {
   return decode_sequence(best.genes, circuit_->num_inputs());
 }
 
-void GaTestGenerator::generate_vectors(TestGenResult& result) {
+void GaTestGenerator::generate_vectors() {
   const unsigned progress_limit = std::max(
       1u, static_cast<unsigned>(std::lround(config_.progress_limit_multiplier *
                                             static_cast<double>(depth_))));
   const unsigned phase1_stall_limit = std::max(
       1u, static_cast<unsigned>(std::lround(config_.phase1_stall_multiplier *
                                             static_cast<double>(depth_))));
-  result.progress_limit = progress_limit;
-
-  Phase phase = circuit_->num_dffs() == 0 ? Phase::DetectFaults
-                                          : Phase::InitializeFfs;
-  unsigned noncontributing = 0;
-  unsigned phase1_stall = 0;
-  unsigned best_ffs_set = 0;
+  result_.progress_limit = progress_limit;
 
   while (faults_->num_undetected() > 0 &&
-         result.test_set.size() < config_.max_vectors) {
-    const TestVector best = evolve_vector(phase);
+         result_.test_set.size() < config_.max_vectors) {
+    note_boundary();
+    if (stop_now()) return;
+    const TestVector best = evolve_vector(state_.phase);
+    // A stop inside the GA discards that (partial) evolution; the resumed
+    // run redoes it from the boundary RNG state, so nothing is lost.
+    if (stop_reason_ != StopReason::Completed) return;
     const FaultSimStats committed = commit_vector(
-        best, static_cast<std::int64_t>(result.test_set.size()));
-    result.test_set.push_back(best);
-    ++result.vectors_from_vector_phases;
-    result.detected_by_vectors += committed.detected;
+        best, static_cast<std::int64_t>(result_.test_set.size()));
+    result_.test_set.push_back(best);
+    ++result_.vectors_from_vector_phases;
+    result_.detected_by_vectors += committed.detected;
 
-    if (phase == Phase::InitializeFfs) {
+    if (state_.phase == Phase::InitializeFfs) {
       const unsigned set_now = sim_.good_ffs_set();
       if (set_now >= circuit_->num_dffs()) {
-        result.all_ffs_initialized = true;
-        phase = Phase::DetectFaults;
-      } else if (set_now > best_ffs_set) {
-        best_ffs_set = set_now;
-        phase1_stall = 0;
-      } else if (++phase1_stall >= phase1_stall_limit) {
+        result_.all_ffs_initialized = true;
+        state_.phase = Phase::DetectFaults;
+      } else if (set_now > state_.best_ffs_set) {
+        state_.best_ffs_set = set_now;
+        state_.phase1_stall = 0;
+      } else if (++state_.phase1_stall >= phase1_stall_limit) {
         // Robustness guard (see config.h): some flip-flops appear
         // uninitializable; proceed to detection with partial state.
-        phase = Phase::DetectFaults;
+        state_.phase = Phase::DetectFaults;
       }
       continue;
     }
 
     if (committed.detected > 0) {
-      phase = Phase::DetectFaults;
-      noncontributing = 0;
+      state_.phase = Phase::DetectFaults;
+      state_.noncontributing = 0;
     } else {
-      phase = config_.use_activity_fitness ? Phase::DetectWithActivity
-                                           : Phase::DetectFaults;
-      if (++noncontributing >= progress_limit) break;
+      state_.phase = config_.use_activity_fitness ? Phase::DetectWithActivity
+                                                  : Phase::DetectFaults;
+      if (++state_.noncontributing >= progress_limit) break;
     }
   }
 }
 
-void GaTestGenerator::generate_sequences(TestGenResult& result) {
-  for (double mult : config_.seq_length_multipliers) {
+void GaTestGenerator::generate_sequences() {
+  while (state_.seq_mult_index < config_.seq_length_multipliers.size()) {
+    const double mult = config_.seq_length_multipliers[state_.seq_mult_index];
     const unsigned frames = std::max(
-        1u, static_cast<unsigned>(std::lround(mult * static_cast<double>(depth_))));
-    result.sequence_lengths_tried.push_back(frames);
+        1u,
+        static_cast<unsigned>(std::lround(mult * static_cast<double>(depth_))));
+    if (result_.sequence_lengths_tried.size() <= state_.seq_mult_index)
+      result_.sequence_lengths_tried.push_back(frames);
 
-    unsigned consecutive_failures = 0;
-    while (consecutive_failures < config_.seq_fail_limit &&
+    while (state_.seq_consecutive_failures < config_.seq_fail_limit &&
            faults_->num_undetected() > 0 &&
-           result.test_set.size() + frames <= config_.max_vectors) {
-      ++result.sequence_attempts;
+           result_.test_set.size() + frames <= config_.max_vectors) {
+      note_boundary();
+      if (stop_now()) return;
       const TestSequence best = evolve_sequence(frames);
+      if (stop_reason_ != StopReason::Completed) return;
+      ++result_.sequence_attempts;
 
       // Commit only sequences that actually detect something against the
       // full fault list; a side-effect-free evaluation makes the decision,
@@ -240,41 +376,79 @@ void GaTestGenerator::generate_sequences(TestGenResult& result) {
       // forward (paper §IV's store/restore, realized by scratch evaluation).
       const FaultSimStats probe = sim_.evaluate_sequence(best);
       if (probe.detected == 0) {
-        ++consecutive_failures;
+        ++state_.seq_consecutive_failures;
         continue;
       }
       FaultSimStats committed;
       for (std::size_t i = 0; i < best.size(); ++i)
         committed.accumulate(commit_vector(
-            best[i],
-            static_cast<std::int64_t>(result.test_set.size() + i)));
-      for (const TestVector& v : best) result.test_set.push_back(v);
-      result.vectors_from_sequences += best.size();
-      result.detected_by_sequences += committed.detected;
-      ++result.sequences_committed;
-      consecutive_failures = 0;
+            best[i], static_cast<std::int64_t>(result_.test_set.size() + i)));
+      for (const TestVector& v : best) result_.test_set.push_back(v);
+      result_.vectors_from_sequences += best.size();
+      result_.detected_by_sequences += committed.detected;
+      ++result_.sequences_committed;
+      state_.seq_consecutive_failures = 0;
     }
 
     if (faults_->num_undetected() == 0) break;
+    ++state_.seq_mult_index;
+    state_.seq_consecutive_failures = 0;
   }
 }
 
 TestGenResult GaTestGenerator::run() {
-  Timer timer;
-  TestGenResult result;
-  result.faults_total = faults_->size();
+  tracker_.start(ctrl_.budget);
+  last_checkpoint_elapsed_ = 0.0;
+  stop_reason_ = StopReason::Completed;
+  if (!resumed_) {
+    result_ = TestGenResult{};
+    result_.faults_total = faults_->size();
+    state_ = RunState{};
+    state_.phase = circuit_->num_dffs() == 0 ? Phase::DetectFaults
+                                             : Phase::InitializeFfs;
+    boundary_rng_ = rng_.state();
+    boundary_evals_ = prior_evals_;
+  }
+  resumed_ = false;  // a later run() without restore starts fresh again
 
-  if (config_.enable_vector_phases) generate_vectors(result);
-  if (config_.enable_sequence_phase && faults_->num_undetected() > 0)
-    generate_sequences(result);
+  try {
+    if (state_.macro == MacroPhase::Vectors) {
+      if (config_.enable_vector_phases) generate_vectors();
+      if (stop_reason_ == StopReason::Completed)
+        state_.macro = MacroPhase::Sequences;
+    }
+    if (state_.macro == MacroPhase::Sequences &&
+        stop_reason_ == StopReason::Completed) {
+      if (config_.enable_sequence_phase && faults_->num_undetected() > 0)
+        generate_sequences();
+      if (stop_reason_ == StopReason::Completed)
+        state_.macro = MacroPhase::Done;
+    }
+  } catch (const std::exception& e) {
+    // Exception-safe parallelism: a fitness exception (rethrown from the
+    // thread pool) or checkpoint I/O error ends the run with the partial
+    // test set intact instead of escaping to std::terminate.
+    stop_reason_ = StopReason::Error;
+    result_.error_message = e.what();
+  }
 
-  result.faults_detected = faults_->num_detected();
-  result.fault_coverage = faults_->coverage();
-  result.fitness_evaluations = fitness_.evaluations();
-  for (const auto& wf : worker_fitness_)
-    result.fitness_evaluations += wf->evaluations();
-  result.seconds = timer.elapsed_seconds();
-  return result;
+  result_.faults_detected = faults_->num_detected();
+  result_.fault_coverage = faults_->coverage();
+  result_.fitness_evaluations = total_evaluations();
+  result_.seconds = prior_seconds_ + tracker_.elapsed_seconds();
+  result_.stop_reason = stop_reason_;
+
+  // A budget/interrupt stop (and even an error) leaves the last commit
+  // boundary intact — flush it so the run is resumable.
+  if (stop_reason_ != StopReason::Completed && !ctrl_.checkpoint_path.empty()) {
+    try {
+      make_checkpoint().save(ctrl_.checkpoint_path);
+    } catch (const std::exception& e) {
+      if (!result_.error_message.empty()) result_.error_message += "; ";
+      result_.error_message += e.what();
+    }
+  }
+  return result_;
 }
 
 }  // namespace gatest

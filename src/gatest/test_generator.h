@@ -8,6 +8,7 @@
 // drops detected faults.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,10 +17,12 @@
 
 #include "fault/fault.h"
 #include "fsim/fault_sim.h"
+#include "gatest/checkpoint.h"
 #include "gatest/config.h"
 #include "gatest/fitness.h"
 #include "netlist/circuit.h"
 #include "util/rng.h"
+#include "util/run_control.h"
 #include "util/thread_pool.h"
 
 namespace gatest {
@@ -34,6 +37,13 @@ struct TestGenResult {
 
   double seconds = 0.0;              ///< wall-clock test-generation time
   std::size_t fitness_evaluations = 0;
+
+  /// Why the run ended: Completed, a budget limit, an interrupt, or Error
+  /// (in which case `error_message` holds the exception text and the other
+  /// fields describe the usable partial result).
+  StopReason stop_reason = StopReason::Completed;
+  std::string error_message;
+  bool resumed = false;  ///< run continued from a checkpoint
 
   // Breakdown for analysis.
   std::size_t vectors_from_vector_phases = 0;  ///< phases 1-3
@@ -53,17 +63,57 @@ class GaTestGenerator {
   /// are skipped, and the run marks everything it detects.
   GaTestGenerator(const Circuit& c, FaultList& faults, TestGenConfig config);
 
-  /// Run full test generation (vectors, then sequences).
+  /// Budgets, interrupt token, and checkpoint policy for subsequent run()s.
+  /// Without this, runs are unbounded and uncheckpointed (seed behavior).
+  void set_run_control(const RunControl& ctrl) { ctrl_ = ctrl; }
+
+  /// Rebuild committed state from a checkpoint (before run()): the test set
+  /// is replayed through the simulator and every parallel replica, replayed
+  /// fault statuses are verified against the stored ones, and the RNG and
+  /// phase machine continue from the recorded commit boundary, so the
+  /// resumed run is bit-identical to an uninterrupted one with the same
+  /// seed.  Throws std::runtime_error on circuit/fault-universe mismatch or
+  /// replay divergence.
+  void restore_from_checkpoint(const Checkpoint& cp);
+
+  /// Snapshot of the last commit boundary (what a stop would write to disk).
+  Checkpoint make_checkpoint() const;
+
+  /// Run full test generation (vectors, then sequences), or continue a
+  /// restored run.  Ends early — at a commit boundary, with the partial
+  /// test set intact — when the budget, the stop token, or an exception
+  /// fires; TestGenResult::stop_reason says which.
   TestGenResult run();
 
   /// Effective sequential depth used for limits: max(1, structural depth).
   unsigned effective_depth() const { return depth_; }
 
  private:
+  /// Phase-machine position, checkpointed at every commit boundary.
+  struct RunState {
+    MacroPhase macro = MacroPhase::Vectors;
+    Phase phase = Phase::InitializeFfs;
+    unsigned noncontributing = 0;
+    unsigned phase1_stall = 0;
+    unsigned best_ffs_set = 0;
+    std::size_t seq_mult_index = 0;
+    unsigned seq_consecutive_failures = 0;
+  };
+
   /// Phases 1-3; returns when the progress limit is exhausted.
-  void generate_vectors(TestGenResult& result);
+  void generate_vectors();
   /// Phase 4; returns when every sequence length stopped making progress.
-  void generate_sequences(TestGenResult& result);
+  void generate_sequences();
+
+  /// Cumulative fitness evaluations (prior run segments + this one).
+  std::size_t total_evaluations() const;
+
+  /// Budget/interrupt poll; records the first stop reason (sticky).
+  bool stop_now();
+
+  /// Mark a commit boundary: snapshot the RNG/eval counters the checkpoint
+  /// would need, and write a periodic checkpoint when one is due.
+  void note_boundary();
 
   /// One GA run evolving a single vector under `phase`; returns the best.
   TestVector evolve_vector(Phase phase);
@@ -95,6 +145,19 @@ class GaTestGenerator {
   Rng rng_;
   unsigned depth_ = 1;
   std::vector<std::uint8_t> last_best_genes_;  // for population seeding
+
+  // Run control.
+  RunControl ctrl_;
+  BudgetTracker tracker_;
+  TestGenResult result_;  // accumulates across a (possibly resumed) run
+  RunState state_;
+  StopReason stop_reason_ = StopReason::Completed;  // Completed = not stopped
+  std::array<std::uint64_t, 4> boundary_rng_{};  // RNG at last commit boundary
+  std::size_t boundary_evals_ = 0;     // cumulative evals at last boundary
+  std::size_t prior_evals_ = 0;        // from checkpointed run segments
+  double prior_seconds_ = 0.0;
+  double last_checkpoint_elapsed_ = 0.0;
+  bool resumed_ = false;
 
   // Parallel evaluation replicas (config_.num_threads > 1): each worker owns
   // a fault-list copy and simulator kept in lockstep with the main one by

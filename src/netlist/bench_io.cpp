@@ -55,6 +55,7 @@ struct Stmt {
 
 Circuit parse_bench(std::istream& in, std::string circuit_name) {
   std::vector<std::string> input_names;
+  std::vector<int> input_lines;
   std::vector<std::string> output_names;
   std::vector<Stmt> stmts;
   std::vector<int> output_lines;
@@ -78,9 +79,10 @@ Circuit parse_bench(std::istream& in, std::string circuit_name) {
       const std::string kw = upper(trim(line.substr(0, lp)));
       const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
       if (arg.empty()) fail(lineno, "empty signal name");
-      if (kw == "INPUT")
+      if (kw == "INPUT") {
         input_names.push_back(arg);
-      else if (kw == "OUTPUT") {
+        input_lines.push_back(lineno);
+      } else if (kw == "OUTPUT") {
         output_names.push_back(arg);
         output_lines.push_back(lineno);
       } else
@@ -111,6 +113,8 @@ Circuit parse_bench(std::istream& in, std::string circuit_name) {
     }
     if (st.args.empty()) fail(lineno, "gate with no fanins");
     const auto arity = static_cast<unsigned>(st.args.size());
+    if (st.type == GateType::Dff && arity != 1)
+      fail(lineno, "DFF takes exactly 1 fanin, got " + std::to_string(arity));
     if (arity < min_fanin(st.type) || arity > max_fanin(st.type))
       fail(lineno, "gate type " + std::string(gate_type_name(st.type)) +
                        " cannot take " + std::to_string(arity) + " fanins");
@@ -122,13 +126,24 @@ Circuit parse_bench(std::istream& in, std::string circuit_name) {
   // logic gates are created in dependency order.
   Circuit out(std::move(circuit_name));
   std::unordered_map<std::string, GateId> ids;
-  auto define = [&](const std::string& name, GateId id, int line) {
-    if (!ids.emplace(name, id).second)
-      fail(line, "signal '" + name + "' defined twice");
+  // Every name that is defined *somewhere* (before topological placement),
+  // so a blocked gate can be diagnosed as undefined-fanin vs. cycle.
+  std::unordered_map<std::string, int> defined_at;
+  auto declare = [&](const std::string& name, int line) {
+    const auto [it, inserted] = defined_at.emplace(name, line);
+    if (!inserted)
+      fail(line, "signal '" + name + "' defined twice (first defined at line " +
+                     std::to_string(it->second) + ")");
   };
-  for (const std::string& n : input_names) define(n, out.add_input(n), 0);
+  for (std::size_t i = 0; i < input_names.size(); ++i)
+    declare(input_names[i], input_lines[i]);
+  for (const Stmt& st : stmts) declare(st.lhs, st.line);
+  auto define = [&](const std::string& name, GateId id) {
+    ids.emplace(name, id);
+  };
+  for (const std::string& n : input_names) define(n, out.add_input(n));
   for (const Stmt& st : stmts)
-    if (st.type == GateType::Dff) define(st.lhs, out.add_dff(st.lhs), st.line);
+    if (st.type == GateType::Dff) define(st.lhs, out.add_dff(st.lhs));
   auto resolve = [&](const std::string& n, int line) -> GateId {
     auto it = ids.find(n);
     if (it == ids.end()) fail(line, "undefined signal '" + n + "'");
@@ -151,25 +166,33 @@ Circuit parse_bench(std::istream& in, std::string circuit_name) {
       std::vector<GateId> fin;
       fin.reserve(st.args.size());
       for (const std::string& a : st.args) fin.push_back(ids[a]);
-      define(st.lhs, out.add_gate(st.type, st.lhs, std::move(fin)), st.line);
+      define(st.lhs, out.add_gate(st.type, st.lhs, std::move(fin)));
       placed[i] = true;
       --remaining;
       progress = true;
     }
     if (!progress) {
+      // Nothing placeable: every blocked gate waits on a fanin that is
+      // either never defined (report that first, with the gate's line) or
+      // part of a combinational cycle.
+      for (std::size_t i = 0; i < stmts.size(); ++i) {
+        if (placed[i] || stmts[i].type == GateType::Dff) continue;
+        for (const std::string& a : stmts[i].args)
+          if (!defined_at.count(a))
+            fail(stmts[i].line,
+                 "undefined fanin signal '" + a + "' for gate '" +
+                     stmts[i].lhs + "'");
+      }
       for (std::size_t i = 0; i < stmts.size(); ++i)
         if (!placed[i] && stmts[i].type != GateType::Dff)
           fail(stmts[i].line,
-               "combinational cycle or undefined signal involving '" +
-                   stmts[i].lhs + "'");
+               "combinational cycle involving '" + stmts[i].lhs + "'");
     }
   }
-  // Flop data inputs.
-  for (const Stmt& st : stmts) {
-    if (st.type != GateType::Dff) continue;
-    if (st.args.size() != 1) fail(st.line, "DFF takes exactly one fanin");
-    out.set_dff_input(ids[st.lhs], resolve(st.args[0], st.line));
-  }
+  // Flop data inputs (arity was validated in the first pass).
+  for (const Stmt& st : stmts)
+    if (st.type == GateType::Dff)
+      out.set_dff_input(ids[st.lhs], resolve(st.args[0], st.line));
   // Outputs.
   for (std::size_t i = 0; i < output_names.size(); ++i)
     out.add_output(resolve(output_names[i], output_lines[i]));

@@ -6,6 +6,7 @@
 // platform differences in <random> distributions.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -90,6 +91,15 @@ class Rng {
 
   /// Derive an independent child stream (e.g. one per GA run).
   Rng fork() { return Rng(next() ^ 0xd2b74407b1ce6e93ull); }
+
+  /// Raw generator state, for checkpoint/resume.  set_state(state()) makes
+  /// the stream continue exactly where it was captured.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t v, int k) {

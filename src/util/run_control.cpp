@@ -1,0 +1,40 @@
+#include "util/run_control.h"
+
+#include <csignal>
+
+namespace gatest {
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::Completed:   return "completed";
+    case StopReason::TimeLimit:   return "time-limit";
+    case StopReason::EvalLimit:   return "eval-limit";
+    case StopReason::VectorLimit: return "vector-limit";
+    case StopReason::Interrupted: return "interrupted";
+    case StopReason::Error:       return "error";
+  }
+  return "?";
+}
+
+StopToken& global_stop_token() {
+  static StopToken token;
+  return token;
+}
+
+namespace {
+
+extern "C" void stop_signal_handler(int sig) {
+  // Async-signal-safe: a relaxed store on a lock-free atomic.  Re-arm with
+  // the default disposition so a second delivery terminates the process.
+  global_stop_token().request_stop();
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+void install_signal_stop_handlers() {
+  std::signal(SIGINT, stop_signal_handler);
+  std::signal(SIGTERM, stop_signal_handler);
+}
+
+}  // namespace gatest

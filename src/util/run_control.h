@@ -1,0 +1,105 @@
+// Run-control primitives for long ATPG runs: cooperative budgets, a stop
+// token the process signal handlers can trip, and the StopReason vocabulary
+// shared by every engine.
+//
+// GATEST runs are open-ended loops (paper §III: progress limits, repeated
+// sequence-length retries); on large circuits they run for hours.  The run
+// controller lets a deadline, an evaluation budget, or an operator Ctrl-C
+// end a run at a clean commit boundary, so the test set generated so far is
+// flushed (and optionally checkpointed) instead of lost.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/timer.h"
+
+namespace gatest {
+
+/// Why a test-generation run ended.
+enum class StopReason : std::uint8_t {
+  Completed = 0,   ///< ran to its natural end (progress limits exhausted)
+  TimeLimit,       ///< RunBudget wall-clock deadline reached
+  EvalLimit,       ///< RunBudget fitness-evaluation budget exhausted
+  VectorLimit,     ///< RunBudget committed-vector budget exhausted
+  Interrupted,     ///< cooperative stop requested (SIGINT/SIGTERM or API)
+  Error,           ///< an exception surfaced; partial result is still valid
+};
+
+const char* to_string(StopReason r);
+
+/// Cooperative resource budget for one run.  0 = unlimited for every field.
+struct RunBudget {
+  double time_limit_seconds = 0.0;   ///< wall-clock deadline
+  std::size_t max_evaluations = 0;   ///< fitness evaluations (GA engines)
+  std::size_t max_vectors = 0;       ///< committed test-set length
+
+  bool unlimited() const {
+    return time_limit_seconds <= 0.0 && max_evaluations == 0 &&
+           max_vectors == 0;
+  }
+};
+
+/// Shared cooperative cancellation flag.  request_stop() is async-signal-safe
+/// and thread-safe; consumers poll stop_requested() at loop boundaries.
+class StopToken {
+ public:
+  void request_stop() { flag_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const { return flag_.load(std::memory_order_relaxed); }
+  void reset() { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Everything a generator needs to run under external control: the budget,
+/// an optional interrupt token, and checkpoint policy.  Value-copyable; the
+/// token is borrowed and must outlive the run.
+struct RunControl {
+  RunBudget budget;
+  StopToken* stop = nullptr;              ///< optional; nullptr = no interrupt
+  std::string checkpoint_path;            ///< empty = no checkpointing
+  double checkpoint_interval_seconds = 30.0;  ///< periodic save cadence
+};
+
+/// Tracks one run against its budget.  start() pins the deadline; check()
+/// reports the first violated limit (sticky decisions are the caller's job).
+class BudgetTracker {
+ public:
+  void start(const RunBudget& budget) {
+    budget_ = budget;
+    timer_.restart();
+  }
+
+  double elapsed_seconds() const { return timer_.elapsed_seconds(); }
+
+  /// First exceeded limit, or Completed when inside every budget.
+  StopReason check(std::size_t evaluations, std::size_t vectors,
+                   const StopToken* stop) const {
+    if (stop && stop->stop_requested()) return StopReason::Interrupted;
+    if (budget_.time_limit_seconds > 0.0 &&
+        timer_.elapsed_seconds() >= budget_.time_limit_seconds)
+      return StopReason::TimeLimit;
+    if (budget_.max_evaluations > 0 && evaluations >= budget_.max_evaluations)
+      return StopReason::EvalLimit;
+    if (budget_.max_vectors > 0 && vectors >= budget_.max_vectors)
+      return StopReason::VectorLimit;
+    return StopReason::Completed;
+  }
+
+ private:
+  RunBudget budget_;
+  Timer timer_;
+};
+
+/// Process-wide stop token tripped by install_signal_stop_handlers().
+StopToken& global_stop_token();
+
+/// Route SIGINT/SIGTERM to global_stop_token().request_stop().  The second
+/// delivery of the same signal restores the default handler, so a stuck run
+/// can still be killed with a second Ctrl-C.
+void install_signal_stop_handlers();
+
+}  // namespace gatest

@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,14 +28,19 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueue one task.  Tasks must not throw.
+  /// Enqueue one task.  A task that throws does not kill the worker: the
+  /// first exception of the batch is captured and rethrown by the next
+  /// wait_idle() (remaining tasks still run to completion).
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished.  Rethrows the first
+  /// exception any task threw since the last wait_idle(); the pool stays
+  /// usable afterwards.
   void wait_idle();
 
   /// Convenience: run fn(i) for i in [0, count) across the pool and wait.
-  /// fn must be safe to call concurrently for distinct i.
+  /// fn must be safe to call concurrently for distinct i.  Rethrows the
+  /// first exception thrown by any fn(i), like wait_idle().
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
@@ -48,6 +54,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // first task exception since last wait
 };
 
 }  // namespace gatest

@@ -158,6 +158,41 @@ TEST(Ga, BatchEvaluateCountsComputations) {
   EXPECT_EQ(ga.evaluations(), 16u);
 }
 
+TEST(Ga, StopCheckEndsRunAfterCurrentGeneration) {
+  Rng rng(11);
+  GeneticAlgorithm ga(basic_config(), 24, rng);
+  ga.set_stop_check([] { return true; });
+  ga.run([](const std::vector<std::uint8_t>& g) { return ones_count(g); });
+  // Stop requested after the first generation's evaluation: exactly one
+  // population was scored and the run flags the early exit.
+  EXPECT_EQ(ga.evaluations(), basic_config().population_size);
+  EXPECT_TRUE(ga.stopped_early());
+}
+
+TEST(Ga, BatchRunHonorsStopCheck) {
+  Rng rng(11);
+  GeneticAlgorithm ga(basic_config(), 24, rng);
+  unsigned calls = 0;
+  ga.set_stop_check([&calls] { return ++calls >= 2; });
+  ga.run([](const std::vector<const std::vector<std::uint8_t>*>& batch,
+            std::vector<double>& fitness) {
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      fitness[i] = ones_count(*batch[i]);
+  });
+  EXPECT_TRUE(ga.stopped_early());
+  EXPECT_LT(ga.evaluations(),
+            static_cast<std::size_t>(basic_config().population_size) *
+                basic_config().num_generations);
+}
+
+TEST(Ga, StopCheckNeverFiringLeavesRunComplete) {
+  Rng rng(11);
+  GeneticAlgorithm ga(basic_config(), 24, rng);
+  ga.set_stop_check([] { return false; });
+  ga.run([](const std::vector<std::uint8_t>& g) { return ones_count(g); });
+  EXPECT_FALSE(ga.stopped_early());
+}
+
 TEST(Ga, NextGenerationRequiresEvaluation) {
   Rng rng(7);
   GeneticAlgorithm ga(basic_config(), 8, rng);

@@ -289,6 +289,68 @@ INSTANTIATE_TEST_SUITE_P(
         "INPUT(a)\nx = AND(a)\nOUTPUT(x)\n",   // AND with one fanin
         "INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)\n"));  // undefined output
 
+// ---- diagnostics: exact line numbers and causes -----------------------------
+
+std::string parse_error_of(const std::string& text) {
+  try {
+    parse_bench_string(text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(BenchIo, DuplicateDefinitionNamesBothLines) {
+  const std::string msg = parse_error_of(
+      "INPUT(a)\nx = NOT(a)\nx = BUF(a)\nOUTPUT(x)\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'x' defined twice"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("first defined at line 2"), std::string::npos) << msg;
+}
+
+TEST(BenchIo, DuplicateInputReportsItsLine) {
+  const std::string msg =
+      parse_error_of("INPUT(a)\nINPUT(a)\nx = NOT(a)\nOUTPUT(x)\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'a' defined twice"), std::string::npos) << msg;
+}
+
+TEST(BenchIo, GateRedefiningInputIsRejected) {
+  const std::string msg = parse_error_of("INPUT(a)\na = NOT(a)\nOUTPUT(a)\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("defined twice"), std::string::npos) << msg;
+}
+
+TEST(BenchIo, UndefinedFaninNamesSignalAndLine) {
+  const std::string msg =
+      parse_error_of("INPUT(a)\nx = AND(a, nope)\nOUTPUT(x)\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("undefined fanin signal 'nope'"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("'x'"), std::string::npos) << msg;
+}
+
+TEST(BenchIo, UndefinedDffFaninIsRejected) {
+  const std::string msg = parse_error_of("INPUT(a)\nq = DFF(ghost)\nOUTPUT(q)\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ghost"), std::string::npos) << msg;
+}
+
+TEST(BenchIo, DffWithTwoFaninsReportsArity) {
+  const std::string msg =
+      parse_error_of("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\nOUTPUT(q)\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("DFF takes exactly 1 fanin, got 2"), std::string::npos)
+      << msg;
+}
+
+TEST(BenchIo, CycleDiagnosedAsCycleNotUndefined) {
+  const std::string msg = parse_error_of(
+      "INPUT(a)\nx = AND(a, y)\ny = OR(a, x)\nOUTPUT(y)\n");
+  EXPECT_NE(msg.find("combinational cycle"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("undefined"), std::string::npos) << msg;
+}
+
 TEST(BenchIo, WhitespaceAndCaseTolerance) {
   const Circuit c = parse_bench_string(
       "  input( a )\n\toutput(y)\n y =  nOr( a , q )\nq=dff(y)\n");

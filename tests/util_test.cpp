@@ -8,7 +8,11 @@
 
 #include "util/thread_pool.h"
 
+#include <stdexcept>
+#include <vector>
+
 #include "util/rng.h"
+#include "util/run_control.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -233,6 +237,113 @@ TEST(Timer, MeasuresElapsedTime) {
   EXPECT_GE(t.elapsed_seconds(), 0.0);
   t.restart();
   EXPECT_LT(t.elapsed_seconds(), 1.0);
+}
+
+TEST(ThreadPool, SubmittedTaskExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle should rethrow the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();  // previous error was consumed; no rethrow here
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, RemainingTasksStillRunWhenOneThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&counter, i] {
+      if (i == 3) throw std::runtime_error("boom");
+      ++counter;
+    });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 7);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&ran](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::invalid_argument("bad index");
+                                   ++ran;
+                                 }),
+               std::invalid_argument);
+  // The throwing chunk stops at index 37; the other chunks complete.
+  EXPECT_GE(ran.load(), 48);
+  EXPECT_LT(ran.load(), 64);
+}
+
+TEST(RunControl, StopTokenIsStickyUntilReset) {
+  StopToken tok;
+  EXPECT_FALSE(tok.stop_requested());
+  tok.request_stop();
+  EXPECT_TRUE(tok.stop_requested());
+  EXPECT_TRUE(tok.stop_requested());
+  tok.reset();
+  EXPECT_FALSE(tok.stop_requested());
+}
+
+TEST(RunControl, BudgetTrackerReportsFirstViolatedLimit) {
+  BudgetTracker t;
+  RunBudget b;
+  b.max_evaluations = 10;
+  b.max_vectors = 5;
+  t.start(b);
+  EXPECT_EQ(t.check(9, 4, nullptr), StopReason::Completed);
+  EXPECT_EQ(t.check(10, 0, nullptr), StopReason::EvalLimit);
+  EXPECT_EQ(t.check(0, 5, nullptr), StopReason::VectorLimit);
+  StopToken tok;
+  tok.request_stop();
+  // The interrupt wins over every budget limit.
+  EXPECT_EQ(t.check(10, 5, &tok), StopReason::Interrupted);
+}
+
+TEST(RunControl, TimeLimitTrips) {
+  BudgetTracker t;
+  RunBudget b;
+  b.time_limit_seconds = 1e-9;
+  t.start(b);
+  while (t.elapsed_seconds() < 1e-6) {}
+  EXPECT_EQ(t.check(0, 0, nullptr), StopReason::TimeLimit);
+}
+
+TEST(RunControl, UnlimitedBudgetNeverStops) {
+  BudgetTracker t;
+  t.start(RunBudget{});
+  EXPECT_EQ(t.check(1u << 30, 1u << 30, nullptr), StopReason::Completed);
+  EXPECT_TRUE(RunBudget{}.unlimited());
+}
+
+TEST(RunControl, StopReasonNames) {
+  EXPECT_STREQ(to_string(StopReason::Completed), "completed");
+  EXPECT_STREQ(to_string(StopReason::TimeLimit), "time-limit");
+  EXPECT_STREQ(to_string(StopReason::Interrupted), "interrupted");
+  EXPECT_STREQ(to_string(StopReason::Error), "error");
+}
+
+TEST(Rng, StateRoundTripContinuesStream) {
+  Rng a(99);
+  for (int i = 0; i < 10; ++i) a.next();
+  const auto saved = a.state();
+  std::vector<std::uint64_t> expect;
+  for (int i = 0; i < 20; ++i) expect.push_back(a.next());
+  Rng b(1);  // different seed; state restore must fully override it
+  b.set_state(saved);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(b.next(), expect[i]);
 }
 
 }  // namespace

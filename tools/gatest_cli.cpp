@@ -9,6 +9,8 @@
 //   gatest_atpg --circuit mydesign.bench --engine two-pass --report
 //   gatest_atpg --profile s1423 --engine ga --sample 200 --threads 4 --compact
 //   gatest_atpg --profile s386 --engine ga --scan        # full-scan version
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,12 +24,14 @@
 #include "circuitgen/circuitgen.h"
 #include "fault/fault.h"
 #include "fsim/fault_sim.h"
+#include "gatest/checkpoint.h"
 #include "gatest/compaction.h"
 #include "gatest/test_generator.h"
 #include "netlist/bench_io.h"
 #include "netlist/scan.h"
 #include "sim/responses.h"
 #include "sim/vcd.h"
+#include "util/run_control.h"
 
 using namespace gatest;
 
@@ -46,9 +50,9 @@ namespace {
       "  --engine two-pass   GATEST first, then PODEM on the survivors\n"
       "\n"
       "options:\n"
-      "  --seed N            RNG seed (default 1)\n"
+      "  --seed N            RNG seed, non-negative (default 1)\n"
       "  --sample N          fault-sample size for GA fitness (0 = full)\n"
-      "  --threads N         parallel fitness evaluation threads\n"
+      "  --threads N         parallel fitness evaluation threads (>= 1)\n"
       "  --gap G             generation gap in (0,1] (default 1 = "
       "non-overlapping)\n"
       "  --coding binary|nonbinary\n"
@@ -62,14 +66,61 @@ namespace {
       "  --responses FILE    write fault-free output responses ('x' = mask)\n"
       "  --vcd FILE          write a fault-free waveform trace of the tests\n"
       "  --write-bench FILE  dump the (possibly generated) netlist\n"
-      "  --report            list undetected faults\n",
+      "  --report            list undetected faults\n"
+      "\n"
+      "run control (GA engines; SIGINT/SIGTERM stop cooperatively and flush):\n"
+      "  --time-limit SEC    stop after SEC seconds of wall clock\n"
+      "  --max-evals N       stop after N fitness evaluations\n"
+      "  --max-vectors N     stop once N vectors are committed\n"
+      "  --checkpoint FILE   write periodic + on-stop checkpoints to FILE\n"
+      "  --checkpoint-interval SEC   periodic save cadence (default 30)\n"
+      "  --resume FILE       continue a run from a checkpoint (same circuit;\n"
+      "                      the checkpoint's seed is used)\n",
       prog);
   std::exit(code);
 }
 
 const char* arg_value(int argc, char** argv, int& i, const char* prog) {
-  if (i + 1 >= argc) usage(prog, 2);
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s: %s requires a value\n", prog, argv[i]);
+    std::exit(2);
+  }
   return argv[++i];
+}
+
+[[noreturn]] void flag_error(const char* flag, const char* expected,
+                             const char* got) {
+  std::fprintf(stderr, "gatest_atpg: %s expects %s, got '%s'\n", flag,
+               expected, got);
+  std::exit(2);
+}
+
+/// Strict unsigned integer parse: the whole token must be digits (an
+/// explicit rejection of the old atoi-style "accept any prefix" behavior).
+unsigned long long parse_uint(const char* flag, const char* s,
+                              unsigned long long min_value = 0) {
+  if (*s == '\0' || *s == '-' || *s == '+')
+    flag_error(flag, "a non-negative integer", s);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0')
+    flag_error(flag, "a non-negative integer", s);
+  if (v < min_value) {
+    char what[64];
+    std::snprintf(what, sizeof what, "an integer >= %llu", min_value);
+    flag_error(flag, what, s);
+  }
+  return v;
+}
+
+/// Strict double parse; the caller constrains the range.
+double parse_double(const char* flag, const char* s, const char* expected) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno == ERANGE || end == s || *end != '\0') flag_error(flag, expected, s);
+  return v;
 }
 
 }  // namespace
@@ -77,18 +128,41 @@ const char* arg_value(int argc, char** argv, int& i, const char* prog) {
 int main(int argc, char** argv) {
   std::string circuit_file, profile, engine = "ga", out_file, bench_out;
   std::string model = "stuck", resp_file, vcd_file;
+  std::string checkpoint_file, resume_file;
   bool do_compact = false, do_report = false, do_scan = false;
   TestGenConfig cfg;
+  RunControl rc;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--circuit") circuit_file = arg_value(argc, argv, i, argv[0]);
     else if (a == "--profile") profile = arg_value(argc, argv, i, argv[0]);
     else if (a == "--engine") engine = arg_value(argc, argv, i, argv[0]);
-    else if (a == "--seed") cfg.seed = std::strtoull(arg_value(argc, argv, i, argv[0]), nullptr, 10);
-    else if (a == "--sample") cfg.fault_sample_size = static_cast<unsigned>(std::strtoul(arg_value(argc, argv, i, argv[0]), nullptr, 10));
-    else if (a == "--threads") cfg.num_threads = static_cast<unsigned>(std::strtoul(arg_value(argc, argv, i, argv[0]), nullptr, 10));
-    else if (a == "--gap") cfg.generation_gap = std::strtod(arg_value(argc, argv, i, argv[0]), nullptr);
+    else if (a == "--seed") cfg.seed = parse_uint("--seed", arg_value(argc, argv, i, argv[0]));
+    else if (a == "--sample") cfg.fault_sample_size = static_cast<unsigned>(parse_uint("--sample", arg_value(argc, argv, i, argv[0])));
+    else if (a == "--threads") cfg.num_threads = static_cast<unsigned>(parse_uint("--threads", arg_value(argc, argv, i, argv[0]), 1));
+    else if (a == "--gap") {
+      const char* v = arg_value(argc, argv, i, argv[0]);
+      cfg.generation_gap = parse_double("--gap", v, "a number in (0,1]");
+      if (!(cfg.generation_gap > 0.0 && cfg.generation_gap <= 1.0))
+        flag_error("--gap", "a number in (0,1]", v);
+    }
+    else if (a == "--time-limit") {
+      const char* v = arg_value(argc, argv, i, argv[0]);
+      rc.budget.time_limit_seconds = parse_double("--time-limit", v, "a positive number of seconds");
+      if (rc.budget.time_limit_seconds <= 0.0)
+        flag_error("--time-limit", "a positive number of seconds", v);
+    }
+    else if (a == "--max-evals") rc.budget.max_evaluations = parse_uint("--max-evals", arg_value(argc, argv, i, argv[0]), 1);
+    else if (a == "--max-vectors") rc.budget.max_vectors = parse_uint("--max-vectors", arg_value(argc, argv, i, argv[0]), 1);
+    else if (a == "--checkpoint") checkpoint_file = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--checkpoint-interval") {
+      const char* v = arg_value(argc, argv, i, argv[0]);
+      rc.checkpoint_interval_seconds = parse_double("--checkpoint-interval", v, "a positive number of seconds");
+      if (rc.checkpoint_interval_seconds <= 0.0)
+        flag_error("--checkpoint-interval", "a positive number of seconds", v);
+    }
+    else if (a == "--resume") resume_file = arg_value(argc, argv, i, argv[0]);
     else if (a == "--coding") {
       const std::string v = arg_value(argc, argv, i, argv[0]);
       cfg.sequence_coding = v == "nonbinary" ? Coding::NonBinary : Coding::Binary;
@@ -122,8 +196,30 @@ int main(int argc, char** argv) {
   }
   if (circuit_file.empty() == profile.empty()) usage(argv[0], 2);
 
-  Circuit circuit = circuit_file.empty() ? benchmark_circuit(profile)
-                                         : load_bench_file(circuit_file);
+  const bool ga_engine = engine == "ga" || engine == "two-pass";
+  if (!resume_file.empty() && !ga_engine) {
+    std::fprintf(stderr, "gatest_atpg: --resume only applies to the GA "
+                         "engines (ga, two-pass)\n");
+    return 2;
+  }
+  if ((!checkpoint_file.empty() || !rc.budget.unlimited()) && !ga_engine)
+    std::fprintf(stderr, "gatest_atpg: note: budgets and checkpoints only "
+                         "apply to the GA engines; ignored for '%s'\n",
+                 engine.c_str());
+  rc.checkpoint_path = checkpoint_file;
+  // Ctrl-C / SIGTERM stop the run at the next commit boundary; the partial
+  // test set, report, and checkpoint are flushed below as usual.
+  rc.stop = &global_stop_token();
+  install_signal_stop_handlers();
+
+  Circuit circuit("uninitialized");
+  try {
+    circuit = circuit_file.empty() ? benchmark_circuit(profile)
+                                   : load_bench_file(circuit_file);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gatest_atpg: %s\n", e.what());
+    return 1;
+  }
   if (do_scan) circuit = full_scan_version(circuit);
 
   std::printf("%s: %zu PIs, %zu POs, %zu FFs, %zu gates, depth %u\n",
@@ -144,22 +240,48 @@ int main(int argc, char** argv) {
               model == "transition" ? "transition" : "collapsed stuck-at");
 
   TestGenResult result;
-  if (engine == "ga" || engine == "two-pass") {
+  if (ga_engine) {
     GaTestGenerator gen(circuit, faults, cfg);
+    gen.set_run_control(rc);
+    if (!resume_file.empty()) {
+      try {
+        const Checkpoint cp = Checkpoint::load(resume_file);
+        gen.restore_from_checkpoint(cp);
+        std::printf("resumed from %s: %zu vectors, %zu faults detected, "
+                    "%.2fs prior\n",
+                    resume_file.c_str(), cp.test_set.size(),
+                    faults.num_detected(), cp.seconds);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "gatest_atpg: %s\n", e.what());
+        return 1;
+      }
+    }
     result = gen.run();
     std::printf("GATEST: %zu detected, %zu vectors, %.2fs, %zu evaluations\n",
                 result.faults_detected, result.test_set.size(), result.seconds,
                 result.fitness_evaluations);
+    if (result.stop_reason != StopReason::Completed) {
+      std::printf("run stopped early: %s%s%s\n", to_string(result.stop_reason),
+                  result.error_message.empty() ? "" : " — ",
+                  result.error_message.c_str());
+      if (!checkpoint_file.empty())
+        std::printf("checkpoint written to %s (resume with --resume %s)\n",
+                    checkpoint_file.c_str(), checkpoint_file.c_str());
+    }
     if (engine == "two-pass") {
-      HitecLiteConfig hcfg;
-      const HitecLiteResult det = run_hitec_lite(circuit, faults, hcfg);
-      std::printf("PODEM pass: +%zu tests, %zu aborted, %zu "
-                  "untestable-in-window, %.2fs\n",
-                  det.test_found, det.aborted, det.no_test_in_window,
-                  det.gen.seconds);
-      for (const TestVector& v : det.gen.test_set)
-        result.test_set.push_back(v);
-      result.faults_detected = faults.num_detected();
+      if (result.stop_reason != StopReason::Completed) {
+        std::printf("PODEM pass skipped (GA run did not complete)\n");
+      } else {
+        HitecLiteConfig hcfg;
+        const HitecLiteResult det = run_hitec_lite(circuit, faults, hcfg);
+        std::printf("PODEM pass: +%zu tests, %zu aborted, %zu "
+                    "untestable-in-window, %.2fs\n",
+                    det.test_found, det.aborted, det.no_test_in_window,
+                    det.gen.seconds);
+        for (const TestVector& v : det.gen.test_set)
+          result.test_set.push_back(v);
+        result.faults_detected = faults.num_detected();
+      }
     }
   } else if (engine == "random") {
     RandomTpgConfig rcfg;
