@@ -1,0 +1,79 @@
+// Micro-benchmarks for the static-analysis layer: full lint over a circuit,
+// SCOAP-backed untestability classification of the collapsed fault universe,
+// and the report renderers.  Lint is meant to be cheap enough to run before
+// every ATPG invocation; these benchmarks keep that promise measurable.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "analysis/lint.h"
+#include "analysis/prune.h"
+#include "circuitgen/circuitgen.h"
+#include "fault/fault.h"
+#include "netlist/scoap.h"
+
+namespace gatest {
+namespace {
+
+const Circuit& cached_static(const char* name) {
+  static std::map<std::string, Circuit> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) it = cache.emplace(name, benchmark_circuit(name)).first;
+  return it->second;
+}
+
+const Circuit& circuit_for(const benchmark::State& state) {
+  static const char* kNames[] = {"s298", "s526", "s1423"};
+  return cached_static(kNames[state.range(0)]);
+}
+
+void BM_LintCircuit(benchmark::State& state) {
+  const Circuit& c = circuit_for(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::lint_circuit(c));
+  }
+  state.SetItemsProcessed(state.iterations() * c.num_gates());
+}
+BENCHMARK(BM_LintCircuit)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ClassifyUntestable(benchmark::State& state) {
+  const Circuit& c = circuit_for(state);
+  const FaultList faults(c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::classify_untestable(c, faults.faults()));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+}
+BENCHMARK(BM_ClassifyUntestable)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ClassifyUntestableCachedScoap(benchmark::State& state) {
+  // The SCOAP computation dominates classify; the overload taking
+  // precomputed measures shows the pure classification cost.
+  const Circuit& c = circuit_for(state);
+  const FaultList faults(c);
+  const ScoapMeasures m = compute_scoap(c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::classify_untestable(c, faults.faults(), m));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+}
+BENCHMARK(BM_ClassifyUntestableCachedScoap)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ReportRenderJson(benchmark::State& state) {
+  const Circuit& c = circuit_for(state);
+  analysis::LintOptions opts;
+  opts.deep_cone_threshold = 1;  // force a populated report
+  const analysis::AnalysisReport report = analysis::lint_circuit(c, opts);
+  for (auto _ : state) {
+    std::ostringstream out;
+    analysis::write_json(report, out);
+    benchmark::DoNotOptimize(out.str());
+  }
+}
+BENCHMARK(BM_ReportRenderJson)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace gatest

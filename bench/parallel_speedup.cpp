@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     double serial_time = 0.0;
     for (std::size_t i = 0; i < thread_counts.size(); ++i) {
       TestGenConfig cfg = paper_config_for(name);
+      cfg.prune_untestable = args.prune_untestable;
       cfg.num_threads = thread_counts[i];
       const RunSummary s = run_gatest_repeated(name, cfg, args.runs, args.seed);
       if (i == 0) {

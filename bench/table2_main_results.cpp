@@ -29,8 +29,14 @@ int main(int argc, char** argv) {
       "binary coding, %u runs/circuit\n\n",
       args.runs);
 
-  AsciiTable table({"Circuit", "PIs", "Depth", "Faults", "HT-Det", "HT-Vec",
-                    "HT-Time", "GA-Det", "GA-Vec", "GA-Time"});
+  std::vector<std::string> headers = {"Circuit", "PIs",    "Depth",  "Faults",
+                                      "HT-Det",  "HT-Vec", "HT-Time", "GA-Det",
+                                      "GA-Vec",  "GA-Time"};
+  if (args.prune_untestable) {
+    headers.push_back("Pruned");
+    headers.push_back("GA-Eff");
+  }
+  AsciiTable table(headers);
 
   for (const std::string& name : circuits) {
     const Circuit& c = cached_circuit(name);
@@ -42,10 +48,11 @@ int main(int argc, char** argv) {
     const HitecLiteResult hitec = run_hitec_lite(c, hfaults, hcfg);
 
     // GATEST, averaged over runs with fresh seeds.
-    const RunSummary ga =
-        run_gatest_repeated(name, paper_config_for(name), args.runs, args.seed);
+    TestGenConfig cfg = paper_config_for(name);
+    cfg.prune_untestable = args.prune_untestable;
+    const RunSummary ga = run_gatest_repeated(name, cfg, args.runs, args.seed);
 
-    table.add_row({
+    std::vector<std::string> row = {
         name,
         strprintf("%zu", c.num_inputs()),
         strprintf("%u", c.sequential_depth()),
@@ -56,7 +63,12 @@ int main(int argc, char** argv) {
         format_mean_stddev(ga.detected),
         strprintf("%.0f(%.0f)", ga.vectors.mean(), ga.vectors.stddev()),
         format_duration(ga.seconds.mean()),
-    });
+    };
+    if (args.prune_untestable) {
+      row.push_back(strprintf("%zu", ga.faults_pruned));
+      row.push_back(strprintf("%.1f%%", 100.0 * ga.efficiency.mean()));
+    }
+    table.add_row(row);
   }
 
   table.print(std::cout);

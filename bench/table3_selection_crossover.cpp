@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     for (SelectionScheme sel : kSel) {
       for (CrossoverScheme xov : kXov) {
         TestGenConfig cfg = paper_config_for(name);
+      cfg.prune_untestable = args.prune_untestable;
         cfg.selection = sel;
         cfg.crossover = xov;
         const RunSummary s =

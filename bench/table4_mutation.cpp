@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
     double lo = 1e18, hi = -1e18;
     for (double rate : rates) {
       TestGenConfig cfg = paper_config_for(name);
+      cfg.prune_untestable = args.prune_untestable;
       cfg.seq_mutation = rate;
       const RunSummary s = run_gatest_repeated(name, cfg, args.runs, args.seed);
       row.push_back(strprintf("%.1f", s.detected.mean()));

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     for (unsigned pop : {16u, 32u, 64u}) {
       for (Coding coding : {Coding::Binary, Coding::NonBinary}) {
         TestGenConfig cfg = paper_config_for(name);
+      cfg.prune_untestable = args.prune_untestable;
         cfg.seq_population = pop;
         cfg.sequence_coding = coding;
         const RunSummary s =

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
                     "S300-Det", "S300-Vec", "S300-Spdup"});
 
   for (const std::string& name : circuits) {
-    const TestGenConfig base = paper_config_for(name);
+    TestGenConfig base = paper_config_for(name);
+    base.prune_untestable = args.prune_untestable;
     const RunSummary full =
         run_gatest_repeated(name, base, args.runs, args.seed);
 

@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
                     "G3/4-Det", "G3/4-Spdup"});
 
   for (const std::string& name : circuits) {
-    const TestGenConfig base = paper_config_for(name);
+    TestGenConfig base = paper_config_for(name);
+    base.prune_untestable = args.prune_untestable;
     const RunSummary nonovl =
         run_gatest_repeated(name, base, args.runs, args.seed);
 

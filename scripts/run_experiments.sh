@@ -13,6 +13,10 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Static analysis + TSan gate (clang-tidy if installed, -Werror build,
+# ThreadSanitizer smoke of the parallel evaluation path).
+scripts/run_static_analysis.sh
+
 # Sanitized run-control smoke: build the CLI with ASan+UBSan and assert that
 # a time-limited run (budget stop + checkpoint flush) exits cleanly.
 echo "=== sanitized run-control smoke (s298, 5s budget) ==="

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Static analysis + thread-sanitizer gate.
+#
+#   scripts/run_static_analysis.sh
+#
+# Three stages, each skipped gracefully when its tool is unavailable:
+#   1. clang-tidy over the library/tool sources (checks from .clang-tidy),
+#      via -DGATEST_CLANG_TIDY=ON so the exact compile flags are used;
+#   2. a warnings-as-errors build (-DGATEST_WERROR=ON) with the default
+#      toolchain — the repo must compile -Wall -Wextra clean;
+#   3. a ThreadSanitizer smoke: rebuild with GATEST_SANITIZE=thread and
+#      exercise the parallel fitness evaluation path (ThreadPool +
+#      per-worker fault simulators) at 4 threads, plus the run-control and
+#      parallelism unit tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- stage 1: clang-tidy ------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy (checks from .clang-tidy) ==="
+  cmake -B build-tidy -G Ninja -DGATEST_CLANG_TIDY=ON -DGATEST_WERROR=ON
+  cmake --build build-tidy || fail=1
+else
+  echo "=== clang-tidy not installed; skipping tidy stage ==="
+fi
+
+# --- stage 2: warnings-as-errors build ---------------------------------------
+echo "=== -Werror build ==="
+cmake -B build-werror -G Ninja -DGATEST_WERROR=ON
+cmake --build build-werror || fail=1
+
+# --- stage 3: ThreadSanitizer smoke ------------------------------------------
+echo "=== ThreadSanitizer smoke (parallel fitness evaluation, 4 threads) ==="
+cmake -B build-tsan -G Ninja -DGATEST_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan --target gatest_atpg_cli util_test run_control_test
+
+export TSAN_OPTIONS="halt_on_error=1"
+# End-to-end: a short GA run with 4 evaluation threads drives
+# ThreadPool::parallel_for and the per-worker simulator replicas.
+build-tsan/tools/gatest_atpg --profile s298 --engine ga --seed 1 \
+    --threads 4 --max-evals 2000 || fail=1
+# Unit coverage of the pool itself (exception propagation, reuse) and the
+# parallel-vs-serial identity of the generator.
+build-tsan/tests/util_test --gtest_filter='ThreadPool*' || fail=1
+build-tsan/tests/run_control_test --gtest_filter='*Parallel*' || fail=1
+
+if [ "$fail" -ne 0 ]; then
+  echo "static analysis FAILED"
+  exit 1
+fi
+echo "static analysis passed"

@@ -1,0 +1,110 @@
+#include "analysis/diagnostic.h"
+
+#include <ostream>
+
+namespace gatest::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Info:    return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error:   return "error";
+  }
+  return "?";
+}
+
+void AnalysisReport::add(Severity severity, std::string code,
+                         std::string location, std::string message) {
+  diagnostics.push_back(Diagnostic{severity, std::move(code),
+                                   std::move(location), std::move(message)});
+}
+
+std::size_t AnalysisReport::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == severity) ++n;
+  return n;
+}
+
+int exit_code(const AnalysisReport& report) {
+  if (report.has(Severity::Error)) return 2;
+  if (report.has(Severity::Warning)) return 1;
+  return 0;
+}
+
+void write_text(const AnalysisReport& report, std::ostream& out) {
+  for (const Diagnostic& d : report.diagnostics)
+    out << report.circuit_name << ": " << to_string(d.severity) << ": ["
+        << d.code << "] " << d.location << ": " << d.message << '\n';
+
+  const CircuitStats& s = report.stats;
+  out << report.circuit_name << ": " << s.num_gates << " nodes ("
+      << s.num_inputs << " PIs, " << s.num_outputs << " POs, " << s.num_dffs
+      << " FFs, " << s.num_logic_gates << " gates), " << s.num_levels
+      << " levels, sequential depth " << s.sequential_depth << ", "
+      << s.num_ffrs << " fanout-free regions (max " << s.max_ffr_size
+      << " nodes), max fanout " << s.max_fanout << '\n';
+  out << report.circuit_name << ": " << report.count(Severity::Error)
+      << " error(s), " << report.count(Severity::Warning) << " warning(s), "
+      << report.count(Severity::Info) << " info\n";
+}
+
+namespace {
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':  out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_json(const AnalysisReport& report, std::ostream& out) {
+  out << "{\"circuit\":";
+  write_escaped(out, report.circuit_name);
+  out << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i) out << ',';
+    out << "{\"severity\":\"" << to_string(d.severity) << "\",\"code\":";
+    write_escaped(out, d.code);
+    out << ",\"location\":";
+    write_escaped(out, d.location);
+    out << ",\"message\":";
+    write_escaped(out, d.message);
+    out << '}';
+  }
+  const CircuitStats& s = report.stats;
+  out << "],\"stats\":{"
+      << "\"nodes\":" << s.num_gates
+      << ",\"logic_gates\":" << s.num_logic_gates
+      << ",\"inputs\":" << s.num_inputs
+      << ",\"outputs\":" << s.num_outputs
+      << ",\"dffs\":" << s.num_dffs
+      << ",\"levels\":" << s.num_levels
+      << ",\"sequential_depth\":" << s.sequential_depth
+      << ",\"ffrs\":" << s.num_ffrs
+      << ",\"max_ffr_size\":" << s.max_ffr_size
+      << ",\"max_fanout\":" << s.max_fanout
+      << ",\"dead_gates\":" << s.dead_gates
+      << ",\"uninitializable_dffs\":" << s.uninitializable_dffs
+      << "},\"errors\":" << report.count(Severity::Error)
+      << ",\"warnings\":" << report.count(Severity::Warning)
+      << ",\"infos\":" << report.count(Severity::Info) << "}\n";
+}
+
+}  // namespace gatest::analysis

@@ -1,0 +1,80 @@
+// Diagnostic vocabulary of the netlist static-analysis layer (gatest-lint).
+//
+// Every lint pass reports findings as Diagnostics collected into an
+// AnalysisReport.  Severities follow compiler conventions:
+//   Info    — noteworthy structure, never affects the exit code;
+//   Warning — suspicious or testability-hostile structure (dead logic,
+//             uninitializable flip-flops, constant nets, ...);
+//   Error   — the netlist could not be analyzed at all (parse/structural
+//             failure surfaced as a diagnostic instead of an exception).
+// The report renders as human-readable text or machine-readable JSON and
+// maps to the gatest_lint exit-code contract (see exit_code()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gatest::analysis {
+
+enum class Severity : std::uint8_t { Info = 0, Warning = 1, Error = 2 };
+
+const char* to_string(Severity s);
+
+/// One finding.  `location` is a signal name for circuit-level passes or
+/// "line N" for parser-level findings; `code` is a stable slug tests and
+/// tooling can key on (e.g. "dead-gate", "unused-signal").
+struct Diagnostic {
+  Severity severity = Severity::Info;
+  std::string code;
+  std::string location;
+  std::string message;
+};
+
+/// Structural summary statistics computed alongside the lint passes.
+struct CircuitStats {
+  std::size_t num_gates = 0;        ///< all nodes (inputs, flops, logic)
+  std::size_t num_logic_gates = 0;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_dffs = 0;
+  std::uint32_t num_levels = 0;
+  std::uint32_t sequential_depth = 0;
+  std::size_t num_ffrs = 0;          ///< fanout-free regions
+  std::size_t max_ffr_size = 0;      ///< nodes in the largest FFR
+  std::size_t max_fanout = 0;
+  std::size_t dead_gates = 0;        ///< nodes outside the output cone
+  std::size_t uninitializable_dffs = 0;
+};
+
+/// Findings plus summary stats for one analyzed circuit.
+struct AnalysisReport {
+  std::string circuit_name;
+  std::vector<Diagnostic> diagnostics;
+  CircuitStats stats;
+
+  void add(Severity severity, std::string code, std::string location,
+           std::string message);
+
+  std::size_t count(Severity severity) const;
+  bool has(Severity severity) const { return count(severity) > 0; }
+
+  /// True when nothing above Info was found.
+  bool clean() const { return !has(Severity::Warning) && !has(Severity::Error); }
+};
+
+/// Severity-based process exit code: 0 = clean (info only), 1 = warnings
+/// present, 2 = errors present.  (gatest_lint reserves 3 for usage errors.)
+int exit_code(const AnalysisReport& report);
+
+/// Human-readable rendering, one diagnostic per line, stats footer.
+void write_text(const AnalysisReport& report, std::ostream& out);
+
+/// Machine-readable rendering: a single JSON object with "circuit",
+/// "diagnostics" (array of {severity, code, location, message}), "stats",
+/// and per-severity counts.  Strings are JSON-escaped.
+void write_json(const AnalysisReport& report, std::ostream& out);
+
+}  // namespace gatest::analysis

@@ -1,0 +1,175 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "netlist/scoap.h"
+
+namespace gatest::analysis {
+namespace {
+
+constexpr std::uint32_t kInf = ScoapMeasures::kInfinity;
+
+void fill_stats(const Circuit& c, CircuitStats& s) {
+  s.num_gates = c.num_gates();
+  s.num_logic_gates = c.num_logic_gates();
+  s.num_inputs = c.num_inputs();
+  s.num_outputs = c.num_outputs();
+  s.num_dffs = c.num_dffs();
+  s.num_levels = c.num_levels();
+  s.sequential_depth = c.sequential_depth();
+  for (const Gate& g : c.gates())
+    s.max_fanout = std::max(s.max_fanout, g.fanouts.size());
+
+  const std::vector<GateId> heads = c.ffr_heads();
+  std::unordered_map<GateId, std::size_t> ffr_size;
+  for (GateId h : heads) ++ffr_size[h];
+  s.num_ffrs = ffr_size.size();
+  for (const auto& [head, size] : ffr_size)
+    s.max_ffr_size = std::max(s.max_ffr_size, size);
+}
+
+}  // namespace
+
+AnalysisReport lint_circuit(const Circuit& c, const LintOptions& opts) {
+  if (!c.finalized())
+    throw std::runtime_error("lint_circuit: circuit must be finalized");
+
+  AnalysisReport report;
+  report.circuit_name = c.name();
+  fill_stats(c, report.stats);
+
+  const std::vector<bool> live = c.output_cone();
+  const std::vector<bool> supported = c.input_support();
+  const ScoapMeasures m = compute_scoap(c);
+
+  std::vector<bool> is_po(c.num_gates(), false);
+  for (GateId po : c.outputs()) is_po[po] = true;
+
+  // Pass 1: dead logic — no structural path to any primary output, so the
+  // node's value can never be observed.  Fault sites here are untestable.
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    if (live[id]) continue;
+    const Gate& g = c.gate(id);
+    if (g.type == GateType::Const0 || g.type == GateType::Const1) continue;
+    ++report.stats.dead_gates;
+    const char* what = g.type == GateType::Input ? "primary input"
+                       : g.type == GateType::Dff ? "flip-flop"
+                                                 : "gate";
+    report.add(Severity::Warning, "dead-gate", g.name,
+               std::string(what) +
+                   " has no structural path to any primary output; its value "
+                   "can never be observed");
+  }
+
+  // Pass 2: primary outputs with no primary-input or constant support —
+  // nothing the environment does can ever drive them to a definite value.
+  for (GateId po : c.outputs()) {
+    if (supported[po]) continue;
+    report.add(Severity::Warning, "undriven-output", c.gate(po).name,
+               "primary output has no primary input or constant in its "
+               "transitive fanin; it can never carry a driven value");
+  }
+
+  // Pass 3: uninitializable flip-flops — sequential SCOAP proves no input
+  // sequence sets the flop to 0 *or* to 1, so starting from the all-X reset
+  // state it holds X forever.  Phase 1 of the GA (flip-flop initialization)
+  // can never claim these; cross-checked against the simulator in tests.
+  for (GateId ff : c.dffs()) {
+    if (m.sc0[ff] != kInf || m.sc1[ff] != kInf) continue;
+    ++report.stats.uninitializable_dffs;
+    report.add(Severity::Warning, "uninitializable-dff", c.gate(ff).name,
+               "flip-flop can never be driven to a definite 0 or 1 from the "
+               "all-X reset state; phase-1 initialization will never set it");
+  }
+
+  // Pass 4: unobservable stems — the net is alive (inside the output cone)
+  // yet sequential observability is infinite: no sensitizable path exists,
+  // e.g. every path is blocked by an uncontrollable side input.  Dead nodes
+  // are skipped (already reported), as are POs (observable by definition).
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    if (!live[id] || is_po[id]) continue;
+    if (m.so[id] != kInf) continue;
+    const Gate& g = c.gate(id);
+    if (g.type == GateType::Const0 || g.type == GateType::Const1) continue;
+    report.add(Severity::Warning, "unobservable-stem", g.name,
+               "net value can never be propagated to a primary output "
+               "(sequential observability is infinite)");
+  }
+
+  // Pass 5: constant nets — one or both binary values are unreachable.
+  // Inputs and explicit constants are excluded (inputs are free; constants
+  // are constant by design).  Uninitializable flops were reported above.
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const Gate& g = c.gate(id);
+    if (is_combinational_source(g.type) && g.type != GateType::Dff) continue;
+    if (g.type == GateType::Dff && m.sc0[id] == kInf && m.sc1[id] == kInf)
+      continue;  // covered by uninitializable-dff
+    const bool no0 = m.sc0[id] == kInf;
+    const bool no1 = m.sc1[id] == kInf;
+    if (!no0 && !no1) continue;
+    std::string msg;
+    if (no0 && no1)
+      msg = "net can never take a definite binary value (stuck at X)";
+    else
+      msg = std::string("net can never be driven to ") + (no0 ? "0" : "1") +
+            "; stuck-at-" + (no0 ? "1" : "0") + " faults here are untestable";
+    report.add(Severity::Warning, "constant-net", g.name, std::move(msg));
+  }
+
+  // Pass 6: excessive fanout.
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const Gate& g = c.gate(id);
+    if (g.fanouts.size() <= opts.max_fanout) continue;
+    report.add(Severity::Warning, "excessive-fanout", g.name,
+               "stem drives " + std::to_string(g.fanouts.size()) +
+                   " fanout branches (threshold " +
+                   std::to_string(opts.max_fanout) + ")");
+  }
+
+  // Pass 7: deep logic cones — finite but large SCOAP detection difficulty.
+  // Informational: these are the nets the GA will spend most of its budget
+  // on.  Hardest first, capped to keep reports readable.
+  struct DeepCone {
+    GateId id;
+    std::uint32_t difficulty;
+  };
+  std::vector<DeepCone> deep;
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    if (!live[id]) continue;
+    const std::uint32_t d0 = m.stuck_at_difficulty(id, false);
+    const std::uint32_t d1 = m.stuck_at_difficulty(id, true);
+    const std::uint32_t d = std::max(d0 == kInf ? 0 : d0, d1 == kInf ? 0 : d1);
+    if (d != 0 && d >= opts.deep_cone_threshold) deep.push_back({id, d});
+  }
+  std::sort(deep.begin(), deep.end(), [](const DeepCone& a, const DeepCone& b) {
+    return a.difficulty != b.difficulty ? a.difficulty > b.difficulty
+                                        : a.id < b.id;
+  });
+  const std::size_t shown = std::min(deep.size(), opts.max_deep_cone_reports);
+  for (std::size_t i = 0; i < shown; ++i)
+    report.add(Severity::Info, "deep-cone", c.gate(deep[i].id).name,
+               "hard-to-test net: SCOAP detection difficulty " +
+                   std::to_string(deep[i].difficulty) + " (threshold " +
+                   std::to_string(opts.deep_cone_threshold) + ")");
+  if (deep.size() > shown)
+    report.add(Severity::Info, "deep-cone", c.name(),
+               std::to_string(deep.size() - shown) +
+                   " more net(s) above the deep-cone threshold not shown");
+
+  return report;
+}
+
+void add_bench_warnings(AnalysisReport& report,
+                        const std::vector<BenchWarning>& warnings) {
+  std::vector<Diagnostic> parsed;
+  parsed.reserve(warnings.size());
+  for (const BenchWarning& w : warnings)
+    parsed.push_back(Diagnostic{Severity::Warning, w.code,
+                                "line " + std::to_string(w.line), w.message});
+  report.diagnostics.insert(report.diagnostics.begin(), parsed.begin(),
+                            parsed.end());
+}
+
+}  // namespace gatest::analysis

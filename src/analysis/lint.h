@@ -1,0 +1,46 @@
+// Netlist lint: structural-diagnostic passes over a finalized Circuit.
+//
+// The passes flag testability-hostile structure *before* any test
+// generation runs: dead logic that can never affect an output, primary
+// outputs with no primary-input support, flip-flops that no input sequence
+// can initialize, stems whose value can never be propagated to an output,
+// nets locked to one value (or to X), pathological fanout, and
+// hard-to-test cones ranked by SCOAP difficulty.  GATEST's GA phases are
+// parameterized by structural properties (sequential depth drives the
+// phase-3 progress limit and phase-4 sequence lengths), so the same pass
+// also reports the structural summary stats the generator keys off.
+//
+// All impossibility claims ("never", "cannot") are relative to the
+// library's three-valued simulation semantics: a value is only counted
+// when it is *definite* for every initial flip-flop state.  SCOAP-infinite
+// measures are conservative proofs of impossibility under that semantics
+// (finite measures prove nothing), which is exactly the direction the
+// fault-pruning pass in analysis/prune.h needs.
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "netlist/bench_io.h"
+#include "netlist/circuit.h"
+
+namespace gatest::analysis {
+
+struct LintOptions {
+  /// Fanout count above which a stem is flagged (routing/congestion and
+  /// fault-equivalence blowup proxy).
+  std::size_t max_fanout = 64;
+  /// Combinational SCOAP difficulty (cc0+cc1+co) above which a net is
+  /// reported as a hard-to-test cone (Info).
+  std::uint32_t deep_cone_threshold = 200;
+  /// At most this many deep-cone Infos are emitted (hardest first).
+  std::size_t max_deep_cone_reports = 10;
+};
+
+/// Run every lint pass.  The circuit must be finalized.
+AnalysisReport lint_circuit(const Circuit& c, const LintOptions& opts = {});
+
+/// Surface parser findings (bench_io BenchWarnings) as Warning diagnostics
+/// with "line N" locations, ahead of the circuit-level findings.
+void add_bench_warnings(AnalysisReport& report,
+                        const std::vector<BenchWarning>& warnings);
+
+}  // namespace gatest::analysis

@@ -1,0 +1,73 @@
+#include "analysis/prune.h"
+
+namespace gatest::analysis {
+namespace {
+
+constexpr std::uint32_t kInf = ScoapMeasures::kInfinity;
+
+UntestableTag classify_one(const Circuit& c, const ScoapMeasures& m,
+                           const Fault& f) {
+  if (f.model != FaultModel::StuckAt) return UntestableTag::None;
+  const bool activate_value = f.stuck == 0;  // site must reach v̄
+  if (f.pin == Fault::kOutputPin) {
+    if (m.sc(f.gate, activate_value) == kInf) return UntestableTag::Unactivatable;
+    if (m.so[f.gate] == kInf) return UntestableTag::Unobservable;
+    return UntestableTag::None;
+  }
+  const GateId driver = c.gate(f.gate).fanins[static_cast<std::size_t>(f.pin)];
+  if (m.sc(driver, activate_value) == kInf) return UntestableTag::Unactivatable;
+  if (pin_observability(c, m, f.gate, static_cast<std::size_t>(f.pin),
+                        /*sequential=*/true) == kInf)
+    return UntestableTag::Unobservable;
+  return UntestableTag::None;
+}
+
+}  // namespace
+
+std::vector<UntestableTag> classify_untestable(const Circuit& c,
+                                               const std::vector<Fault>& faults,
+                                               const ScoapMeasures& m) {
+  std::vector<UntestableTag> tags(faults.size(), UntestableTag::None);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    tags[i] = classify_one(c, m, faults[i]);
+  return tags;
+}
+
+std::vector<UntestableTag> classify_untestable(
+    const Circuit& c, const std::vector<Fault>& faults) {
+  return classify_untestable(c, faults, compute_scoap(c));
+}
+
+PruneSummary summarize_tags(const std::vector<UntestableTag>& tags) {
+  PruneSummary s;
+  s.total_faults = tags.size();
+  for (UntestableTag t : tags) {
+    if (t == UntestableTag::None) continue;
+    ++s.pruned;
+    if (t == UntestableTag::Unactivatable) ++s.unactivatable;
+    else ++s.unobservable;
+  }
+  return s;
+}
+
+PruneSummary mark_untestable_faults(FaultList& faults,
+                                    const std::vector<UntestableTag>& tags) {
+  PruneSummary s = summarize_tags(tags);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    faults.set_tag(i, tags[i]);
+    if (tags[i] == UntestableTag::None) continue;
+    if (faults.status(i) == FaultStatus::Detected) {
+      ++s.already_detected;
+      continue;
+    }
+    faults.set_status(i, FaultStatus::Untestable);
+  }
+  return s;
+}
+
+PruneSummary mark_untestable_faults(FaultList& faults) {
+  return mark_untestable_faults(
+      faults, classify_untestable(faults.circuit(), faults.faults()));
+}
+
+}  // namespace gatest::analysis

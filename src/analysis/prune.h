@@ -1,0 +1,71 @@
+// Structurally-untestable stuck-at fault classification (fault pruning).
+//
+// A stuck-at-v fault is detectable only if the simulator can (a) drive the
+// fault site to the definite value v̄ (activation) and (b) propagate the
+// resulting difference to a primary output (observation).  Sequential SCOAP
+// gives *optimistic* cost estimates for both — the real cost is never lower
+// — and the three-valued simulator only credits definite detections, so an
+// infinite estimate is a sound proof of untestability:
+//   - sc(site, v̄) == kInfinity  → the site never takes the value v̄ from the
+//     all-X reset state: the fault can never be activated (the faulty and
+//     good machines never definitely differ at the site);
+//   - so(site) == kInfinity (stem) or sequential pin observability ==
+//     kInfinity (branch) → a difference at the site can never definitely
+//     reach a primary output.
+// Finite estimates prove nothing and such faults are never pruned.
+//
+// Pruning is an *accounting* layer: classification never changes which
+// faults the GA simulates (the engine's fitness denominators, activity
+// observables, and sampling pools all depend on the full universe, so
+// removing faults would perturb the search trajectory).  Instead, classified
+// faults that finish a run undetected are marked Untestable after the fact,
+// and reports show fault efficiency = detected / (total − pruned) next to
+// the paper-comparable coverage = detected / total.
+//
+// Only single stuck-at faults are classified; transition faults always get
+// tag None (their activation needs a *transition*, which SCOAP does not
+// bound).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/scoap.h"
+
+namespace gatest::analysis {
+
+/// Classification counts for one fault universe.
+struct PruneSummary {
+  std::size_t total_faults = 0;
+  std::size_t pruned = 0;          ///< classified structurally untestable
+  std::size_t unactivatable = 0;   ///< site never reaches the required value
+  std::size_t unobservable = 0;    ///< difference never reaches an output
+  std::size_t already_detected = 0;  ///< classified but simulator-detected
+                                     ///< (soundness violation if nonzero)
+
+  /// Effective universe size after pruning.
+  std::size_t testable() const { return total_faults - pruned; }
+};
+
+/// Per-fault tag, aligned with `faults`.  The overload without measures
+/// computes SCOAP internally.
+std::vector<UntestableTag> classify_untestable(const Circuit& c,
+                                               const std::vector<Fault>& faults,
+                                               const ScoapMeasures& m);
+std::vector<UntestableTag> classify_untestable(const Circuit& c,
+                                               const std::vector<Fault>& faults);
+
+/// Counts for a tag vector (already_detected stays 0).
+PruneSummary summarize_tags(const std::vector<UntestableTag>& tags);
+
+/// Post-run accounting pass: store each fault's tag in the list and mark
+/// still-undetected classified faults Untestable.  Faults the simulator
+/// detected are never downgraded — they are counted in `already_detected`
+/// instead (a nonzero count would falsify the classifier's soundness and is
+/// asserted against in tests).  The overload without tags classifies first.
+PruneSummary mark_untestable_faults(FaultList& faults,
+                                    const std::vector<UntestableTag>& tags);
+PruneSummary mark_untestable_faults(FaultList& faults);
+
+}  // namespace gatest::analysis

@@ -71,6 +71,8 @@ RunSummary run_gatest_repeated(const std::string& circuit_name,
     summary.vectors.add(static_cast<double>(res.test_set.size()));
     summary.seconds.add(res.seconds);
     summary.evaluations.add(static_cast<double>(res.fitness_evaluations));
+    summary.efficiency.add(res.fault_efficiency);
+    summary.faults_pruned = res.faults_pruned;
   }
   return summary;
 }
@@ -106,10 +108,12 @@ BenchArgs parse_bench_args(int argc, char** argv) {
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
+    } else if (a == "--prune-untestable") {
+      args.prune_untestable = true;
     } else if (a == "--help" || a == "-h") {
       std::fprintf(stderr,
                    "usage: %s [--runs=N] [--circuits=a,b,c] [--full] "
-                   "[--seed=S]\n",
+                   "[--seed=S] [--prune-untestable]\n",
                    argv[0]);
       std::exit(0);
     } else {

@@ -28,7 +28,9 @@ struct RunSummary {
   RunningStats vectors;
   RunningStats seconds;
   RunningStats evaluations;
+  RunningStats efficiency;  ///< detected / (total − pruned), per run
   std::size_t faults_total = 0;
+  std::size_t faults_pruned = 0;  ///< static-analysis classification count
 };
 
 /// Circuits small enough for quick default bench runs (seconds each).
@@ -59,6 +61,9 @@ struct BenchArgs {
   unsigned runs = 2;
   bool full = false;
   std::uint64_t seed = 1000;
+  /// Enable static-analysis fault pruning (TestGenConfig::prune_untestable):
+  /// results are identical, but summaries add fault-efficiency accounting.
+  bool prune_untestable = false;
   std::vector<std::string> circuits;  ///< empty = bench default set
 
   /// Circuits to use given a bench's default and full sets.

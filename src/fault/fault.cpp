@@ -83,8 +83,11 @@ std::vector<Fault> enumerate_all_faults(const Circuit& c) {
     for (std::uint8_t v : {0, 1})
       out.push_back(Fault{id, Fault::kOutputPin, v});
     for (std::size_t p = 0; p < g.fanins.size(); ++p) {
-      // A pin fault is a distinct site only where the driving net branches.
-      if (c.gate(g.fanins[p]).fanouts.size() > 1)
+      // A pin fault is a distinct site where the driving net branches — and
+      // also where the driver itself is not a fault site (constants): the
+      // pin is then the only place this physical line can be faulted.
+      const Gate& drv = c.gate(g.fanins[p]);
+      if (drv.fanouts.size() > 1 || !is_fault_site(drv.type))
         for (std::uint8_t v : {0, 1})
           out.push_back(Fault{id, static_cast<std::int16_t>(p), v});
     }
@@ -112,7 +115,7 @@ std::vector<Fault> collapse_faults(const Circuit& c,
   // branches, otherwise the driver's output fault (same wire).
   auto line_fault = [&](GateId g, std::size_t p, std::uint8_t v) -> Fault {
     const GateId drv = c.gate(g).fanins[p];
-    if (c.gate(drv).fanouts.size() > 1)
+    if (c.gate(drv).fanouts.size() > 1 || !is_fault_site(c.gate(drv).type))
       return Fault{g, static_cast<std::int16_t>(p), v};
     return Fault{drv, Fault::kOutputPin, v};
   };
@@ -184,6 +187,7 @@ FaultList::FaultList(const Circuit& c, std::vector<Fault> faults)
     : circuit_(&c),
       faults_(std::move(faults)),
       status_(faults_.size(), FaultStatus::Undetected),
+      tags_(faults_.size(), UntestableTag::None),
       detected_by_(faults_.size(), -1) {}
 
 std::size_t FaultList::num_detected() const {

@@ -46,7 +46,15 @@ std::string fault_name(const Circuit& c, const Fault& f);
 enum class FaultStatus : std::uint8_t {
   Undetected,
   Detected,
-  Untestable,  ///< proven untestable by the deterministic engine
+  Untestable,  ///< proven untestable (deterministic engine or static analysis)
+};
+
+/// Why static analysis classified a fault structurally untestable (set by
+/// analysis/prune; None for every fault the classifier cannot prove out).
+enum class UntestableTag : std::uint8_t {
+  None = 0,       ///< not proven untestable
+  Unactivatable,  ///< site can never take the value opposite the stuck value
+  Unobservable,   ///< a difference at the site can never reach an output
 };
 
 /// Enumerate the full (uncollapsed) stuck-at universe: both polarities on
@@ -89,6 +97,11 @@ class FaultList {
   FaultStatus status(std::size_t i) const { return status_[i]; }
   void set_status(std::size_t i, FaultStatus s) { status_[i] = s; }
 
+  /// Static-analysis classification (see analysis/prune).  Structural, so it
+  /// survives reset(); None until a pruning pass stores its tags.
+  UntestableTag tag(std::size_t i) const { return tags_[i]; }
+  void set_tag(std::size_t i, UntestableTag t) { tags_[i] = t; }
+
   /// Index of the test-set vector that first detected fault i (or -1).
   std::int64_t detected_by(std::size_t i) const { return detected_by_[i]; }
 
@@ -125,6 +138,7 @@ class FaultList {
   const Circuit* circuit_;
   std::vector<Fault> faults_;
   std::vector<FaultStatus> status_;
+  std::vector<UntestableTag> tags_;
   std::vector<std::int64_t> detected_by_;
 };
 

@@ -86,6 +86,15 @@ struct TestGenConfig {
   /// phase-2 fitness (isolates the contribution of the activity heuristic).
   bool use_activity_fitness = true;
 
+  // ---- static-analysis fault pruning (analysis/prune) ---------------------
+  /// Classify structurally untestable stuck-at faults (sequential-SCOAP
+  /// infinity proofs) and report fault efficiency = detected/(total−pruned)
+  /// alongside coverage.  Accounting only: the GA still simulates the full
+  /// universe (its fitness denominators, activity observables, and sampling
+  /// pools depend on it), so detected faults and test sequences are
+  /// bit-identical with and without pruning.
+  bool prune_untestable = false;
+
   // ---- robustness guards (not in the paper; needed for circuits with
   // uninitializable flip-flops, which a simulation-based generator cannot
   // distinguish from hard-to-initialize ones) -------------------------------

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/prune.h"
+
 namespace gatest {
 
 GaTestGenerator::GaTestGenerator(const Circuit& c, FaultList& faults,
@@ -15,6 +17,10 @@ GaTestGenerator::GaTestGenerator(const Circuit& c, FaultList& faults,
       fitness_(sim_, config_),
       rng_(config.seed) {
   depth_ = std::max(1u, c.sequential_depth());
+  if (config_.prune_untestable)
+    faults_pruned_ =
+        analysis::summarize_tags(analysis::classify_untestable(c, faults.faults()))
+            .pruned;
   boundary_rng_ = rng_.state();
   if (config_.num_threads > 1) {
     // One extra simulator replica per additional thread; the main simulator
@@ -434,6 +440,12 @@ TestGenResult GaTestGenerator::run() {
 
   result_.faults_detected = faults_->num_detected();
   result_.fault_coverage = faults_->coverage();
+  result_.faults_pruned = faults_pruned_;
+  const std::size_t effective = result_.faults_total - faults_pruned_;
+  result_.fault_efficiency =
+      effective == 0 ? 1.0
+                     : static_cast<double>(result_.faults_detected) /
+                           static_cast<double>(effective);
   result_.fitness_evaluations = total_evaluations();
   result_.seconds = prior_seconds_ + tracker_.elapsed_seconds();
   result_.stop_reason = stop_reason_;

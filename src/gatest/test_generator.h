@@ -35,6 +35,13 @@ struct TestGenResult {
   std::size_t faults_detected = 0;
   double fault_coverage = 0.0;  ///< detected / total
 
+  /// Faults classified structurally untestable by static analysis (0 unless
+  /// TestGenConfig::prune_untestable).  Pruning never changes the run itself
+  /// — coverage keeps the full paper-comparable denominator; efficiency
+  /// excludes the pruned faults.
+  std::size_t faults_pruned = 0;
+  double fault_efficiency = 0.0;  ///< detected / (total − pruned)
+
   double seconds = 0.0;              ///< wall-clock test-generation time
   std::size_t fitness_evaluations = 0;
 
@@ -144,6 +151,7 @@ class GaTestGenerator {
   FitnessEvaluator fitness_;
   Rng rng_;
   unsigned depth_ = 1;
+  std::size_t faults_pruned_ = 0;  ///< static-analysis count (accounting only)
   std::vector<std::uint8_t> last_best_genes_;  // for population seeding
 
   // Run control.

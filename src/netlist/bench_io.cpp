@@ -1,10 +1,13 @@
 #include "netlist/bench_io.h"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace gatest {
@@ -53,7 +56,8 @@ struct Stmt {
 
 }  // namespace
 
-Circuit parse_bench(std::istream& in, std::string circuit_name) {
+Circuit parse_bench(std::istream& in, std::string circuit_name,
+                    std::vector<BenchWarning>* warnings) {
   std::vector<std::string> input_names;
   std::vector<int> input_lines;
   std::vector<std::string> output_names;
@@ -197,16 +201,39 @@ Circuit parse_bench(std::istream& in, std::string circuit_name) {
   for (std::size_t i = 0; i < output_names.size(); ++i)
     out.add_output(resolve(output_names[i], output_lines[i]));
 
+  // Unused signals: defined but never read (no gate/flop consumes them and
+  // they are not observed).  Historically a silent accept; report when the
+  // caller collects warnings so the lint layer can surface them.
+  if (warnings) {
+    std::unordered_set<std::string> used;
+    for (const Stmt& st : stmts)
+      for (const std::string& a : st.args) used.insert(a);
+    for (const std::string& n : output_names) used.insert(n);
+    for (const auto& [name, line] : defined_at) {
+      if (used.count(name)) continue;
+      warnings->push_back(BenchWarning{
+          line, "unused-signal", name,
+          "signal '" + name + "' (defined at line " + std::to_string(line) +
+              ") is never used: not a fanin of any gate and not an OUTPUT"});
+    }
+    std::sort(warnings->begin(), warnings->end(),
+              [](const BenchWarning& a, const BenchWarning& b) {
+                return std::tie(a.line, a.signal) < std::tie(b.line, b.signal);
+              });
+  }
+
   out.finalize();
   return out;
 }
 
-Circuit parse_bench_string(const std::string& text, std::string circuit_name) {
+Circuit parse_bench_string(const std::string& text, std::string circuit_name,
+                           std::vector<BenchWarning>* warnings) {
   std::istringstream ss(text);
-  return parse_bench(ss, std::move(circuit_name));
+  return parse_bench(ss, std::move(circuit_name), warnings);
 }
 
-Circuit load_bench_file(const std::string& path) {
+Circuit load_bench_file(const std::string& path,
+                        std::vector<BenchWarning>* warnings) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open bench file: " + path);
   std::string name = path;
@@ -214,7 +241,7 @@ Circuit load_bench_file(const std::string& path) {
   if (slash != std::string::npos) name.erase(0, slash + 1);
   const auto dot = name.find_last_of('.');
   if (dot != std::string::npos) name.erase(dot);
-  return parse_bench(f, std::move(name));
+  return parse_bench(f, std::move(name), warnings);
 }
 
 void write_bench(const Circuit& c, std::ostream& out) {

@@ -11,21 +11,38 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "netlist/circuit.h"
 
 namespace gatest {
 
+/// A non-fatal finding from the .bench parser (the circuit is still built).
+/// Currently emitted for signals that are defined but never read: not a
+/// fanin of any gate or flip-flop and not listed as an OUTPUT.  The lint
+/// layer surfaces these as warnings; parsing without a collector keeps the
+/// historical silent-accept behavior.
+struct BenchWarning {
+  int line = 0;            ///< 1-based source line of the definition
+  std::string code;        ///< stable slug, e.g. "unused-signal"
+  std::string signal;      ///< the signal the warning is about
+  std::string message;     ///< human-readable description
+};
+
 /// Parse a .bench netlist. The returned circuit is finalized.
 /// Throws std::runtime_error with a line number on syntax or semantic errors.
-Circuit parse_bench(std::istream& in, std::string circuit_name = "bench");
+/// Non-fatal findings are appended to `warnings` when it is non-null.
+Circuit parse_bench(std::istream& in, std::string circuit_name = "bench",
+                    std::vector<BenchWarning>* warnings = nullptr);
 
 /// Parse from a string (convenience for embedded netlists and tests).
 Circuit parse_bench_string(const std::string& text,
-                           std::string circuit_name = "bench");
+                           std::string circuit_name = "bench",
+                           std::vector<BenchWarning>* warnings = nullptr);
 
 /// Parse from a file path.
-Circuit load_bench_file(const std::string& path);
+Circuit load_bench_file(const std::string& path,
+                        std::vector<BenchWarning>* warnings = nullptr);
 
 /// Serialize to .bench text; parse_bench(write_bench(c)) round-trips the
 /// structure (names, types, pin order, outputs).

@@ -85,6 +85,67 @@ std::size_t Circuit::num_logic_gates() const {
   return n;
 }
 
+std::vector<bool> Circuit::output_cone() const {
+  std::vector<bool> in_cone(gates_.size(), false);
+  std::deque<GateId> queue;
+  for (GateId o : outputs_) {
+    if (!in_cone[o]) {
+      in_cone[o] = true;
+      queue.push_back(o);
+    }
+  }
+  while (!queue.empty()) {
+    const GateId id = queue.front();
+    queue.pop_front();
+    for (GateId f : gates_[id].fanins)
+      if (!in_cone[f]) {
+        in_cone[f] = true;
+        queue.push_back(f);
+      }
+  }
+  return in_cone;
+}
+
+std::vector<bool> Circuit::input_support() const {
+  std::vector<bool> reached(gates_.size(), false);
+  std::deque<GateId> queue;
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const GateType t = gates_[id].type;
+    if (t == GateType::Input || t == GateType::Const0 || t == GateType::Const1) {
+      reached[id] = true;
+      queue.push_back(id);
+    }
+  }
+  while (!queue.empty()) {
+    const GateId id = queue.front();
+    queue.pop_front();
+    for (GateId f : gates_[id].fanouts)
+      if (!reached[f]) {
+        reached[f] = true;
+        queue.push_back(f);
+      }
+  }
+  return reached;
+}
+
+std::vector<GateId> Circuit::ffr_heads() const {
+  std::vector<bool> is_po(gates_.size(), false);
+  for (GateId o : outputs_) is_po[o] = true;
+  std::vector<GateId> head(gates_.size(), kNoGate);
+  // topo_ ascends by level, so the reverse order visits each node's single
+  // combinational fanout (strictly higher level) before the node itself.
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const GateId id = *it;
+    const Gate& g = gates_[id];
+    if (g.fanouts.size() != 1 || is_po[id] ||
+        is_combinational_source(gates_[g.fanouts[0]].type))
+      head[id] = id;  // stem: branches, observed, or feeds a flip-flop
+    else
+      head[id] = head[g.fanouts[0]];
+  }
+  return head;
+}
+
 void Circuit::compute_fanouts() {
   for (Gate& g : gates_) g.fanouts.clear();
   for (GateId id = 0; id < gates_.size(); ++id)

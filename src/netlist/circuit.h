@@ -98,6 +98,25 @@ class Circuit {
   /// Count of logic gates (excludes Input/Dff/Const nodes).
   std::size_t num_logic_gates() const;
 
+  // ---- traversal helpers (static analysis / lint) -------------------------
+
+  /// Per-node flag: the node has a structural path (crossing flip-flops) to
+  /// at least one primary output.  Nodes outside this cone can never affect
+  /// an observed value — they are dead logic.  Valid after finalize().
+  std::vector<bool> output_cone() const;
+
+  /// Per-node flag: the node is reachable (crossing flip-flops) from at
+  /// least one primary input or constant source.  Flip-flops outside this
+  /// set have next-state functions fed only by other unreachable flops.
+  /// Valid after finalize().
+  std::vector<bool> input_support() const;
+
+  /// Fanout-free-region head of each node: the nearest stem (fanout > 1,
+  /// primary output, or flip-flop data sink) at or above the node.  Every
+  /// node maps to exactly one head; the number of distinct heads is the
+  /// circuit's FFR count.  Valid after finalize().
+  std::vector<GateId> ffr_heads() const;
+
  private:
   void compute_fanouts();
   void levelize();

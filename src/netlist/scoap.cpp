@@ -208,6 +208,50 @@ void solve_observability(const Circuit& c,
 
 }  // namespace
 
+std::uint32_t pin_observability(const Circuit& c, const ScoapMeasures& m,
+                                GateId gate, std::size_t pin, bool sequential) {
+  const Gate& g = c.gate(gate);
+  const std::uint32_t gate_cost = sequential ? 0 : 1;
+  const std::uint32_t ff_cost = 1;
+  const auto& c0 = sequential ? m.sc0 : m.cc0;
+  const auto& c1 = sequential ? m.sc1 : m.cc1;
+  const auto& obs = sequential ? m.so : m.co;
+  const std::uint32_t out_obs = obs[gate];
+  switch (g.type) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return kInf;  // no input pins
+    case GateType::Dff:
+      return sat_add(out_obs, ff_cost);
+    case GateType::Buf:
+    case GateType::Not:
+      return sat_add(out_obs, gate_cost);
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor: {
+      const bool and_like = g.type == GateType::And || g.type == GateType::Nand;
+      std::uint32_t side = 0;
+      for (std::size_t j = 0; j < g.fanins.size(); ++j) {
+        if (j == pin) continue;
+        side = sat_add(side, and_like ? c1[g.fanins[j]] : c0[g.fanins[j]]);
+      }
+      return sat_add(sat_add(out_obs, side), gate_cost);
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      std::uint32_t side = 0;
+      for (std::size_t j = 0; j < g.fanins.size(); ++j) {
+        if (j == pin) continue;
+        side = sat_add(side, std::min(c0[g.fanins[j]], c1[g.fanins[j]]));
+      }
+      return sat_add(sat_add(out_obs, side), gate_cost);
+    }
+  }
+  return kInf;
+}
+
 ScoapMeasures compute_scoap(const Circuit& c) {
   ScoapMeasures m;
   // Combinational: assignments — primary inputs cost 1, every gate adds 1.

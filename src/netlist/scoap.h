@@ -51,4 +51,14 @@ struct ScoapMeasures {
 /// order; complexity O(iterations * edges).
 ScoapMeasures compute_scoap(const Circuit& c);
 
+/// Observability of one *input pin* of a gate: the cost of propagating a
+/// value from pin `pin` of `gate` through the gate and on to a primary
+/// output (the gate-output observability plus the cost of holding every
+/// other input at a non-controlling value).  The net-level CO/SO of the
+/// driving net is the minimum of this over all of its branches; the
+/// per-pin value is what a *branch* (input-pin) fault sees.  `sequential`
+/// selects the SC/SO tables (frame counts) instead of CC/CO (assignments).
+std::uint32_t pin_observability(const Circuit& c, const ScoapMeasures& m,
+                                GateId gate, std::size_t pin, bool sequential);
+
 }  // namespace gatest

@@ -547,5 +547,207 @@ TEST(Scan, CombinationalFunctionPreserved) {
   EXPECT_EQ(s.gate(s.gate(g).fanins[1]).name, "ff1");
 }
 
+// ---- traversal helpers (static analysis) ------------------------------------
+
+TEST(CircuitTraversal, OutputConeMarksDeadLogic) {
+  // o = AND(a, b) observed; dead = OR(a, b) feeds nothing.
+  const Circuit c = parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = AND(a, b)\ndead = OR(a, b)\n");
+  const std::vector<bool> live = c.output_cone();
+  EXPECT_TRUE(live[c.find("a")]);
+  EXPECT_TRUE(live[c.find("o")]);
+  EXPECT_FALSE(live[c.find("dead")]);
+}
+
+TEST(CircuitTraversal, OutputConeCrossesFlipFlops) {
+  const Circuit c = make_shift2();
+  const std::vector<bool> live = c.output_cone();
+  for (GateId id = 0; id < c.num_gates(); ++id)
+    EXPECT_TRUE(live[id]) << c.gate(id).name;
+}
+
+TEST(CircuitTraversal, InputSupportCrossesFlipFlops) {
+  const Circuit c = make_shift2();
+  const std::vector<bool> sup = c.input_support();
+  for (GateId id = 0; id < c.num_gates(); ++id)
+    EXPECT_TRUE(sup[id]) << c.gate(id).name;
+}
+
+TEST(CircuitTraversal, InputSupportExcludesIsolatedFeedback) {
+  // Two flops feeding each other, never touched by a PI: unsupported.
+  Circuit c("island");
+  const GateId a = c.add_input("a");
+  const GateId po = c.add_gate(GateType::Buf, "po", {a});
+  const GateId f1 = c.add_dff("f1");
+  const GateId f2 = c.add_dff("f2", f1);
+  c.set_dff_input(f1, f2);
+  c.add_output(po);
+  c.finalize();
+  const std::vector<bool> sup = c.input_support();
+  EXPECT_TRUE(sup[a]);
+  EXPECT_TRUE(sup[po]);
+  EXPECT_FALSE(sup[f1]);
+  EXPECT_FALSE(sup[f2]);
+}
+
+TEST(CircuitTraversal, FfrHeadsPartitionShift2) {
+  // pi fans out (own head); ff0 feeds a flop data pin (own head); ff1 feeds
+  // only the AND, so it joins g's region; g is a PO (own head).
+  const Circuit c = make_shift2();
+  const std::vector<GateId> heads = c.ffr_heads();
+  const GateId g = c.find("g");
+  EXPECT_EQ(heads[c.find("pi")], c.find("pi"));
+  EXPECT_EQ(heads[c.find("ff0")], c.find("ff0"));
+  EXPECT_EQ(heads[c.find("ff1")], g);
+  EXPECT_EQ(heads[g], g);
+}
+
+// ---- per-pin observability ---------------------------------------------------
+
+TEST(Scoap, PinObservabilityAndGate) {
+  Circuit c("and");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId g = c.add_gate(GateType::And, "g", {a, b});
+  c.add_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  // Combinational: CO(g)=0, hold b at 1 (CC1=1), +1 for the gate.
+  EXPECT_EQ(pin_observability(c, m, g, 0, false), 2u);
+  // Sequential: everything combinational is free.
+  EXPECT_EQ(pin_observability(c, m, g, 0, true), 0u);
+}
+
+TEST(Scoap, PinObservabilityMaskedByConstantIsInfinite) {
+  // AND(a, const0): pin a needs the constant at 1 — impossible.
+  Circuit c("masked");
+  const GateId a = c.add_input("a");
+  const GateId k = c.add_gate(GateType::Const0, "k", {});
+  const GateId g = c.add_gate(GateType::And, "g", {a, k});
+  c.add_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(pin_observability(c, m, g, 0, false), ScoapMeasures::kInfinity);
+  EXPECT_EQ(pin_observability(c, m, g, 0, true), ScoapMeasures::kInfinity);
+}
+
+TEST(Scoap, PinObservabilityXorUsesCheapestSideValue) {
+  Circuit c("xor");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId g = c.add_gate(GateType::Xor, "g", {a, b});
+  c.add_output(g);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  // CO(g)=0 + min(CC0(b), CC1(b))=1 + 1.
+  EXPECT_EQ(pin_observability(c, m, g, 0, false), 2u);
+}
+
+TEST(Scoap, PinObservabilityThroughDffCostsOneFrame) {
+  // pi -> ff -> po: the flop's data pin rides one frame to the output.
+  Circuit c("chain");
+  const GateId pi = c.add_input("pi");
+  const GateId ff = c.add_dff("ff", pi);
+  c.add_output(ff);
+  c.finalize();
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_EQ(pin_observability(c, m, ff, 0, true), 1u);
+  EXPECT_EQ(pin_observability(c, m, ff, 0, false), 1u);
+}
+
+TEST(Scoap, PinObservabilityMatchesStemWhenFanoutFree) {
+  // Without fanout, the driver's net-level CO equals its only pin's value.
+  const Circuit c = make_shift2();
+  const ScoapMeasures m = compute_scoap(c);
+  const GateId g = c.find("g");
+  const GateId ff1 = c.find("ff1");
+  ASSERT_EQ(c.gate(ff1).fanouts.size(), 1u);
+  EXPECT_EQ(pin_observability(c, m, g, 1, false), m.co[ff1]);
+  EXPECT_EQ(pin_observability(c, m, g, 1, true), m.so[ff1]);
+}
+
+// ---- scan transform testability ---------------------------------------------
+
+TEST(Scan, ScanVersionMakesFlopsFullyTestable) {
+  // In the sequential view the island flops are unreachable; the scan view
+  // turns them into free inputs with zero-frame controllability.
+  Circuit c("island");
+  const GateId a = c.add_input("a");
+  const GateId f1 = c.add_dff("f1");
+  const GateId f2 = c.add_dff("f2", f1);
+  c.set_dff_input(f1, f2);
+  const GateId g = c.add_gate(GateType::And, "g", {a, f2});
+  c.add_output(g);
+  c.finalize();
+  const ScoapMeasures seq = compute_scoap(c);
+  EXPECT_EQ(seq.sc1[f2], ScoapMeasures::kInfinity);
+
+  const Circuit s = full_scan_version(c);
+  const ScoapMeasures m = compute_scoap(s);
+  const GateId sf2 = s.find("f2");
+  ASSERT_NE(sf2, kNoGate);
+  EXPECT_EQ(m.sc0[sf2], 0u);
+  EXPECT_EQ(m.sc1[sf2], 0u);
+  EXPECT_EQ(m.cc1[sf2], 1u);
+  // f1's data net became a scan-out: directly observable.
+  const GateId sf2_drives = s.find("f1");
+  ASSERT_NE(sf2_drives, kNoGate);
+  EXPECT_LT(m.so[sf2], ScoapMeasures::kInfinity);
+}
+
+TEST(Scan, ScanOfShift2KnownScoapValues) {
+  const Circuit s = full_scan_version(make_shift2());
+  const ScoapMeasures m = compute_scoap(s);
+  // "g" = AND(pi, ff1) with both now primary inputs, observed directly.
+  const GateId g = s.find("g");
+  EXPECT_EQ(m.cc1[g], 3u);
+  EXPECT_EQ(m.cc0[g], 2u);
+  EXPECT_EQ(m.co[g], 0u);
+  // pi also feeds the ff0 scan-out; its stem CO is the best branch (direct).
+  EXPECT_EQ(m.co[s.find("pi")], 0u);
+}
+
+// ---- parser warnings ---------------------------------------------------------
+
+TEST(BenchIo, UnusedSignalProducesWarningWithLine) {
+  std::vector<BenchWarning> warnings;
+  const Circuit c = parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = AND(a, b)\nspare = OR(a, b)\n",
+      "w", &warnings);
+  EXPECT_EQ(c.num_gates(), 4u);  // circuit still builds (silent-accept shape)
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].code, "unused-signal");
+  EXPECT_EQ(warnings[0].signal, "spare");
+  EXPECT_EQ(warnings[0].line, 5);
+  EXPECT_NE(warnings[0].message.find("line 5"), std::string::npos);
+}
+
+TEST(BenchIo, UnusedInputIsWarnedToo) {
+  std::vector<BenchWarning> warnings;
+  parse_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = BUF(a)\n", "w",
+                     &warnings);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].signal, "b");
+  EXPECT_EQ(warnings[0].line, 2);
+}
+
+TEST(BenchIo, NoWarningsOnCleanNetlistOrNullCollector) {
+  std::vector<BenchWarning> warnings;
+  parse_bench_string("INPUT(a)\nOUTPUT(o)\no = NOT(a)\n", "w", &warnings);
+  EXPECT_TRUE(warnings.empty());
+  // Null collector keeps the historical behavior (no crash, silent accept).
+  EXPECT_NO_THROW(parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = BUF(a)\n"));
+}
+
+TEST(BenchIo, WarningsAreSortedByLine) {
+  std::vector<BenchWarning> warnings;
+  parse_bench_string(
+      "INPUT(a)\nINPUT(z)\nINPUT(b)\nOUTPUT(o)\no = BUF(a)\n", "w", &warnings);
+  ASSERT_EQ(warnings.size(), 2u);
+  EXPECT_EQ(warnings[0].line, 2);
+  EXPECT_EQ(warnings[1].line, 3);
+}
+
 }  // namespace
 }  // namespace gatest

@@ -18,6 +18,10 @@
 #include <optional>
 #include <string>
 
+#include <iostream>
+
+#include "analysis/lint.h"
+#include "analysis/prune.h"
 #include "atpg/cris_lite.h"
 #include "atpg/hitec_lite.h"
 #include "atpg/random_tpg.h"
@@ -67,6 +71,14 @@ namespace {
       "  --vcd FILE          write a fault-free waveform trace of the tests\n"
       "  --write-bench FILE  dump the (possibly generated) netlist\n"
       "  --report            list undetected faults\n"
+      "\n"
+      "static analysis (gatest-lint; see also the gatest_lint tool):\n"
+      "  --lint              print structural diagnostics before generation\n"
+      "  --lint-only         print diagnostics and exit (0 clean, 1 warnings)\n"
+      "  --prune-untestable  classify structurally untestable faults and\n"
+      "                      report fault efficiency next to coverage\n"
+      "                      (accounting only: generated tests and detected\n"
+      "                      faults are identical to an unpruned run)\n"
       "\n"
       "run control (GA engines; SIGINT/SIGTERM stop cooperatively and flush):\n"
       "  --time-limit SEC    stop after SEC seconds of wall clock\n"
@@ -130,6 +142,7 @@ int main(int argc, char** argv) {
   std::string model = "stuck", resp_file, vcd_file;
   std::string checkpoint_file, resume_file;
   bool do_compact = false, do_report = false, do_scan = false;
+  bool do_lint = false, lint_only = false;
   TestGenConfig cfg;
   RunControl rc;
 
@@ -185,6 +198,9 @@ int main(int argc, char** argv) {
       if (model != "stuck" && model != "transition") usage(argv[0], 2);
     }
     else if (a == "--scan") do_scan = true;
+    else if (a == "--lint") do_lint = true;
+    else if (a == "--lint-only") lint_only = true;
+    else if (a == "--prune-untestable") cfg.prune_untestable = true;
     else if (a == "--compact") do_compact = true;
     else if (a == "--report") do_report = true;
     else if (a == "--out") out_file = arg_value(argc, argv, i, argv[0]);
@@ -213,9 +229,11 @@ int main(int argc, char** argv) {
   install_signal_stop_handlers();
 
   Circuit circuit("uninitialized");
+  std::vector<BenchWarning> bench_warnings;
   try {
-    circuit = circuit_file.empty() ? benchmark_circuit(profile)
-                                   : load_bench_file(circuit_file);
+    circuit = circuit_file.empty()
+                  ? benchmark_circuit(profile)
+                  : load_bench_file(circuit_file, &bench_warnings);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gatest_atpg: %s\n", e.what());
     return 1;
@@ -226,6 +244,16 @@ int main(int argc, char** argv) {
               circuit.name().c_str(), circuit.num_inputs(),
               circuit.num_outputs(), circuit.num_dffs(),
               circuit.num_logic_gates(), circuit.sequential_depth());
+
+  if (do_lint || lint_only) {
+    analysis::AnalysisReport lint = analysis::lint_circuit(circuit);
+    analysis::add_bench_warnings(lint, bench_warnings);
+    std::printf("\n");
+    analysis::write_text(lint, std::cout);
+    std::cout.flush();
+    if (lint_only) return analysis::exit_code(lint);
+    std::printf("\n");
+  }
 
   if (!bench_out.empty()) {
     std::ofstream f(bench_out);
@@ -313,6 +341,23 @@ int main(int argc, char** argv) {
                 comp.original_length, comp.compacted_length,
                 comp.simulation_passes);
     result.test_set = comp.test_set;
+  }
+
+  if (cfg.prune_untestable) {
+    // Accounting-only pass at the very end of the pipeline: classified
+    // faults the run left undetected become Untestable (detected faults are
+    // never downgraded), and efficiency reports the pruned denominator.
+    const analysis::PruneSummary ps = analysis::mark_untestable_faults(faults);
+    const std::size_t testable = ps.testable();
+    std::printf("\nstatic pruning: %zu/%zu faults structurally untestable "
+                "(%zu unactivatable, %zu unobservable)\n",
+                ps.pruned, faults.size(), ps.unactivatable, ps.unobservable);
+    std::printf("fault efficiency: %.2f%% (%zu/%zu testable faults)\n",
+                testable == 0
+                    ? 100.0
+                    : 100.0 * static_cast<double>(faults.num_detected()) /
+                          static_cast<double>(testable),
+                faults.num_detected(), testable);
   }
 
   std::printf("\nfinal: %zu/%zu detected (%.2f%% coverage), %zu untestable, "

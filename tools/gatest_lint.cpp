@@ -1,0 +1,160 @@
+// gatest_lint — structural static analysis for .bench netlists.
+//
+// Runs every gatest-lint pass (dead logic, undriven outputs, uninitializable
+// flip-flops, unobservable stems, constant nets, fanout/cone checks, parser
+// findings) and reports as compiler-style text or machine-readable JSON.
+//
+// Exit codes: 0 = clean (info only), 1 = warnings, 2 = errors (including
+// netlists that fail to parse), 3 = usage error.
+//
+// Examples:
+//   gatest_lint --circuit design.bench
+//   gatest_lint --profile s298 --format json
+//   gatest_lint --circuit design.bench --prune --no-info
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "analysis/prune.h"
+#include "circuitgen/circuitgen.h"
+#include "fault/fault.h"
+#include "netlist/bench_io.h"
+
+using namespace gatest;
+
+namespace {
+
+[[noreturn]] void usage(const char* prog, int code) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--circuit FILE.bench | --profile NAME) [options]\n"
+      "\n"
+      "options:\n"
+      "  --format text|json  report format (default text)\n"
+      "  --out FILE          write the report to FILE instead of stdout\n"
+      "  --prune             classify the collapsed stuck-at universe and\n"
+      "                      report structurally untestable fault counts\n"
+      "  --max-fanout N      fanout warning threshold (default 64)\n"
+      "  --deep-cone N       SCOAP difficulty for deep-cone infos "
+      "(default 200)\n"
+      "  --no-info           drop Info diagnostics from the report\n"
+      "\n"
+      "exit codes: 0 clean, 1 warnings, 2 errors, 3 usage\n",
+      prog);
+  std::exit(code);
+}
+
+const char* arg_value(int argc, char** argv, int& i, const char* prog) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s: %s requires a value\n", prog, argv[i]);
+    std::exit(3);
+  }
+  return argv[++i];
+}
+
+unsigned long long parse_uint(const char* prog, const char* flag,
+                              const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (*s == '\0' || *s == '-' || *s == '+' || end == s || *end != '\0') {
+    std::fprintf(stderr, "%s: %s expects a non-negative integer, got '%s'\n",
+                 prog, flag, s);
+    std::exit(3);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuit_file, profile, format = "text", out_file;
+  bool do_prune = false, no_info = false;
+  analysis::LintOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--circuit") circuit_file = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--profile") profile = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--format") {
+      format = arg_value(argc, argv, i, argv[0]);
+      if (format != "text" && format != "json") usage(argv[0], 3);
+    }
+    else if (a == "--out") out_file = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--prune") do_prune = true;
+    else if (a == "--max-fanout")
+      opts.max_fanout = static_cast<std::size_t>(parse_uint(
+          argv[0], "--max-fanout", arg_value(argc, argv, i, argv[0])));
+    else if (a == "--deep-cone")
+      opts.deep_cone_threshold = static_cast<std::uint32_t>(parse_uint(
+          argv[0], "--deep-cone", arg_value(argc, argv, i, argv[0])));
+    else if (a == "--no-info") no_info = true;
+    else if (a == "--help" || a == "-h") usage(argv[0], 0);
+    else usage(argv[0], 3);
+  }
+  if (circuit_file.empty() == profile.empty()) usage(argv[0], 3);
+
+  std::ostream* out = &std::cout;
+  std::ofstream out_stream;
+  if (!out_file.empty()) {
+    out_stream.open(out_file);
+    if (!out_stream) {
+      std::fprintf(stderr, "%s: cannot open output file %s\n", argv[0],
+                   out_file.c_str());
+      return 3;
+    }
+    out = &out_stream;
+  }
+
+  analysis::AnalysisReport report;
+  std::vector<BenchWarning> bench_warnings;
+  Circuit circuit("unparsed");
+  bool parsed = false;
+  try {
+    circuit = circuit_file.empty()
+                  ? benchmark_circuit(profile)
+                  : load_bench_file(circuit_file, &bench_warnings);
+    parsed = true;
+    report = analysis::lint_circuit(circuit, opts);
+    analysis::add_bench_warnings(report, bench_warnings);
+  } catch (const std::exception& e) {
+    // Parse/structural failures become Error diagnostics so tooling sees a
+    // report (and exit code 2) instead of a bare stderr message.
+    report.circuit_name =
+        circuit_file.empty() ? profile
+                             : circuit_file.substr(circuit_file.rfind('/') + 1);
+    report.add(analysis::Severity::Error, "parse-error",
+               circuit_file.empty() ? profile : circuit_file, e.what());
+  }
+
+  if (parsed && do_prune) {
+    const FaultList faults(circuit);
+    const analysis::PruneSummary ps = analysis::summarize_tags(
+        analysis::classify_untestable(circuit, faults.faults()));
+    report.add(analysis::Severity::Info, "prune-summary", circuit.name(),
+               std::to_string(ps.pruned) + " of " +
+                   std::to_string(ps.total_faults) +
+                   " collapsed stuck-at faults structurally untestable (" +
+                   std::to_string(ps.unactivatable) + " unactivatable, " +
+                   std::to_string(ps.unobservable) + " unobservable)");
+  }
+
+  if (no_info) {
+    auto& d = report.diagnostics;
+    d.erase(std::remove_if(d.begin(), d.end(),
+                           [](const analysis::Diagnostic& x) {
+                             return x.severity == analysis::Severity::Info;
+                           }),
+            d.end());
+  }
+
+  if (format == "json")
+    analysis::write_json(report, *out);
+  else
+    analysis::write_text(report, *out);
+  return analysis::exit_code(report);
+}
