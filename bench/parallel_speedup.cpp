@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "experiments/harness.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 using namespace gatest;
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
       if (i == 0) {
         serial_time = s.seconds.mean();
         row.push_back(strprintf("%.1f", s.detected.mean()));
-        row.push_back(strprintf("%.2fs", serial_time));
+        row.push_back(format_duration_quantiles(s.seconds));
       } else {
         row.push_back(strprintf("%.1f", s.detected.mean()));
         row.push_back(strprintf(

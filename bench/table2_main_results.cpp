@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
         format_duration(hitec.gen.seconds),
         format_mean_stddev(ga.detected),
         strprintf("%.0f(%.0f)", ga.vectors.mean(), ga.vectors.stddev()),
-        format_duration(ga.seconds.mean()),
+        format_duration_quantiles(ga.seconds),
     };
     if (args.prune_untestable) {
       row.push_back(strprintf("%zu", ga.faults_pruned));

@@ -29,6 +29,20 @@ build-sanitize/tools/gatest_atpg --profile s298 --time-limit 5 \
 echo "sanitized smoke passed (exit 0)"
 rm -f "$smoke_ckpt" "$smoke_ckpt.tmp"
 
+# Telemetry gate: the disabled path must stay within 2% of a bare run, and a
+# traced run must produce a schema-valid JSONL that gatest_report can digest.
+echo "=== telemetry overhead + trace validation ==="
+build/bench/micro_telemetry --check
+trace_tmp=$(mktemp -d /tmp/gatest_trace.XXXXXX)
+build/tools/gatest_atpg --profile s344 --engine ga --seed 5 \
+    --trace-out "$trace_tmp/s344.jsonl" --metrics-out "$trace_tmp/s344.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/validate_trace.py "$trace_tmp/s344.jsonl" \
+      --metrics "$trace_tmp/s344.json"
+fi
+build/tools/gatest_report "$trace_tmp/s344.jsonl"
+rm -rf "$trace_tmp"
+
 {
   for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue

@@ -35,17 +35,24 @@ cmake --build build-werror || fail=1
 echo "=== ThreadSanitizer smoke (parallel fitness evaluation, 4 threads) ==="
 cmake -B build-tsan -G Ninja -DGATEST_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan --target gatest_atpg_cli util_test run_control_test
+cmake --build build-tsan --target gatest_atpg_cli util_test run_control_test \
+      telemetry_test
 
 export TSAN_OPTIONS="halt_on_error=1"
 # End-to-end: a short GA run with 4 evaluation threads drives
-# ThreadPool::parallel_for and the per-worker simulator replicas.
+# ThreadPool::parallel_for and the per-worker simulator replicas — with
+# telemetry attached so the metrics/trace/chunk-timing paths are exercised.
+tsan_trace=$(mktemp /tmp/gatest_tsan.XXXXXX.jsonl)
 build-tsan/tools/gatest_atpg --profile s298 --engine ga --seed 1 \
-    --threads 4 --max-evals 2000 || fail=1
+    --threads 4 --max-evals 2000 --trace-out "$tsan_trace" \
+    --metrics-out /dev/null || fail=1
+rm -f "$tsan_trace"
 # Unit coverage of the pool itself (exception propagation, reuse) and the
 # parallel-vs-serial identity of the generator.
 build-tsan/tests/util_test --gtest_filter='ThreadPool*' || fail=1
 build-tsan/tests/run_control_test --gtest_filter='*Parallel*' || fail=1
+# Concurrent metrics updates and the telemetry-attached identity check.
+build-tsan/tests/telemetry_test || fail=1
 
 if [ "$fail" -ne 0 ]; then
   echo "static analysis FAILED"

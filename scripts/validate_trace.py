@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate a gatest_atpg --trace-out JSONL run trace.
+
+Checks the schema contract the telemetry layer promises:
+  * every line is a JSON object with ts (number), tid (integer), type (string)
+  * timestamps are monotonically non-decreasing per thread
+  * exactly one run_begin and (for a completed run) one run_end
+  * phase_begin/phase_end events pair up and never nest
+  * ga_run_begin/ga_run_end pair up per thread
+
+With --metrics METRICS.json it additionally checks that the phase spans in
+the trace sum to within --tolerance (default 5%) of the run's own
+TestGenResult::seconds as recorded in the run_end event — the acceptance
+bar for "phase profiling accounts for the run".
+
+Usage:
+  validate_trace.py TRACE.jsonl [--metrics METRICS.json] [--tolerance 0.05]
+
+Exits 0 when the trace is valid, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--metrics", help="metrics JSON written by --metrics-out")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed |phase-span sum − run time| / run time")
+    args = ap.parse_args()
+
+    events = []
+    with open(args.trace, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{args.trace}:{lineno}: not JSON: {e}")
+            if not isinstance(ev, dict):
+                fail(f"{args.trace}:{lineno}: event is not an object")
+            for key, typ in (("ts", (int, float)), ("tid", int),
+                             ("type", str)):
+                if not isinstance(ev.get(key), typ):
+                    fail(f"{args.trace}:{lineno}: missing or mistyped '{key}'")
+            events.append((lineno, ev))
+
+    if not events:
+        fail(f"{args.trace}: no events")
+
+    last_ts = {}
+    open_phase = None
+    open_ga_runs = {}  # tid -> count (warm-start runs share a thread)
+    run_begin = run_end = 0
+    phase_spans = []  # (name, dur_s)
+    run_end_ev = None
+
+    for lineno, ev in events:
+        tid, ts, typ = ev["tid"], ev["ts"], ev["type"]
+        if ts < last_ts.get(tid, 0.0):
+            fail(f"{args.trace}:{lineno}: ts went backwards on tid {tid}")
+        last_ts[tid] = ts
+
+        if typ == "run_begin":
+            run_begin += 1
+        elif typ == "run_end":
+            run_end += 1
+            run_end_ev = ev
+        elif typ == "phase_begin":
+            if open_phase is not None:
+                fail(f"{args.trace}:{lineno}: phase_begin while "
+                     f"'{open_phase}' is still open")
+            open_phase = ev.get("phase", "?")
+        elif typ == "phase_end":
+            if open_phase is None:
+                fail(f"{args.trace}:{lineno}: phase_end without phase_begin")
+            if ev.get("phase") != open_phase:
+                fail(f"{args.trace}:{lineno}: phase_end for "
+                     f"'{ev.get('phase')}' but '{open_phase}' is open")
+            phase_spans.append((open_phase, float(ev.get("dur_s", 0.0))))
+            open_phase = None
+        elif typ == "ga_run_begin":
+            open_ga_runs[tid] = open_ga_runs.get(tid, 0) + 1
+        elif typ == "ga_run_end":
+            if open_ga_runs.get(tid, 0) <= 0:
+                fail(f"{args.trace}:{lineno}: ga_run_end without begin "
+                     f"on tid {tid}")
+            open_ga_runs[tid] -= 1
+
+    if run_begin != 1:
+        fail(f"expected exactly one run_begin, saw {run_begin}")
+    if run_end != 1:
+        fail(f"expected exactly one run_end, saw {run_end}")
+    if open_phase is not None:
+        fail(f"phase '{open_phase}' never closed")
+    if any(open_ga_runs.values()):
+        fail("unclosed ga_run span(s)")
+
+    span_sum = sum(d for _, d in phase_spans)
+    run_seconds = float(run_end_ev.get("seconds", 0.0))
+    print(f"validate_trace: {len(events)} events, {len(phase_spans)} phase "
+          f"spans summing to {span_sum:.3f}s of {run_seconds:.3f}s run time")
+
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as f:
+            metrics = json.load(f)
+        for section in ("counters", "gauges"):
+            if section not in metrics:
+                fail(f"{args.metrics}: missing '{section}' section")
+        if run_seconds > 0:
+            rel = abs(span_sum - run_seconds) / run_seconds
+            if rel > args.tolerance:
+                fail(f"phase spans sum to {span_sum:.3f}s but the run took "
+                     f"{run_seconds:.3f}s ({100 * rel:.1f}% off, tolerance "
+                     f"{100 * args.tolerance:.0f}%)")
+            print(f"validate_trace: phase spans within "
+                  f"{100 * rel:.2f}% of run time")
+
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

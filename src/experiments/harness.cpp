@@ -8,6 +8,7 @@
 
 #include "circuitgen/circuitgen.h"
 #include "fault/fault.h"
+#include "telemetry/log.h"
 
 namespace gatest {
 
@@ -59,6 +60,10 @@ RunSummary run_gatest_repeated(const std::string& circuit_name,
                                const TestGenConfig& config, unsigned runs,
                                std::uint64_t seed_base) {
   const Circuit& c = cached_circuit(circuit_name);
+  telemetry::Logger& log = telemetry::global_logger();
+  log.info("%s: %u run%s from seed %llu", circuit_name.c_str(), runs,
+           runs == 1 ? "" : "s",
+           static_cast<unsigned long long>(seed_base + 1));
   RunSummary summary;
   for (unsigned r = 0; r < runs; ++r) {
     FaultList faults(c);
@@ -67,6 +72,9 @@ RunSummary run_gatest_repeated(const std::string& circuit_name,
     cfg.seed = seed_base + r + 1;
     GaTestGenerator gen(c, faults, cfg);
     const TestGenResult res = gen.run();
+    log.debug("%s: seed %llu -> %zu detected, %zu vectors, %.2fs",
+              circuit_name.c_str(), static_cast<unsigned long long>(cfg.seed),
+              res.faults_detected, res.test_set.size(), res.seconds);
     summary.detected.add(static_cast<double>(res.faults_detected));
     summary.vectors.add(static_cast<double>(res.test_set.size()));
     summary.seconds.add(res.seconds);
@@ -110,10 +118,14 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       }
     } else if (a == "--prune-untestable") {
       args.prune_untestable = true;
+    } else if (a == "--quiet") {
+      telemetry::global_logger().set_level(telemetry::LogLevel::Quiet);
+    } else if (a == "--verbose") {
+      telemetry::global_logger().set_level(telemetry::LogLevel::Debug);
     } else if (a == "--help" || a == "-h") {
       std::fprintf(stderr,
                    "usage: %s [--runs=N] [--circuits=a,b,c] [--full] "
-                   "[--seed=S] [--prune-untestable]\n",
+                   "[--seed=S] [--prune-untestable] [--quiet] [--verbose]\n",
                    argv[0]);
       std::exit(0);
     } else {

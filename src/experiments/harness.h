@@ -9,6 +9,7 @@
 //   --circuits=a,b,c   explicit circuit list
 //   --full             the full ISCAS89-profile circuit set & paper run count
 //   --seed=S           base RNG seed
+//   --quiet/--verbose  stderr log level (tables on stdout are unaffected)
 #pragma once
 
 #include <cstdint>

@@ -194,6 +194,7 @@ FaultSimStats SequentialFaultSimulator::apply_vector(const TestVector& v,
   ctx.prev = &prev_val_;
   ctx.commit = true;
   ctx.test_index = test_index;
+  ++counters_.vectors_committed;
   std::vector<std::uint32_t> active = default_active_set();
   return simulate_frame(v, active, ctx);
 }
@@ -234,6 +235,7 @@ FaultSimStats SequentialFaultSimulator::evaluate_vector(
 
 FaultSimStats SequentialFaultSimulator::evaluate_sequence(
     const TestSequence& seq, std::span<const std::uint32_t> fault_subset) {
+  ++counters_.candidate_evaluations;
   begin_eval();
   eval_val_ = good_val_;
   eval_prev_val_ = prev_val_;
@@ -260,6 +262,8 @@ FaultSimStats SequentialFaultSimulator::evaluate_vector_good_only(
     const TestVector& v) {
   if (v.size() != circuit_->num_inputs())
     throw std::runtime_error("evaluate_vector_good_only: wrong input count");
+  ++counters_.candidate_evaluations;
+  ++counters_.frames_simulated;
   eval_val_ = good_val_;
   EvalContext ctx;
   ctx.val = &eval_val_;
@@ -285,6 +289,10 @@ FaultSimStats SequentialFaultSimulator::simulate_frame(
   *ctx.prev = *ctx.val;
   latch_good(ctx, stats);
   started_ = started_ || ctx.commit;
+  ++counters_.frames_simulated;
+  counters_.good_events += stats.good_events;
+  counters_.faulty_events += stats.faulty_events;
+  if (ctx.commit) counters_.faults_dropped += stats.detected;
   return stats;
 }
 
@@ -370,6 +378,8 @@ void SequentialFaultSimulator::simulate_fault_groups(
   };
 
   auto run_group = [&]() {
+    ++counters_.fault_groups;
+    counters_.fault_group_lanes += group.size();
     // 1. Seed faulty machines: state diffs, then injections.
     for (unsigned lane = 0; lane < group.size(); ++lane) {
       const std::uint32_t fi = group[lane];

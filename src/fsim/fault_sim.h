@@ -61,6 +61,40 @@ struct FaultSimStats {
   }
 };
 
+/// Lifetime workload counters, accumulated across every call (telemetry).
+/// Plain non-atomic fields: a simulator instance is confined to one thread;
+/// parallel runs use one simulator per worker and merge with accumulate().
+/// Observation-only — nothing in the simulator reads them back.
+struct FsimCounters {
+  std::uint64_t vectors_committed = 0;    ///< committed frames (apply_*)
+  std::uint64_t candidate_evaluations = 0;///< evaluate_* calls
+  std::uint64_t frames_simulated = 0;     ///< frames incl. candidate frames
+  std::uint64_t good_events = 0;          ///< fault-free machine events
+  std::uint64_t faulty_events = 0;        ///< packed faulty-machine events
+  std::uint64_t faults_dropped = 0;       ///< faults detected & dropped (commit)
+  std::uint64_t fault_groups = 0;         ///< 64-lane packed groups settled
+  std::uint64_t fault_group_lanes = 0;    ///< faults across those groups
+
+  /// Mean occupancy of the 64 bit lanes, in [0, 1].  Low values mean the
+  /// undetected-fault tail no longer fills packed words.
+  double packed_utilization() const {
+    return fault_groups == 0 ? 0.0
+                             : static_cast<double>(fault_group_lanes) /
+                                   (64.0 * static_cast<double>(fault_groups));
+  }
+
+  void accumulate(const FsimCounters& o) {
+    vectors_committed += o.vectors_committed;
+    candidate_evaluations += o.candidate_evaluations;
+    frames_simulated += o.frames_simulated;
+    good_events += o.good_events;
+    faulty_events += o.faulty_events;
+    faults_dropped += o.faults_dropped;
+    fault_groups += o.fault_groups;
+    fault_group_lanes += o.fault_group_lanes;
+  }
+};
+
 class SequentialFaultSimulator {
  public:
   /// The fault list is shared, mutable bookkeeping: committed vectors mark
@@ -137,6 +171,11 @@ class SequentialFaultSimulator {
   Snapshot snapshot() const;
   void restore(const Snapshot& s);
 
+  /// Lifetime workload counters (not part of snapshot()/restore(): they
+  /// describe work performed, not machine state).
+  const FsimCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = FsimCounters{}; }
+
  private:
   using FfDiff = std::pair<std::uint32_t, Logic>;  // (ff ordinal, faulty val)
 
@@ -203,6 +242,8 @@ class SequentialFaultSimulator {
   std::vector<Logic> eval_val_;
   std::vector<Logic> eval_prev_val_;
   std::vector<Logic> latch_scratch_;
+
+  FsimCounters counters_;
 };
 
 }  // namespace gatest

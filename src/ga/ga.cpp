@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/timer.h"
+
 namespace gatest {
 
 std::string to_string(SelectionScheme s) {
@@ -102,19 +104,50 @@ std::size_t GeneticAlgorithm::evaluate(const BatchFitnessFn& fn) {
 const Individual& GeneticAlgorithm::run(const BatchFitnessFn& fn) {
   randomize_population();
   stopped_early_ = false;
+  Timer timer;
   for (unsigned gen = 0; gen < config_.num_generations; ++gen) {
-    evaluate(fn);
+    if (observer_) timer.restart();
+    const std::size_t n = evaluate(fn);
+    GaGenerationInfo info;
+    if (observer_) {
+      info.generation = gen;
+      info.evaluations = n;
+      info.eval_seconds = timer.elapsed_seconds();
+      info.best_fitness = pop_.front().fitness;
+      for (const Individual& ind : pop_)
+        info.best_fitness = std::max(info.best_fitness, ind.fitness);
+      info.avg_fitness = population_avg_fitness();
+    }
     if (stop_check_ && stop_check_()) {
       stopped_early_ = gen + 1 < config_.num_generations;
+      if (observer_) observer_(info);
       break;
     }
-    if (gen + 1 < config_.num_generations) next_generation();
+    if (gen + 1 < config_.num_generations) {
+      if (observer_) timer.restart();
+      next_generation();
+      if (observer_) {
+        info.breed_seconds = timer.elapsed_seconds();
+        info.select_seconds = last_select_seconds_;
+      }
+    }
+    if (observer_) observer_(info);
   }
   return best_;
 }
 
 void GeneticAlgorithm::set_stop_check(std::function<bool()> check) {
   stop_check_ = std::move(check);
+}
+
+void GeneticAlgorithm::set_observer(GaObserver observer) {
+  observer_ = std::move(observer);
+}
+
+double GeneticAlgorithm::population_avg_fitness() const {
+  double sum = 0.0;
+  for (const Individual& ind : pop_) sum += ind.fitness;
+  return pop_.empty() ? 0.0 : sum / static_cast<double>(pop_.size());
 }
 
 std::vector<std::uint32_t> GeneticAlgorithm::select_parents(std::size_t count) {
@@ -271,7 +304,9 @@ void GeneticAlgorithm::next_generation() {
   // Breed g offspring (rounded up to pairs, trimmed after).
   std::vector<Individual> offspring;
   offspring.reserve(g + 1);
+  Timer select_timer;
   const std::vector<std::uint32_t> parents = select_parents(g + (g & 1));
+  last_select_seconds_ = observer_ ? select_timer.elapsed_seconds() : 0.0;
   for (std::size_t k = 0; k + 1 < parents.size() && offspring.size() < g;
        k += 2) {
     Individual c1, c2;
@@ -309,17 +344,13 @@ void GeneticAlgorithm::next_generation() {
 }
 
 const Individual& GeneticAlgorithm::run(const FitnessFn& fn) {
-  randomize_population();
-  stopped_early_ = false;
-  for (unsigned gen = 0; gen < config_.num_generations; ++gen) {
-    evaluate(fn);
-    if (stop_check_ && stop_check_()) {
-      stopped_early_ = gen + 1 < config_.num_generations;
-      break;
-    }
-    if (gen + 1 < config_.num_generations) next_generation();
-  }
-  return best_;
+  // Forward through the batch overload so the observer instrumentation
+  // lives in exactly one run loop.
+  return run(BatchFitnessFn(
+      [&fn](const std::vector<const std::vector<std::uint8_t>*>& batch,
+            std::vector<double>& out) {
+        for (std::size_t i = 0; i < batch.size(); ++i) out[i] = fn(*batch[i]);
+      }));
 }
 
 }  // namespace gatest

@@ -80,6 +80,21 @@ using BatchFitnessFn =
     std::function<void(const std::vector<const std::vector<std::uint8_t>*>&,
                        std::vector<double>&)>;
 
+/// Per-generation observation delivered to the GaObserver after the
+/// generation's population is evaluated (telemetry only; never fed back into
+/// the algorithm, so installing an observer cannot change a run's outcome).
+struct GaGenerationInfo {
+  unsigned generation = 0;      ///< 0-based index within this run()
+  double best_fitness = 0.0;    ///< best individual in the current population
+  double avg_fitness = 0.0;     ///< population mean
+  std::size_t evaluations = 0;  ///< fitness computations this generation
+  double eval_seconds = 0.0;    ///< wall time in fitness evaluation
+  double select_seconds = 0.0;  ///< wall time in parent selection
+  double breed_seconds = 0.0;   ///< selection + crossover + mutation + replace
+};
+
+using GaObserver = std::function<void(const GaGenerationInfo&)>;
+
 class GeneticAlgorithm {
  public:
   /// chromosome_length is in bits; for nonbinary coding it must be a
@@ -126,6 +141,11 @@ class GeneticAlgorithm {
   /// True when the last run() exited early through the stop check.
   bool stopped_early() const { return stopped_early_; }
 
+  /// Install a per-generation observer (pass nullptr/empty to remove).  The
+  /// per-generation statistics and timings are only gathered while one is
+  /// installed, keeping unobserved runs free of the bookkeeping.
+  void set_observer(GaObserver observer);
+
   /// Best individual seen across all evaluate() calls.
   const Individual& best() const { return best_; }
 
@@ -144,6 +164,8 @@ class GeneticAlgorithm {
                                                : length_;
   }
 
+  double population_avg_fitness() const;
+
   GaConfig config_;
   std::size_t length_;
   Rng* rng_;
@@ -152,6 +174,8 @@ class GeneticAlgorithm {
   std::size_t evaluations_ = 0;
   std::function<bool()> stop_check_;
   bool stopped_early_ = false;
+  GaObserver observer_;
+  double last_select_seconds_ = 0.0;  ///< set by next_generation when observed
 };
 
 }  // namespace gatest

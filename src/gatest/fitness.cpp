@@ -4,6 +4,16 @@
 
 namespace gatest {
 
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::InitializeFfs:       return "init_ffs";
+    case Phase::DetectFaults:        return "detect";
+    case Phase::DetectWithActivity:  return "detect_activity";
+    case Phase::Sequences:           return "sequences";
+  }
+  return "?";
+}
+
 TestVector decode_vector(const std::vector<std::uint8_t>& genes,
                          std::size_t num_pis, std::size_t frame) {
   if ((frame + 1) * num_pis > genes.size())
@@ -69,6 +79,7 @@ double FitnessEvaluator::phase_fitness(const FaultSimStats& stats, Phase phase,
 
 double FitnessEvaluator::vector_fitness(const TestVector& v, Phase phase) {
   ++evaluations_;
+  ++phase_evaluations_[static_cast<std::size_t>(phase) - 1];
   if (phase == Phase::InitializeFfs) {
     // Only the fault-free machine matters for initialization.
     const FaultSimStats stats = sim_->evaluate_vector_good_only(v);
@@ -80,6 +91,7 @@ double FitnessEvaluator::vector_fitness(const TestVector& v, Phase phase) {
 
 double FitnessEvaluator::sequence_fitness(const TestSequence& seq) {
   ++evaluations_;
+  ++phase_evaluations_[static_cast<std::size_t>(Phase::Sequences) - 1];
   const FaultSimStats stats = sim_->evaluate_sequence(seq, sample_);
   return phase_fitness(stats, Phase::Sequences, seq.size());
 }

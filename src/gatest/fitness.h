@@ -36,6 +36,10 @@ enum class Phase : std::uint8_t {
   Sequences = 4,
 };
 
+/// Stable lowercase phase identifier ("init_ffs", "detect", ...) used in
+/// trace events and metric names.
+const char* phase_name(Phase phase);
+
 /// Decode a GA chromosome (one bit per PI per frame) into test vectors.
 TestVector decode_vector(const std::vector<std::uint8_t>& genes,
                          std::size_t num_pis, std::size_t frame = 0);
@@ -64,11 +68,17 @@ class FitnessEvaluator {
 
   std::size_t evaluations() const { return evaluations_; }
 
+  /// Evaluations attributed to one phase (index by Phase; telemetry).
+  std::size_t evaluations_in(Phase phase) const {
+    return phase_evaluations_[static_cast<std::size_t>(phase) - 1];
+  }
+
  private:
   SequentialFaultSimulator* sim_;
   const TestGenConfig* config_;
   std::vector<std::uint32_t> sample_;
   std::size_t evaluations_ = 0;
+  std::size_t phase_evaluations_[4] = {0, 0, 0, 0};
 };
 
 }  // namespace gatest

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "analysis/prune.h"
+#include "util/timer.h"
 
 namespace gatest {
 
@@ -69,6 +70,15 @@ void GaTestGenerator::note_boundary() {
           ctrl_.checkpoint_interval_seconds) {
     last_checkpoint_elapsed_ = tracker_.elapsed_seconds();
     make_checkpoint().save(ctrl_.checkpoint_path);
+    if (telem_) {
+      telem_->metrics.counter("gatest.checkpoints_written").add(1);
+      if (telem_->trace.enabled())
+        telem_->trace.event(
+            "checkpoint_write",
+            {{"path", ctrl_.checkpoint_path},
+             {"vectors", static_cast<std::uint64_t>(result_.test_set.size())},
+             {"evaluations", static_cast<std::uint64_t>(boundary_evals_)}});
+    }
   }
 }
 
@@ -174,6 +184,49 @@ void GaTestGenerator::restore_from_checkpoint(const Checkpoint& cp) {
   boundary_evals_ = cp.fitness_evaluations;
   prior_seconds_ = cp.seconds;
   resumed_ = true;
+
+  if (tracing())
+    telem_->trace.event(
+        "resume",
+        {{"vectors", static_cast<std::uint64_t>(cp.test_set.size())},
+         {"evaluations", static_cast<std::uint64_t>(cp.fitness_evaluations)},
+         {"prior_seconds", cp.seconds},
+         {"detected", static_cast<std::uint64_t>(faults_->num_detected())}});
+}
+
+const char* GaTestGenerator::current_phase_name() const {
+  return state_.macro == MacroPhase::Sequences ? phase_name(Phase::Sequences)
+                                               : phase_name(state_.phase);
+}
+
+void GaTestGenerator::install_ga_observer(GeneticAlgorithm& ga) {
+  if (!telem_) return;
+  const char* pname = current_phase_name();
+  // Look the metrics up once here, not per generation: registry references
+  // are stable and lock-free to update, lookups take the registry mutex.
+  telemetry::Counter& generations = telem_->metrics.counter("ga.generations");
+  telemetry::Histogram& eval_h = telem_->metrics.histogram("ga.eval_seconds");
+  telemetry::Histogram& select_h =
+      telem_->metrics.histogram("ga.select_seconds");
+  telemetry::Histogram& breed_h = telem_->metrics.histogram("ga.breed_seconds");
+  ga.set_observer([this, pname, &generations, &eval_h, &select_h,
+                   &breed_h](const GaGenerationInfo& g) {
+    generations.add(1);
+    eval_h.observe(g.eval_seconds);
+    select_h.observe(g.select_seconds);
+    breed_h.observe(g.breed_seconds);
+    if (telem_->trace.enabled())
+      telem_->trace.event(
+          "generation",
+          {{"phase", pname},
+           {"gen", g.generation},
+           {"best", g.best_fitness},
+           {"avg", g.avg_fitness},
+           {"evals", static_cast<std::uint64_t>(g.evaluations)},
+           {"eval_s", g.eval_seconds},
+           {"select_s", g.select_seconds},
+           {"breed_s", g.breed_seconds}});
+  });
 }
 
 const Individual& GaTestGenerator::run_ga(
@@ -181,30 +234,78 @@ const Individual& GaTestGenerator::run_ga(
     const std::function<double(FitnessEvaluator&,
                                const std::vector<std::uint8_t>&)>& fit) {
   ga.set_stop_check([this] { return stop_now(); });
+  install_ga_observer(ga);
+  const double ga_t0 = tracker_.elapsed_seconds();
+  if (tracing())
+    telem_->trace.event(
+        "ga_run_begin",
+        {{"phase", current_phase_name()},
+         {"length", static_cast<std::uint64_t>(ga.chromosome_length())}});
+
+  const Individual* best = nullptr;
   if (!pool_) {
-    return ga.run([&](const std::vector<std::uint8_t>& genes) {
+    best = &ga.run([&](const std::vector<std::uint8_t>& genes) {
       return fit(fitness_, genes);
     });
+  } else {
+    // Parallel path: split each unevaluated batch across the simulator
+    // replicas.  Fitness values are identical to the serial path (replicas
+    // are committed-state clones), so results do not depend on the thread
+    // count.
+    best = &ga.run([&](const std::vector<const std::vector<std::uint8_t>*>&
+                           batch,
+                       std::vector<double>& out) {
+      const std::size_t sims = worker_sims_.size() + 1;
+      const std::size_t chunk = (batch.size() + sims - 1) / sims;
+      const bool timed = telem_ != nullptr;
+      if (timed) chunk_seconds_.assign(sims, 0.0);
+      std::size_t used = 0;
+      for (std::size_t s = 0; s < sims; ++s) {
+        const std::size_t begin = s * chunk;
+        const std::size_t end = std::min(batch.size(), begin + chunk);
+        if (begin >= end) break;
+        FitnessEvaluator* ev =
+            s == 0 ? &fitness_ : worker_fitness_[s - 1].get();
+        ++used;
+        // Each task writes its wall time into its own slot; the main thread
+        // reads them only after wait_idle()'s join, so this is race-free.
+        pool_->submit([this, &batch, &out, &fit, ev, begin, end, timed, s] {
+          Timer chunk_timer;
+          for (std::size_t i = begin; i < end; ++i)
+            out[i] = fit(*ev, *batch[i]);
+          if (timed) chunk_seconds_[s] = chunk_timer.elapsed_seconds();
+        });
+      }
+      pool_->wait_idle();  // rethrows the first worker exception, if any
+      if (timed && used > 1) {
+        double sum = 0.0, max = 0.0;
+        for (std::size_t s = 0; s < used; ++s) {
+          sum += chunk_seconds_[s];
+          max = std::max(max, chunk_seconds_[s]);
+          telem_->metrics.histogram("parallel.chunk_seconds")
+              .observe(chunk_seconds_[s]);
+        }
+        // max/mean across the batch's chunks: 1.0 = perfectly balanced.
+        if (sum > 0.0)
+          telem_->metrics.histogram("parallel.imbalance_ratio")
+              .observe(max * static_cast<double>(used) / sum);
+      }
+    });
   }
-  // Parallel path: split each unevaluated batch across the simulator
-  // replicas.  Fitness values are identical to the serial path (replicas are
-  // committed-state clones), so results do not depend on the thread count.
-  return ga.run([&](const std::vector<const std::vector<std::uint8_t>*>& batch,
-                    std::vector<double>& out) {
-    const std::size_t sims = worker_sims_.size() + 1;
-    const std::size_t chunk = (batch.size() + sims - 1) / sims;
-    for (std::size_t s = 0; s < sims; ++s) {
-      const std::size_t begin = s * chunk;
-      const std::size_t end = std::min(batch.size(), begin + chunk);
-      if (begin >= end) break;
-      FitnessEvaluator* ev = s == 0 ? &fitness_ : worker_fitness_[s - 1].get();
-      pool_->submit([&batch, &out, &fit, ev, begin, end] {
-        for (std::size_t i = begin; i < end; ++i)
-          out[i] = fit(*ev, *batch[i]);
-      });
-    }
-    pool_->wait_idle();  // rethrows the first worker exception, if any
-  });
+
+  if (telem_) {
+    const double dur = tracker_.elapsed_seconds() - ga_t0;
+    telem_->metrics.counter("ga.runs").add(1);
+    telem_->metrics.histogram("ga.run_seconds").observe(dur);
+    if (telem_->trace.enabled())
+      telem_->trace.event(
+          "ga_run_end",
+          {{"phase", current_phase_name()},
+           {"dur_s", dur},
+           {"best", best->fitness},
+           {"evaluations", static_cast<std::uint64_t>(ga.evaluations())}});
+  }
+  return *best;
 }
 
 GaConfig GaTestGenerator::vector_ga_config() const {
@@ -275,12 +376,31 @@ TestVector GaTestGenerator::evolve_vector(Phase phase) {
       return ev.vector_fitness(decode_vector(genes, circuit_->num_inputs()),
                                phase);
     };
+    const double ga_t0 = tracker_.elapsed_seconds();
+    if (tracing())
+      telem_->trace.event(
+          "ga_run_begin",
+          {{"phase", current_phase_name()},
+           {"length", static_cast<std::uint64_t>(ga.chromosome_length())},
+           {"warm_start", true}});
     for (unsigned gen = 0; gen < config_.num_generations; ++gen) {
       ga.evaluate([&](const std::vector<std::uint8_t>& genes) {
         return fit(fitness_, genes);
       });
       if (stop_now()) break;
       if (gen + 1 < config_.num_generations) ga.next_generation();
+    }
+    if (telem_) {
+      const double dur = tracker_.elapsed_seconds() - ga_t0;
+      telem_->metrics.counter("ga.runs").add(1);
+      telem_->metrics.histogram("ga.run_seconds").observe(dur);
+      if (telem_->trace.enabled())
+        telem_->trace.event(
+            "ga_run_end",
+            {{"phase", current_phase_name()},
+             {"dur_s", dur},
+             {"best", ga.best().fitness},
+             {"evaluations", static_cast<std::uint64_t>(ga.evaluations())}});
     }
     last_best_genes_ = ga.best().genes;
     return decode_vector(ga.best().genes, circuit_->num_inputs());
@@ -308,6 +428,66 @@ TestSequence GaTestGenerator::evolve_sequence(unsigned frames) {
   return decode_sequence(best.genes, circuit_->num_inputs());
 }
 
+void GaTestGenerator::telemetry_enter_phase(Phase phase) {
+  const int p = static_cast<int>(phase);
+  if (!telem_ || open_phase_ == p) return;
+  telemetry_close_phase();
+  open_phase_ = p;
+  open_phase_start_ = tracker_.elapsed_seconds();
+  open_phase_detected_ = faults_->num_detected();
+  open_phase_vectors_ = result_.test_set.size();
+  if (telem_->trace.enabled())
+    telem_->trace.event(
+        "phase_begin",
+        {{"phase", phase_name(phase)},
+         {"vectors", static_cast<std::uint64_t>(open_phase_vectors_)},
+         {"detected", static_cast<std::uint64_t>(open_phase_detected_)}});
+}
+
+void GaTestGenerator::telemetry_close_phase() {
+  if (!telem_ || open_phase_ < 0) return;
+  const Phase phase = static_cast<Phase>(open_phase_);
+  const double dur = tracker_.elapsed_seconds() - open_phase_start_;
+  telem_->metrics
+      .histogram(std::string("phase.seconds.") + phase_name(phase))
+      .observe(dur);
+  if (telem_->trace.enabled())
+    telem_->trace.event(
+        "phase_end",
+        {{"phase", phase_name(phase)},
+         {"dur_s", dur},
+         {"detected_delta",
+          static_cast<std::uint64_t>(faults_->num_detected() -
+                                     open_phase_detected_)},
+         {"vectors_delta",
+          static_cast<std::uint64_t>(result_.test_set.size() -
+                                     open_phase_vectors_)}});
+  open_phase_ = -1;
+}
+
+void GaTestGenerator::telemetry_commit(std::size_t index,
+                                       unsigned detected_delta) {
+  if (!telem_) return;
+  telem_->metrics.counter("gatest.commits").add(1);
+  if (detected_delta)
+    telem_->metrics.counter("gatest.detected").add(detected_delta);
+  const double coverage = faults_->coverage();
+  const char* pname = current_phase_name();
+  if (telem_->trace.enabled())
+    telem_->trace.event(
+        "commit",
+        {{"index", static_cast<std::uint64_t>(index)},
+         {"phase", pname},
+         {"detected_delta", detected_delta},
+         {"detected_total",
+          static_cast<std::uint64_t>(faults_->num_detected())},
+         {"coverage", coverage},
+         {"vectors", static_cast<std::uint64_t>(result_.test_set.size())}});
+  if (telem_->progress.enabled())
+    telem_->progress.update(pname, result_.test_set.size(), coverage,
+                            total_evaluations(), tracker_.elapsed_seconds());
+}
+
 void GaTestGenerator::generate_vectors() {
   const unsigned progress_limit = std::max(
       1u, static_cast<unsigned>(std::lround(config_.progress_limit_multiplier *
@@ -319,6 +499,7 @@ void GaTestGenerator::generate_vectors() {
 
   while (faults_->num_undetected() > 0 &&
          result_.test_set.size() < config_.max_vectors) {
+    telemetry_enter_phase(state_.phase);
     note_boundary();
     if (stop_now()) return;
     const TestVector best = evolve_vector(state_.phase);
@@ -330,6 +511,7 @@ void GaTestGenerator::generate_vectors() {
     result_.test_set.push_back(best);
     ++result_.vectors_from_vector_phases;
     result_.detected_by_vectors += committed.detected;
+    telemetry_commit(result_.test_set.size() - 1, committed.detected);
 
     if (state_.phase == Phase::InitializeFfs) {
       const unsigned set_now = sim_.good_ffs_set();
@@ -359,6 +541,7 @@ void GaTestGenerator::generate_vectors() {
 }
 
 void GaTestGenerator::generate_sequences() {
+  telemetry_enter_phase(Phase::Sequences);
   while (state_.seq_mult_index < config_.seq_length_multipliers.size()) {
     const double mult = config_.seq_length_multipliers[state_.seq_mult_index];
     const unsigned frames = std::max(
@@ -394,6 +577,8 @@ void GaTestGenerator::generate_sequences() {
       result_.detected_by_sequences += committed.detected;
       ++result_.sequences_committed;
       state_.seq_consecutive_failures = 0;
+      telemetry_commit(result_.test_set.size() - best.size(),
+                       committed.detected);
     }
 
     if (faults_->num_undetected() == 0) break;
@@ -406,6 +591,15 @@ TestGenResult GaTestGenerator::run() {
   tracker_.start(ctrl_.budget);
   last_checkpoint_elapsed_ = 0.0;
   stop_reason_ = StopReason::Completed;
+  open_phase_ = -1;
+  if (tracing())
+    telem_->trace.event(
+        "run_begin",
+        {{"circuit", circuit_->name()},
+         {"faults", static_cast<std::uint64_t>(faults_->size())},
+         {"seed", static_cast<std::uint64_t>(config_.seed)},
+         {"threads", config_.num_threads},
+         {"resumed", resumed_}});
   if (!resumed_) {
     result_ = TestGenResult{};
     result_.faults_total = faults_->size();
@@ -437,6 +631,7 @@ TestGenResult GaTestGenerator::run() {
     stop_reason_ = StopReason::Error;
     result_.error_message = e.what();
   }
+  telemetry_close_phase();
 
   result_.faults_detected = faults_->num_detected();
   result_.fault_coverage = faults_->coverage();
@@ -455,12 +650,79 @@ TestGenResult GaTestGenerator::run() {
   if (stop_reason_ != StopReason::Completed && !ctrl_.checkpoint_path.empty()) {
     try {
       make_checkpoint().save(ctrl_.checkpoint_path);
+      if (tracing())
+        telem_->trace.event(
+            "checkpoint_write",
+            {{"path", ctrl_.checkpoint_path},
+             {"vectors", static_cast<std::uint64_t>(result_.test_set.size())},
+             {"evaluations", static_cast<std::uint64_t>(boundary_evals_)},
+             {"final", true}});
     } catch (const std::exception& e) {
       if (!result_.error_message.empty()) result_.error_message += "; ";
       result_.error_message += e.what();
     }
   }
+
+  if (telem_) {
+    telemetry_finalize_metrics();
+    if (telem_->trace.enabled()) {
+      if (stop_reason_ != StopReason::Completed)
+        telem_->trace.event(
+            "stop", {{"reason", to_string(stop_reason_)},
+                     {"error", result_.error_message}});
+      telem_->trace.event(
+          "run_end",
+          {{"dur_s", tracker_.elapsed_seconds()},
+           {"seconds", result_.seconds},
+           {"vectors", static_cast<std::uint64_t>(result_.test_set.size())},
+           {"detected", static_cast<std::uint64_t>(result_.faults_detected)},
+           {"coverage", result_.fault_coverage},
+           {"evaluations",
+            static_cast<std::uint64_t>(result_.fitness_evaluations)},
+           {"stop_reason", to_string(stop_reason_)}});
+    }
+    telem_->progress.finish();
+  }
   return result_;
+}
+
+void GaTestGenerator::telemetry_finalize_metrics() {
+  if (!telem_) return;
+  telemetry::MetricsRegistry& m = telem_->metrics;
+  // Counters are set to lifetime totals idempotently (add the delta against
+  // the counter's current value) so a resumed in-process run() cannot
+  // double-count.
+  const auto set_total = [&m](const std::string& name, std::uint64_t total) {
+    telemetry::Counter& c = m.counter(name);
+    if (total > c.value()) c.add(total - c.value());
+  };
+
+  FsimCounters fc = sim_.counters();
+  for (const auto& ws : worker_sims_) fc.accumulate(ws->counters());
+  set_total("fsim.vectors_committed", fc.vectors_committed);
+  set_total("fsim.candidate_evaluations", fc.candidate_evaluations);
+  set_total("fsim.frames_simulated", fc.frames_simulated);
+  set_total("fsim.good_events", fc.good_events);
+  set_total("fsim.faulty_events", fc.faulty_events);
+  set_total("fsim.faults_dropped", fc.faults_dropped);
+  set_total("fsim.fault_groups", fc.fault_groups);
+  set_total("fsim.fault_group_lanes", fc.fault_group_lanes);
+  m.gauge("fsim.packed_utilization").set(fc.packed_utilization());
+
+  for (Phase p : {Phase::InitializeFfs, Phase::DetectFaults,
+                  Phase::DetectWithActivity, Phase::Sequences}) {
+    std::size_t evals = fitness_.evaluations_in(p);
+    for (const auto& wf : worker_fitness_) evals += wf->evaluations_in(p);
+    set_total(std::string("fitness.evals.") + phase_name(p), evals);
+  }
+
+  set_total("gatest.vectors", result_.test_set.size());
+  set_total("gatest.sequences_committed", result_.sequences_committed);
+  set_total("gatest.sequence_attempts", result_.sequence_attempts);
+  set_total("gatest.evaluations", result_.fitness_evaluations);
+  m.gauge("gatest.coverage").set(result_.fault_coverage);
+  m.gauge("gatest.fault_efficiency").set(result_.fault_efficiency);
+  m.gauge("gatest.seconds").set(result_.seconds);
 }
 
 }  // namespace gatest

@@ -21,6 +21,7 @@
 #include "gatest/config.h"
 #include "gatest/fitness.h"
 #include "netlist/circuit.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 #include "util/run_control.h"
 #include "util/thread_pool.h"
@@ -73,6 +74,12 @@ class GaTestGenerator {
   /// Budgets, interrupt token, and checkpoint policy for subsequent run()s.
   /// Without this, runs are unbounded and uncheckpointed (seed behavior).
   void set_run_control(const RunControl& ctrl) { ctrl_ = ctrl; }
+
+  /// Attach a telemetry bundle (nullptr detaches); the bundle must outlive
+  /// the generator.  Attach before restore_from_checkpoint() to get the
+  /// resume event traced.  Telemetry is observation-only: the generated test
+  /// set is bit-identical with or without it, at any thread count.
+  void set_telemetry(telemetry::RunTelemetry* telemetry) { telem_ = telemetry; }
 
   /// Rebuild committed state from a checkpoint (before run()): the test set
   /// is replayed through the simulator and every parallel replica, replayed
@@ -141,6 +148,23 @@ class GaTestGenerator {
       const std::function<double(FitnessEvaluator&,
                                  const std::vector<std::uint8_t>&)>& fit);
 
+  // ---- telemetry (all no-ops when telem_ == nullptr) ----------------------
+
+  /// Trace-enabled shorthand.
+  bool tracing() const { return telem_ && telem_->trace.enabled(); }
+  /// Name of the phase the generator is currently evolving for.
+  const char* current_phase_name() const;
+  /// Install the per-generation GA observer (no-op without telemetry).
+  void install_ga_observer(GeneticAlgorithm& ga);
+  /// Open the phase span for `phase` (closing the previous one, if any).
+  void telemetry_enter_phase(Phase phase);
+  /// Close the currently open phase span.
+  void telemetry_close_phase();
+  /// Per-commit trace event, progress redraw, and commit metrics.
+  void telemetry_commit(std::size_t index, unsigned detected_delta);
+  /// Fold end-of-run totals (fsim/fitness/result) into the registry.
+  void telemetry_finalize_metrics();
+
   GaConfig vector_ga_config() const;
   GaConfig sequence_ga_config(unsigned frames) const;
 
@@ -174,6 +198,16 @@ class GaTestGenerator {
   std::vector<std::unique_ptr<FaultList>> worker_faults_;
   std::vector<std::unique_ptr<SequentialFaultSimulator>> worker_sims_;
   std::vector<std::unique_ptr<FitnessEvaluator>> worker_fitness_;
+
+  // Telemetry (borrowed; nullptr = disabled).  The open-phase bookkeeping
+  // lets the per-phase spans tile the whole run: a span closes exactly when
+  // the next opens (or the run ends).
+  telemetry::RunTelemetry* telem_ = nullptr;
+  int open_phase_ = -1;                  ///< Phase as int, -1 = none open
+  double open_phase_start_ = 0.0;        ///< trace timestamp of phase_begin
+  std::size_t open_phase_detected_ = 0;  ///< faults detected at phase_begin
+  std::size_t open_phase_vectors_ = 0;   ///< test-set size at phase_begin
+  std::vector<double> chunk_seconds_;    ///< parallel per-chunk wall times
 };
 
 }  // namespace gatest

@@ -1,0 +1,41 @@
+// Minimal JSON reader for the telemetry pipeline's own artifacts (trace
+// JSONL lines and metrics snapshots).  Supports the full JSON grammar the
+// writers emit: objects, arrays, strings with escapes, numbers, booleans,
+// null.  Not a general-purpose parser — errors throw with a byte offset.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gatest::telemetry {
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Convenience accessors with defaults for optional members.
+  double number_or(std::string_view key, double dflt) const;
+  std::string string_or(std::string_view key, std::string dflt) const;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).  Throws std::runtime_error on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace gatest::telemetry

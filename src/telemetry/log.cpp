@@ -1,0 +1,57 @@
+#include "telemetry/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace gatest::telemetry {
+
+namespace {
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::Warn: return "warning: ";
+    case LogLevel::Debug: return "debug: ";
+    default: return "";
+  }
+}
+}  // namespace
+
+void Logger::vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fputs(prefix(level), stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+void Logger::warn(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::Warn, fmt, args);
+  va_end(args);
+}
+
+void Logger::info(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::Info, fmt, args);
+  va_end(args);
+}
+
+void Logger::debug(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(LogLevel::Debug, fmt, args);
+  va_end(args);
+}
+
+Logger& global_logger() {
+  static Logger logger;
+  return logger;
+}
+
+}  // namespace gatest::telemetry

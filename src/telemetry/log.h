@@ -1,0 +1,43 @@
+// Small leveled logger for harness/CLI progress printing.
+//
+// Informational and debug messages go to stderr so they never disturb the
+// machine-readable stdout contracts (test-vector files, table output, the
+// "GATEST:" result lines the CLI tests grep).  Result output stays printf-
+// to-stdout in the tools; the logger is for everything an operator may want
+// silenced (--quiet) or amplified (--verbose).
+#pragma once
+
+#include <cstdarg>
+
+namespace gatest::telemetry {
+
+enum class LogLevel : int {
+  Quiet = 0,  ///< errors only (still printed by callers directly)
+  Warn = 1,
+  Info = 2,   ///< default
+  Debug = 3,  ///< --verbose
+};
+
+class Logger {
+ public:
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  // printf-style; one line per call (a newline is appended).
+  void warn(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+  void info(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+  void debug(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+ private:
+  void vlog(LogLevel level, const char* fmt, std::va_list args);
+
+  LogLevel level_ = LogLevel::Info;
+};
+
+/// Process-wide logger shared by the CLI tools and bench harnesses.
+Logger& global_logger();
+
+}  // namespace gatest::telemetry

@@ -1,0 +1,215 @@
+#include "telemetry/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace gatest::telemetry {
+
+namespace {
+
+/// Bound table computed once; bucket_index compares against these exact
+/// values, so edge observations land deterministically (no log() rounding).
+const std::array<double, Histogram::kNumBuckets>& bucket_bounds() {
+  static const std::array<double, Histogram::kNumBuckets> bounds = [] {
+    std::array<double, Histogram::kNumBuckets> b{};
+    for (int i = 0; i < Histogram::kNumBuckets - 1; ++i)
+      b[i] = std::pow(10.0, -7.0 + (i + 1) /
+                                       static_cast<double>(
+                                           Histogram::kBucketsPerDecade));
+    b[Histogram::kNumBuckets - 1] = INFINITY;
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace
+
+double Histogram::bucket_upper_bound(int i) { return bucket_bounds()[i]; }
+
+int Histogram::bucket_index(double x) {
+  const auto& bounds = bucket_bounds();
+  int lo = 0, hi = kNumBuckets - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (x < bounds[mid]) hi = mid;
+    else lo = mid + 1;
+  }
+  return lo;
+}
+
+void Histogram::observe(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.add(x);
+  sum_ += x;
+  ++buckets_[bucket_index(x)];
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count();
+}
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.mean();
+}
+double Histogram::stddev() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.stddev();
+}
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.min();
+}
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.max();
+}
+double Histogram::p50() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.p50();
+}
+double Histogram::p95() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.p95();
+}
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+std::uint64_t Histogram::bucket_count(int i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_[i];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':' << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':';
+    write_json_number(os, g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ":{\"count\":" << h->count() << ",\"sum\":";
+    write_json_number(os, h->sum());
+    os << ",\"mean\":";
+    write_json_number(os, h->mean());
+    os << ",\"stddev\":";
+    write_json_number(os, h->stddev());
+    os << ",\"min\":";
+    write_json_number(os, h->min());
+    os << ",\"max\":";
+    write_json_number(os, h->max());
+    os << ",\"p50\":";
+    write_json_number(os, h->p50());
+    os << ",\"p95\":";
+    write_json_number(os, h->p95());
+    os << '}';
+  }
+  os << "}}\n";
+}
+
+void MetricsRegistry::write_text(std::ostream& os) const {
+  AsciiTable table({"metric", "kind", "count", "value/sum", "mean", "p50",
+                    "p95", "max"});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_)
+      table.add_row({name, "counter", "", strprintf("%llu",
+                     static_cast<unsigned long long>(c->value()))});
+    for (const auto& [name, g] : gauges_)
+      table.add_row({name, "gauge", "", strprintf("%.6g", g->value())});
+    for (const auto& [name, h] : histograms_)
+      table.add_row({name, "histogram",
+                     strprintf("%llu",
+                               static_cast<unsigned long long>(h->count())),
+                     strprintf("%.6g", h->sum()),
+                     strprintf("%.6g", h->mean()),
+                     strprintf("%.6g", h->p50()),
+                     strprintf("%.6g", h->p95()),
+                     strprintf("%.6g", h->max())});
+  }
+  table.print(os);
+}
+
+}  // namespace gatest::telemetry

@@ -1,0 +1,116 @@
+// Metrics registry: named counters, gauges, and latency histograms that the
+// instrumented pipeline (fault simulator, GA, test generator) reports into.
+//
+// Design constraints, in order:
+//   1. Observation only — registering or updating a metric never touches the
+//      RNG or any algorithmic state, so telemetry-on and telemetry-off runs
+//      produce bit-identical test sets.
+//   2. Thread-safe — parallel fitness workers update concurrently.  Counters
+//      and gauges are relaxed atomics; histograms take a short mutex (they
+//      are updated per GA-run / per commit, never per simulated event).
+//   3. Stable references — counter()/gauge()/histogram() hand out references
+//      that stay valid for the registry's lifetime, so hot code looks a
+//      metric up once and then updates it lock-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "util/stats.h"
+
+namespace gatest::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written (or accumulated) floating-point value.
+class Gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+  void add(double dx) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + dx,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Latency histogram with fixed log-scale buckets: 5 buckets per decade from
+/// 100 ns to 1000 s (bucket i covers [bound(i-1), bound(i)), the first bucket
+/// takes everything below 1e-7 and the last everything above).  A
+/// RunningStats rides along for exact count/mean/stddev/min/max and P²
+/// p50/p95 of the raw observations.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerDecade = 5;
+  static constexpr int kDecades = 10;  // 1e-7 .. 1e+3
+  static constexpr int kNumBuckets = kBucketsPerDecade * kDecades + 1;
+
+  /// Upper bound of bucket i (inclusive lower bound of bucket i+1); the last
+  /// bucket is unbounded.
+  static double bucket_upper_bound(int i);
+  /// Bucket an observation falls into (comparison against the bound table,
+  /// so exact bound values land deterministically in the lower bucket).
+  static int bucket_index(double x);
+
+  void observe(double x);
+
+  std::uint64_t count() const;
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double p50() const;
+  double p95() const;
+  double sum() const;
+  std::uint64_t bucket_count(int i) const;
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats stats_;
+  double sum_ = 0.0;
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+};
+
+/// Thread-safe name → metric map.  Lookup is mutex-guarded; the returned
+/// references are stable (node-based storage) and lock-free to update.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  bool empty() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Names are emitted in sorted order so snapshots diff cleanly.
+  void write_json(std::ostream& os) const;
+
+  /// Compact aligned text table (one row per metric) for --verbose output.
+  void write_text(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace gatest::telemetry

@@ -1,0 +1,54 @@
+#include "telemetry/progress.h"
+
+#include <cstdio>
+#include <string>
+
+namespace gatest::telemetry {
+
+namespace {
+/// "843", "1.2k", "3.4M" — keeps the line width stable.
+std::string compact_count(double v) {
+  char buf[32];
+  if (v >= 1e6) std::snprintf(buf, sizeof buf, "%.1fM", v / 1e6);
+  else if (v >= 1e4) std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  else std::snprintf(buf, sizeof buf, "%.0f", v);
+  return buf;
+}
+}  // namespace
+
+void ProgressMeter::update(std::string_view phase, std::size_t vectors,
+                           double coverage, std::size_t evaluations,
+                           double elapsed_seconds) {
+  if (!on_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (throttle_armed_ && since_last_.elapsed_seconds() < min_interval_) return;
+  since_last_.restart();
+  throttle_armed_ = true;
+  printed_anything_ = true;
+
+  const double rate =
+      elapsed_seconds > 0.0 ? static_cast<double>(evaluations) / elapsed_seconds
+                            : 0.0;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "[%.*s] %zu vec  %.1f%% cov  %s evals (%s/s)  %.1fs",
+                static_cast<int>(phase.size()), phase.data(), vectors,
+                100.0 * coverage, compact_count(
+                    static_cast<double>(evaluations)).c_str(),
+                compact_count(rate).c_str(), elapsed_seconds);
+  // Pad to a fixed width so a shorter redraw fully overwrites the previous.
+  std::fprintf(stderr, "\r%-78.78s", line);
+  std::fflush(stderr);
+}
+
+void ProgressMeter::finish() {
+  if (!on_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (printed_anything_) {
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    printed_anything_ = false;
+  }
+}
+
+}  // namespace gatest::telemetry

@@ -1,0 +1,44 @@
+// Live single-line run status for interactive ATPG runs (--progress):
+//
+//   [vectors] 42 vec  61.3% cov  1.2k evals (843/s)
+//
+// Rewrites one stderr line (\r, padded to a fixed width) and is rate-limited
+// so a fast commit loop cannot flood the terminal.  Purely observational:
+// enabling it never changes the run.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string_view>
+
+#include "util/timer.h"
+
+namespace gatest::telemetry {
+
+class ProgressMeter {
+ public:
+  /// `min_interval_seconds` throttles redraws (the final finish() always
+  /// prints a newline if anything was drawn).
+  explicit ProgressMeter(double min_interval_seconds = 0.1)
+      : min_interval_(min_interval_seconds) {}
+
+  void enable(bool on) { on_ = on; }
+  bool enabled() const { return on_; }
+
+  /// Redraw the status line (throttled; thread-safe).
+  void update(std::string_view phase, std::size_t vectors, double coverage,
+              std::size_t evaluations, double elapsed_seconds);
+
+  /// Terminate the status line with a newline so later output starts clean.
+  void finish();
+
+ private:
+  double min_interval_;
+  bool on_ = false;
+  std::mutex mu_;
+  Timer since_last_;
+  bool printed_anything_ = false;
+  bool throttle_armed_ = false;
+};
+
+}  // namespace gatest::telemetry

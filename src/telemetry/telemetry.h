@@ -1,0 +1,26 @@
+// One bundle of everything a run can report into, so the generator takes a
+// single optional pointer.  Each component is independently armed:
+//   - metrics:  always collected once the bundle is attached (cheap counters
+//               and per-GA-run histograms; snapshot with --metrics-out)
+//   - trace:    JSONL events, only after trace.open()
+//   - progress: live status line, only after progress.enable(true)
+//
+// Attaching a RunTelemetry is deterministic-neutral by construction: nothing
+// in it is consulted by the algorithms, so the generated test set is
+// bit-identical with or without it, at any thread count.
+#pragma once
+
+#include "telemetry/log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/progress.h"
+#include "telemetry/trace.h"
+
+namespace gatest::telemetry {
+
+struct RunTelemetry {
+  MetricsRegistry metrics;
+  TraceSink trace;
+  ProgressMeter progress;
+};
+
+}  // namespace gatest::telemetry

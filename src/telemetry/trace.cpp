@@ -1,0 +1,164 @@
+#include "telemetry/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gatest::telemetry {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void TraceValue::append_json(std::string& out) const {
+  char buf[32];
+  switch (kind_) {
+    case Kind::Str:
+      append_json_string(out, str_);
+      return;
+    case Kind::Double:
+      if (!std::isfinite(num_)) {
+        out += "null";
+        return;
+      }
+      std::snprintf(buf, sizeof buf, "%.9g", num_);
+      out += buf;
+      return;
+    case Kind::Int:
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(i_));
+      out += buf;
+      return;
+    case Kind::Uint:
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(u_));
+      out += buf;
+      return;
+    case Kind::Bool:
+      out += b_ ? "true" : "false";
+      return;
+  }
+}
+
+void TraceSink::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_)
+    throw std::runtime_error("trace: cannot open '" + path + "' for writing");
+  epoch_ = std::chrono::steady_clock::now();
+  thread_ids_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceSink::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+double TraceSink::now() const {
+  if (!enabled()) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::uint32_t TraceSink::thread_ordinal() {
+  const auto id = std::this_thread::get_id();
+  const auto it = thread_ids_.find(id);
+  if (it != thread_ids_.end()) return it->second;
+  const auto ordinal = static_cast<std::uint32_t>(thread_ids_.size());
+  thread_ids_.emplace(id, ordinal);
+  return ordinal;
+}
+
+void TraceSink::event(std::string_view type,
+                      std::initializer_list<TraceField> fields) {
+  emit(type, fields.begin(), fields.end());
+}
+
+void TraceSink::event(std::string_view type,
+                      const std::vector<TraceField>& fields) {
+  emit(type, fields.data(), fields.data() + fields.size());
+}
+
+void TraceSink::emit(std::string_view type, const TraceField* begin,
+                     const TraceField* end) {
+  if (!enabled()) return;
+  const double ts = now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  line_.clear();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", ts);
+  line_ += "{\"ts\":";
+  line_ += buf;
+  std::snprintf(buf, sizeof buf, "%u", thread_ordinal());
+  line_ += ",\"tid\":";
+  line_ += buf;
+  line_ += ",\"type\":";
+  append_json_string(line_, type);
+  for (const TraceField* f = begin; f != end; ++f) {
+    line_ += ',';
+    append_json_string(line_, f->key);
+    line_ += ':';
+    f->value.append_json(line_);
+  }
+  line_ += "}\n";
+  out_ << line_;
+}
+
+TraceSpan::TraceSpan(TraceSink& sink, std::string name,
+                     std::initializer_list<TraceField> fields)
+    : sink_(&sink), name_(std::move(name)) {
+  if (!sink_->enabled()) {
+    ended_ = true;  // nothing to close
+    return;
+  }
+  t0_ = sink_->now();
+  sink_->event(name_ + "_begin", fields);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!ended_) end();
+}
+
+double TraceSpan::elapsed() const {
+  return ended_ || !sink_->enabled() ? 0.0 : sink_->now() - t0_;
+}
+
+void TraceSpan::end(std::initializer_list<TraceField> fields) {
+  if (ended_) return;
+  ended_ = true;
+  if (!sink_->enabled()) return;
+  const double dur = sink_->now() - t0_;
+  std::vector<TraceField> all(fields.begin(), fields.end());
+  all.push_back(TraceField{"dur_s", TraceValue(dur)});
+  sink_->event(name_ + "_end", all);
+}
+
+}  // namespace gatest::telemetry

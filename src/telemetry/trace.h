@@ -1,0 +1,117 @@
+// Structured run tracing: JSONL events with monotonic timestamps.
+//
+// Every event is one JSON object per line:
+//   {"ts":1.234567,"tid":0,"type":"commit","index":12,"detected":3,...}
+// where `ts` is seconds since the sink was opened (steady clock, so traces
+// from interrupted runs still order correctly) and `tid` is a small dense id
+// assigned to each OS thread on first use.
+//
+// The disabled path is a single relaxed atomic load: callers guard payload
+// construction with `if (sink.enabled())`, and event() itself re-checks, so
+// an unopened sink costs nothing measurable on the hot loop.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace gatest::telemetry {
+
+/// Typed event-payload value, so numbers stay numbers in the JSON output.
+class TraceValue {
+ public:
+  TraceValue(const char* s) : kind_(Kind::Str), str_(s) {}
+  TraceValue(std::string s) : kind_(Kind::Str), str_(std::move(s)) {}
+  TraceValue(double d) : kind_(Kind::Double), num_(d) {}
+  TraceValue(bool b) : kind_(Kind::Bool), b_(b) {}
+  TraceValue(int v) : kind_(Kind::Int), i_(v) {}
+  TraceValue(unsigned v) : kind_(Kind::Uint), u_(v) {}
+  TraceValue(long v) : kind_(Kind::Int), i_(v) {}
+  TraceValue(unsigned long v) : kind_(Kind::Uint), u_(v) {}
+  TraceValue(long long v) : kind_(Kind::Int), i_(v) {}
+  TraceValue(unsigned long long v) : kind_(Kind::Uint), u_(v) {}
+
+  void append_json(std::string& out) const;
+
+ private:
+  enum class Kind : std::uint8_t { Str, Double, Int, Uint, Bool };
+  Kind kind_;
+  std::string str_;
+  double num_ = 0.0;
+  std::int64_t i_ = 0;
+  std::uint64_t u_ = 0;
+  bool b_ = false;
+};
+
+struct TraceField {
+  std::string_view key;
+  TraceValue value;
+};
+
+class TraceSink {
+ public:
+  TraceSink() = default;
+
+  /// Start emitting to `path` (truncates).  Throws std::runtime_error if the
+  /// file cannot be opened.  Resets the trace clock to zero.
+  void open(const std::string& path);
+
+  /// Flush and stop emitting.  Safe to call on a never-opened sink.
+  void close();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Seconds since open() on the steady clock (0 when disabled).
+  double now() const;
+
+  /// Emit one event line.  No-op when disabled.
+  void event(std::string_view type,
+             std::initializer_list<TraceField> fields = {});
+  void event(std::string_view type, const std::vector<TraceField>& fields);
+
+ private:
+  void emit(std::string_view type, const TraceField* begin,
+            const TraceField* end);
+  std::uint32_t thread_ordinal();  // caller holds mu_
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;
+  std::ofstream out_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::map<std::thread::id, std::uint32_t> thread_ids_;
+  std::string line_;  // reused formatting buffer
+};
+
+/// RAII span: emits "<name>_begin" on construction and "<name>_end" (with
+/// "dur_s" and any extra fields passed to end()) on destruction or end().
+class TraceSpan {
+ public:
+  TraceSpan(TraceSink& sink, std::string name,
+            std::initializer_list<TraceField> fields = {});
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Close the span early with extra payload on the end event.
+  void end(std::initializer_list<TraceField> fields = {});
+
+  /// Seconds since the span began (0 when the sink is disabled).
+  double elapsed() const;
+
+ private:
+  TraceSink* sink_;
+  std::string name_;
+  double t0_ = 0.0;
+  bool ended_ = false;
+};
+
+}  // namespace gatest::telemetry

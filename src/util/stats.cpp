@@ -1,8 +1,79 @@
 #include "util/stats.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace gatest {
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    height_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(height_, height_ + 5);
+      // Desired positions start from the canonical P² initialization.
+    }
+    return;
+  }
+
+  // Locate the cell containing x and update extreme markers.
+  int k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x >= height_[4]) {
+    height_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= height_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) ++pos_[i];
+  ++n_;
+
+  // Desired marker positions for quantile q after n samples.
+  const double dn = static_cast<double>(n_);
+  const double desired[5] = {1.0, 1.0 + (dn - 1.0) * q_ / 2.0,
+                             1.0 + (dn - 1.0) * q_,
+                             1.0 + (dn - 1.0) * (1.0 + q_) / 2.0, dn};
+
+  // Adjust interior markers toward their desired positions, parabolic when
+  // possible, linear otherwise.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 0 ? 1.0 : -1.0;
+      const double qp =
+          height_[i] +
+          s / (pos_[i + 1] - pos_[i - 1]) *
+              ((pos_[i] - pos_[i - 1] + s) * (height_[i + 1] - height_[i]) /
+                   (pos_[i + 1] - pos_[i]) +
+               (pos_[i + 1] - pos_[i] - s) * (height_[i] - height_[i - 1]) /
+                   (pos_[i] - pos_[i - 1]));
+      if (height_[i - 1] < qp && qp < height_[i + 1]) {
+        height_[i] = qp;
+      } else {  // parabolic estimate out of order: linear step
+        const int j = i + static_cast<int>(s);
+        height_[i] += s * (height_[j] - height_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ <= 5) {
+    // Exact: nearest-rank on the sorted prefix.
+    double sorted[5];
+    std::copy(height_, height_ + n_, sorted);
+    std::sort(sorted, sorted + n_);
+    const int rank = std::clamp(
+        static_cast<int>(q_ * static_cast<double>(n_) + 0.5), 1, n_);
+    return sorted[rank - 1];
+  }
+  return height_[2];
+}
 
 std::string format_mean_stddev(const RunningStats& s, int mean_precision,
                                int sd_precision) {
@@ -23,6 +94,11 @@ std::string format_duration(double seconds) {
     std::snprintf(buf, sizeof buf, "%.2fh", seconds / 3600.0);
   }
   return buf;
+}
+
+std::string format_duration_quantiles(const RunningStats& s) {
+  return format_duration(s.min()) + "/" + format_duration(s.p50()) + "/" +
+         format_duration(s.p95()) + "/" + format_duration(s.max());
 }
 
 double mean_of(const std::vector<double>& xs) {

@@ -9,7 +9,27 @@
 
 namespace gatest {
 
-/// Welford-style accumulator for mean and sample standard deviation.
+/// Streaming quantile estimator (Jain & Chlamtac's P² algorithm): O(1) memory
+/// and deterministic, so it can ride inside RunningStats without changing the
+/// cost profile of hot telemetry paths.  Exact for the first five samples;
+/// a piecewise-parabolic estimate beyond that.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q = 0.5) : q_(q) {}
+
+  void add(double x);
+  /// Current estimate (0 before any sample).
+  double value() const;
+
+ private:
+  double q_;
+  int n_ = 0;                       // samples seen
+  double height_[5] = {};           // marker heights
+  double pos_[5] = {1, 2, 3, 4, 5}; // marker positions (1-based)
+};
+
+/// Welford-style accumulator for mean and sample standard deviation, with
+/// min/max and streaming P² estimates of the median and 95th percentile.
 class RunningStats {
  public:
   void add(double x) {
@@ -19,12 +39,18 @@ class RunningStats {
     m2_ += delta * (x - mean_);
     if (n_ == 1 || x < min_) min_ = x;
     if (n_ == 1 || x > max_) max_ = x;
+    p50_.add(x);
+    p95_.add(x);
   }
 
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double min() const { return min_; }
   double max() const { return max_; }
+
+  /// Streaming quantile estimates (exact for up to five samples).
+  double p50() const { return p50_.value(); }
+  double p95() const { return p95_.value(); }
 
   /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
   double stddev() const {
@@ -37,6 +63,8 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  P2Quantile p50_{0.5};
+  P2Quantile p95_{0.95};
 };
 
 /// "264.7(0.5)" — the paper's mean(stddev) cell format.
@@ -45,6 +73,10 @@ std::string format_mean_stddev(const RunningStats& s, int mean_precision = 1,
 
 /// Format seconds the way Table 2 does: "6.05m", "2.83h", "45.1s".
 std::string format_duration(double seconds);
+
+/// "min/p50/p95/max" with each entry in format_duration() form, e.g.
+/// "5.90s/6.01s/6.20s/6.31s" — the bench tables' time-spread column.
+std::string format_duration_quantiles(const RunningStats& s);
 
 /// Mean of a vector (0 for empty).
 double mean_of(const std::vector<double>& xs);

@@ -1,0 +1,281 @@
+// Telemetry layer tests: thread-safe metrics, histogram bucketing, JSONL
+// trace round-trips, and — the load-bearing guarantee — that attaching
+// telemetry to a GATEST run leaves the generated test set bit-identical,
+// serial and parallel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuitgen/circuitgen.h"
+#include "fault/fault.h"
+#include "gatest/config.h"
+#include "gatest/test_generator.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace gatest {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::JsonValue;
+using telemetry::MetricsRegistry;
+using telemetry::TraceSink;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "telemetry_" + name;
+}
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  Counter& c = reg.counter("events");
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  Gauge& g = reg.gauge("coverage");
+  g.set(0.75);
+  g.add(0.05);
+  EXPECT_DOUBLE_EQ(g.value(), 0.80);
+  EXPECT_FALSE(reg.empty());
+  // Same name hands back the same object, so lookups can be hoisted.
+  EXPECT_EQ(&reg.counter("events"), &c);
+  EXPECT_EQ(&reg.gauge("coverage"), &g);
+}
+
+TEST(Metrics, ConcurrentUpdatesAreLossless) {
+  // Run under TSan in sanitizer builds: counters/gauges are relaxed atomics,
+  // histograms take a mutex, and registry lookup is mutex-guarded.
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      Counter& c = reg.counter("shared.counter");
+      Gauge& g = reg.gauge("shared.gauge");
+      Histogram& h = reg.histogram("shared.hist");
+      Counter& own = reg.counter("thread." + std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        g.add(1.0);
+        own.add();
+        if (i % 100 == 0) h.observe(1e-3);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(reg.counter("shared.counter").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(reg.gauge("shared.gauge").value(),
+                   static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(reg.histogram("shared.hist").count(),
+            static_cast<std::uint64_t>(kThreads) * (kIters / 100));
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(reg.counter("thread." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kIters));
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  // 5 buckets per decade spanning 1e-7..1e+3; the last bucket is unbounded.
+  EXPECT_NEAR(Histogram::bucket_upper_bound(Histogram::kBucketsPerDecade - 1),
+              1e-6, 1e-15);
+  EXPECT_NEAR(
+      Histogram::bucket_upper_bound(Histogram::kNumBuckets - 2), 1e+3, 1e-6);
+  EXPECT_TRUE(
+      std::isinf(Histogram::bucket_upper_bound(Histogram::kNumBuckets - 1)));
+
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0);
+  // Buckets are lower-bound inclusive: an observation exactly on bucket 7's
+  // upper bound opens bucket 8, and anything just below it stays in 7.
+  EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper_bound(7)), 8);
+  EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper_bound(7) * 0.999),
+            7);
+  EXPECT_EQ(Histogram::bucket_index(1e9), Histogram::kNumBuckets - 1);
+
+  Histogram h;
+  h.observe(1e-7);  // below bucket 0's bound of 10^-6.8
+  h.observe(2e-7);
+  h.observe(1e9);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(2e-7)), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 1e-7);
+  EXPECT_EQ(h.max(), 1e9);
+}
+
+TEST(Metrics, JsonSnapshotParsesBack) {
+  MetricsRegistry reg;
+  reg.counter("ga.generations").add(42);
+  reg.gauge("gatest.coverage").set(0.875);
+  Histogram& h = reg.histogram("ga.run_seconds");
+  h.observe(0.5);
+  h.observe(1.5);
+  std::ostringstream os;
+  reg.write_json(os);
+  const JsonValue root = telemetry::parse_json(os.str());
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->number_or("ga.generations", -1), 42.0);
+  const JsonValue* gauges = root.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->number_or("gatest.coverage", -1), 0.875);
+  const JsonValue* hists = root.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* run_s = hists->find("ga.run_seconds");
+  ASSERT_NE(run_s, nullptr);
+  EXPECT_DOUBLE_EQ(run_s->number_or("count", -1), 2.0);
+  EXPECT_DOUBLE_EQ(run_s->number_or("mean", -1), 1.0);
+
+  std::ostringstream text;
+  reg.write_text(text);
+  EXPECT_NE(text.str().find("ga.generations"), std::string::npos);
+}
+
+TEST(Trace, DisabledSinkIsInert) {
+  TraceSink sink;
+  EXPECT_FALSE(sink.enabled());
+  EXPECT_EQ(sink.now(), 0.0);
+  sink.event("noop", {{"k", 1}});  // must not crash or write anywhere
+  sink.close();                    // safe on a never-opened sink
+}
+
+TEST(Trace, OpenThrowsOnUnwritablePath) {
+  TraceSink sink;
+  EXPECT_THROW(sink.open("/nonexistent-dir/trace.jsonl"), std::runtime_error);
+  EXPECT_FALSE(sink.enabled());
+}
+
+TEST(Trace, JsonlRoundTrip) {
+  const std::string path = temp_path("roundtrip.jsonl");
+  TraceSink sink;
+  sink.open(path);
+  ASSERT_TRUE(sink.enabled());
+  sink.event("alpha", {{"n", 7},
+                       {"x", 2.5},
+                       {"flag", true},
+                       {"name", "s27"},
+                       {"quoted", "a\"b\\c\n"}});
+  {
+    telemetry::TraceSpan span(sink, "work");
+    sink.event("beta");
+  }
+  sink.close();
+  EXPECT_FALSE(sink.enabled());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<JsonValue> events;
+  std::string line;
+  double last_ts = -1.0;
+  while (std::getline(in, line)) {
+    const JsonValue ev = telemetry::parse_json(line);
+    ASSERT_TRUE(ev.is_object());
+    // Schema contract: every event carries ts, tid, type.
+    ASSERT_NE(ev.find("ts"), nullptr);
+    ASSERT_NE(ev.find("tid"), nullptr);
+    ASSERT_NE(ev.find("type"), nullptr);
+    EXPECT_GE(ev.number_or("ts", -1), last_ts);  // monotonic timestamps
+    last_ts = ev.number_or("ts", -1);
+    EXPECT_EQ(ev.number_or("tid", -1), 0.0);  // single thread → dense id 0
+    events.push_back(ev);
+  }
+  ASSERT_EQ(events.size(), 4u);  // alpha, work_begin, beta, work_end
+  EXPECT_EQ(events[0].string_or("type", ""), "alpha");
+  EXPECT_DOUBLE_EQ(events[0].number_or("n", -1), 7.0);
+  EXPECT_DOUBLE_EQ(events[0].number_or("x", -1), 2.5);
+  const JsonValue* flag = events[0].find("flag");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_TRUE(flag->boolean);
+  EXPECT_EQ(events[0].string_or("name", ""), "s27");
+  EXPECT_EQ(events[0].string_or("quoted", ""), "a\"b\\c\n");
+  EXPECT_EQ(events[1].string_or("type", ""), "work_begin");
+  EXPECT_EQ(events[2].string_or("type", ""), "beta");
+  EXPECT_EQ(events[3].string_or("type", ""), "work_end");
+  ASSERT_NE(events[3].find("dur_s"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(telemetry::parse_json("{\"a\":"), std::runtime_error);
+  EXPECT_THROW(telemetry::parse_json("{} trailing"), std::runtime_error);
+  EXPECT_THROW(telemetry::parse_json(""), std::runtime_error);
+}
+
+// The acceptance bar for the whole layer: telemetry is observation-only.
+// A run with trace + metrics + progress attached must produce the same test
+// set, detection count, and evaluation count as a bare run — at one thread
+// and with parallel fitness workers.
+TEST(Telemetry, RunIsBitIdenticalWithTelemetryAttached) {
+  const Circuit& c = benchmark_circuit("s27");
+  for (unsigned threads : {1u, 2u}) {
+    TestGenConfig cfg;
+    cfg.seed = 11;
+    cfg.num_threads = threads;
+
+    FaultList plain_faults(c);
+    GaTestGenerator plain(c, plain_faults, cfg);
+    const TestGenResult bare = plain.run();
+
+    const std::string path =
+        temp_path("identity_t" + std::to_string(threads) + ".jsonl");
+    telemetry::RunTelemetry telem;
+    telem.trace.open(path);
+    FaultList traced_faults(c);
+    GaTestGenerator traced(c, traced_faults, cfg);
+    traced.set_telemetry(&telem);
+    const TestGenResult observed = traced.run();
+    telem.trace.close();
+
+    EXPECT_EQ(bare.test_set, observed.test_set) << "threads=" << threads;
+    EXPECT_EQ(bare.faults_detected, observed.faults_detected);
+    EXPECT_EQ(bare.fitness_evaluations, observed.fitness_evaluations);
+
+    // And the trace it produced is well-formed: paired run/phase spans.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    int run_begin = 0, run_end = 0, phase_begin = 0, phase_end = 0;
+    while (std::getline(in, line)) {
+      const JsonValue ev = telemetry::parse_json(line);
+      const std::string type = ev.string_or("type", "");
+      if (type == "run_begin") ++run_begin;
+      if (type == "run_end") ++run_end;
+      if (type == "phase_begin") ++phase_begin;
+      if (type == "phase_end") ++phase_end;
+    }
+    EXPECT_EQ(run_begin, 1);
+    EXPECT_EQ(run_end, 1);
+    EXPECT_GT(phase_begin, 0);
+    EXPECT_EQ(phase_begin, phase_end);
+    std::remove(path.c_str());
+
+    // Metrics agree with the result struct.
+    std::ostringstream os;
+    telem.metrics.write_json(os);
+    const JsonValue root = telemetry::parse_json(os.str());
+    const JsonValue* counters = root.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(counters->number_or("gatest.evaluations", -1),
+                     static_cast<double>(observed.fitness_evaluations));
+    EXPECT_DOUBLE_EQ(counters->number_or("gatest.detected", -1),
+                     static_cast<double>(observed.faults_detected));
+  }
+}
+
+}  // namespace
+}  // namespace gatest

@@ -144,6 +144,50 @@ TEST(RunningStats, SingleSampleHasZeroStddev) {
   EXPECT_EQ(s.mean(), 42.0);
 }
 
+TEST(P2Quantile, ExactForFirstFiveSamples) {
+  P2Quantile median(0.5);
+  EXPECT_EQ(median.value(), 0.0);  // empty
+  median.add(9.0);
+  EXPECT_EQ(median.value(), 9.0);
+  median.add(1.0);
+  median.add(5.0);
+  EXPECT_EQ(median.value(), 5.0);  // nearest-rank of {1,5,9}
+  median.add(3.0);
+  median.add(7.0);
+  EXPECT_EQ(median.value(), 5.0);  // nearest-rank of {1,3,5,7,9}
+}
+
+TEST(P2Quantile, ConvergesOnShuffledRamp) {
+  // 1..1000 in a deterministic shuffled order: the true median is ~500.5 and
+  // the true p95 is ~950.  P² is an estimate, so allow a few percent.
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) xs.push_back(static_cast<double>(i));
+  Rng rng(12345);
+  std::shuffle(xs.begin(), xs.end(), rng);
+  P2Quantile median(0.5), p95(0.95);
+  for (double x : xs) {
+    median.add(x);
+    p95.add(x);
+  }
+  EXPECT_NEAR(median.value(), 500.5, 25.0);
+  EXPECT_NEAR(p95.value(), 950.0, 25.0);
+}
+
+TEST(RunningStats, QuantilesExactForSmallSamples) {
+  RunningStats s;
+  for (double x : {5.0, 1.0, 4.0, 2.0, 3.0}) s.add(x);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.p50(), 3.0);
+  EXPECT_EQ(s.p95(), 5.0);
+}
+
+TEST(Stats, FormatDurationQuantiles) {
+  RunningStats s;
+  for (double x : {5.9, 6.0, 6.2, 6.3, 6.1}) s.add(x);
+  EXPECT_EQ(format_duration_quantiles(s), "5.90s/6.10s/6.30s/6.30s");
+}
+
 TEST(Stats, FormatMeanStddev) {
   RunningStats s;
   s.add(264.0);

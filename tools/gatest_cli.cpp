@@ -35,6 +35,7 @@
 #include "netlist/scan.h"
 #include "sim/responses.h"
 #include "sim/vcd.h"
+#include "telemetry/telemetry.h"
 #include "util/run_control.h"
 
 using namespace gatest;
@@ -87,7 +88,18 @@ namespace {
       "  --checkpoint FILE   write periodic + on-stop checkpoints to FILE\n"
       "  --checkpoint-interval SEC   periodic save cadence (default 30)\n"
       "  --resume FILE       continue a run from a checkpoint (same circuit;\n"
-      "                      the checkpoint's seed is used)\n",
+      "                      the checkpoint's seed is used)\n"
+      "\n"
+      "telemetry (GA engines; observation-only — the generated test set is\n"
+      "bit-identical with or without these, at any thread count):\n"
+      "  --metrics-out FILE  write a metrics snapshot (counters, gauges,\n"
+      "                      latency histograms) as JSON after the run\n"
+      "  --trace-out FILE    write structured JSONL run-trace events (phases,\n"
+      "                      GA runs, generations, commits, checkpoints);\n"
+      "                      summarize with the gatest_report tool\n"
+      "  --progress          live one-line status on stderr\n"
+      "  --quiet             suppress informational stderr messages\n"
+      "  --verbose           debug-level stderr messages + metrics table\n",
       prog);
   std::exit(code);
 }
@@ -141,8 +153,10 @@ int main(int argc, char** argv) {
   std::string circuit_file, profile, engine = "ga", out_file, bench_out;
   std::string model = "stuck", resp_file, vcd_file;
   std::string checkpoint_file, resume_file;
+  std::string metrics_file, trace_file;
   bool do_compact = false, do_report = false, do_scan = false;
   bool do_lint = false, lint_only = false;
+  bool show_progress = false;
   TestGenConfig cfg;
   RunControl rc;
 
@@ -176,6 +190,11 @@ int main(int argc, char** argv) {
         flag_error("--checkpoint-interval", "a positive number of seconds", v);
     }
     else if (a == "--resume") resume_file = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--metrics-out") metrics_file = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--trace-out") trace_file = arg_value(argc, argv, i, argv[0]);
+    else if (a == "--progress") show_progress = true;
+    else if (a == "--quiet") telemetry::global_logger().set_level(telemetry::LogLevel::Quiet);
+    else if (a == "--verbose") telemetry::global_logger().set_level(telemetry::LogLevel::Debug);
     else if (a == "--coding") {
       const std::string v = arg_value(argc, argv, i, argv[0]);
       cfg.sequence_coding = v == "nonbinary" ? Coding::NonBinary : Coding::Binary;
@@ -213,15 +232,22 @@ int main(int argc, char** argv) {
   if (circuit_file.empty() == profile.empty()) usage(argv[0], 2);
 
   const bool ga_engine = engine == "ga" || engine == "two-pass";
+  const bool want_telemetry =
+      !metrics_file.empty() || !trace_file.empty() || show_progress;
+  if (want_telemetry && !ga_engine)
+    telemetry::global_logger().warn(
+        "telemetry flags only apply to the GA engines; ignored for '%s'",
+        engine.c_str());
   if (!resume_file.empty() && !ga_engine) {
     std::fprintf(stderr, "gatest_atpg: --resume only applies to the GA "
                          "engines (ga, two-pass)\n");
     return 2;
   }
   if ((!checkpoint_file.empty() || !rc.budget.unlimited()) && !ga_engine)
-    std::fprintf(stderr, "gatest_atpg: note: budgets and checkpoints only "
-                         "apply to the GA engines; ignored for '%s'\n",
-                 engine.c_str());
+    telemetry::global_logger().warn(
+        "budgets and checkpoints only apply to the GA engines; ignored "
+        "for '%s'",
+        engine.c_str());
   rc.checkpoint_path = checkpoint_file;
   // Ctrl-C / SIGTERM stop the run at the next commit boundary; the partial
   // test set, report, and checkpoint are flushed below as usual.
@@ -268,9 +294,23 @@ int main(int argc, char** argv) {
               model == "transition" ? "transition" : "collapsed stuck-at");
 
   TestGenResult result;
+  telemetry::RunTelemetry telem;
   if (ga_engine) {
     GaTestGenerator gen(circuit, faults, cfg);
     gen.set_run_control(rc);
+    if (want_telemetry) {
+      if (!trace_file.empty()) {
+        try {
+          telem.trace.open(trace_file);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "gatest_atpg: %s\n", e.what());
+          return 1;
+        }
+      }
+      telem.progress.enable(show_progress);
+      // Attach before a possible restore so the resume event is traced.
+      gen.set_telemetry(&telem);
+    }
     if (!resume_file.empty()) {
       try {
         const Checkpoint cp = Checkpoint::load(resume_file);
@@ -309,6 +349,27 @@ int main(int argc, char** argv) {
         for (const TestVector& v : det.gen.test_set)
           result.test_set.push_back(v);
         result.faults_detected = faults.num_detected();
+      }
+    }
+    if (want_telemetry) {
+      telem.trace.close();
+      if (!trace_file.empty())
+        telemetry::global_logger().info("trace written to %s",
+                                        trace_file.c_str());
+      if (!metrics_file.empty()) {
+        std::ofstream f(metrics_file);
+        if (!f) {
+          std::fprintf(stderr, "gatest_atpg: cannot write %s\n",
+                       metrics_file.c_str());
+          return 1;
+        }
+        telem.metrics.write_json(f);
+        telemetry::global_logger().info("metrics written to %s",
+                                        metrics_file.c_str());
+      }
+      if (telemetry::global_logger().enabled(telemetry::LogLevel::Debug)) {
+        telem.metrics.write_text(std::cerr);
+        std::cerr.flush();
       }
     }
   } else if (engine == "random") {

@@ -1,0 +1,232 @@
+// gatest_report — summarize a gatest_atpg --trace-out JSONL run trace.
+//
+// Reads the structured events the telemetry layer emits (run/phase/GA-run/
+// generation/commit/checkpoint spans) and prints a per-phase time and
+// coverage breakdown, plus overall run facts.  Optionally lists every commit
+// with its coverage delta.
+//
+// Examples:
+//   gatest_atpg --profile s344 --engine ga --trace-out run.jsonl
+//   gatest_report run.jsonl
+//   gatest_report run.jsonl --commits
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace gatest;
+using telemetry::JsonValue;
+
+namespace {
+
+[[noreturn]] void usage(const char* prog, int code) {
+  std::fprintf(stderr,
+               "usage: %s TRACE.jsonl [--commits]\n"
+               "\n"
+               "  TRACE.jsonl   run trace written by gatest_atpg --trace-out\n"
+               "  --commits     also list every commit with its coverage\n",
+               prog);
+  std::exit(code);
+}
+
+/// Aggregated view of one phase across its (possibly repeated) spans.
+struct PhaseTotals {
+  double seconds = 0.0;
+  std::uint64_t vectors = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t ga_runs = 0;
+  std::uint64_t generations = 0;
+  std::size_t first_seen = 0;  // for stable ordering by first appearance
+};
+
+struct CommitRow {
+  double ts = 0.0;
+  std::string phase;
+  std::uint64_t index = 0;
+  std::uint64_t detected_delta = 0;
+  double coverage = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_file;
+  bool list_commits = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--commits") list_commits = true;
+    else if (a == "--help" || a == "-h") usage(argv[0], 0);
+    else if (!a.empty() && a[0] == '-') usage(argv[0], 2);
+    else if (trace_file.empty()) trace_file = a;
+    else usage(argv[0], 2);
+  }
+  if (trace_file.empty()) usage(argv[0], 2);
+
+  std::ifstream in(trace_file);
+  if (!in) {
+    std::fprintf(stderr, "gatest_report: cannot open %s\n", trace_file.c_str());
+    return 1;
+  }
+
+  std::map<std::string, PhaseTotals> phases;
+  std::vector<CommitRow> commits;
+  std::string circuit = "?", stop_reason;
+  double run_seconds = 0.0, final_coverage = 0.0;
+  std::uint64_t final_vectors = 0, final_detected = 0, evaluations = 0;
+  std::uint64_t checkpoints = 0;
+  bool saw_run_begin = false, saw_run_end = false, resumed = false;
+
+  std::string line;
+  std::size_t lineno = 0, events = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue ev;
+    try {
+      ev = telemetry::parse_json(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gatest_report: %s:%zu: %s\n", trace_file.c_str(),
+                   lineno, e.what());
+      return 1;
+    }
+    const std::string type = ev.string_or("type", "");
+    if (!ev.is_object() || type.empty() || !ev.find("ts") || !ev.find("tid")) {
+      std::fprintf(stderr,
+                   "gatest_report: %s:%zu: not a trace event (need ts, tid, "
+                   "type)\n",
+                   trace_file.c_str(), lineno);
+      return 1;
+    }
+    ++events;
+
+    auto phase_slot = [&](const std::string& name) -> PhaseTotals& {
+      auto [it, inserted] = phases.try_emplace(name);
+      if (inserted) it->second.first_seen = events;
+      return it->second;
+    };
+
+    if (type == "run_begin") {
+      saw_run_begin = true;
+      circuit = ev.string_or("circuit", "?");
+      resumed = resumed || (ev.find("resumed") && ev.find("resumed")->boolean);
+    } else if (type == "run_end") {
+      saw_run_end = true;
+      run_seconds = ev.number_or("dur_s", 0.0);
+      final_coverage = ev.number_or("coverage", 0.0);
+      final_vectors = static_cast<std::uint64_t>(ev.number_or("vectors", 0.0));
+      final_detected =
+          static_cast<std::uint64_t>(ev.number_or("detected", 0.0));
+      evaluations =
+          static_cast<std::uint64_t>(ev.number_or("evaluations", 0.0));
+      stop_reason = ev.string_or("stop_reason", "");
+    } else if (type == "phase_end") {
+      PhaseTotals& p = phase_slot(ev.string_or("phase", "?"));
+      p.seconds += ev.number_or("dur_s", 0.0);
+      p.vectors +=
+          static_cast<std::uint64_t>(ev.number_or("vectors_delta", 0.0));
+      p.detected +=
+          static_cast<std::uint64_t>(ev.number_or("detected_delta", 0.0));
+    } else if (type == "ga_run_end") {
+      ++phase_slot(ev.string_or("phase", "?")).ga_runs;
+    } else if (type == "generation") {
+      ++phase_slot(ev.string_or("phase", "?")).generations;
+    } else if (type == "checkpoint_write") {
+      ++checkpoints;
+    } else if (type == "resume") {
+      resumed = true;
+    } else if (type == "commit") {
+      CommitRow row;
+      row.ts = ev.number_or("ts", 0.0);
+      row.phase = ev.string_or("phase", "?");
+      row.index = static_cast<std::uint64_t>(ev.number_or("index", 0.0));
+      row.detected_delta =
+          static_cast<std::uint64_t>(ev.number_or("detected_delta", 0.0));
+      row.coverage = ev.number_or("coverage", 0.0);
+      commits.push_back(row);
+    }
+  }
+
+  if (events == 0) {
+    std::fprintf(stderr, "gatest_report: %s: no trace events\n",
+                 trace_file.c_str());
+    return 1;
+  }
+  if (!saw_run_begin)
+    std::fprintf(stderr, "gatest_report: warning: no run_begin event "
+                         "(truncated trace?)\n");
+  if (!saw_run_end)
+    std::fprintf(stderr, "gatest_report: warning: no run_end event — the run "
+                         "was interrupted before the trace closed\n");
+
+  std::printf("run: %s — %llu vectors, %llu detected (%.2f%% coverage), "
+              "%llu evaluations, %s%s\n",
+              circuit.c_str(),
+              static_cast<unsigned long long>(final_vectors),
+              static_cast<unsigned long long>(final_detected),
+              100.0 * final_coverage,
+              static_cast<unsigned long long>(evaluations),
+              format_duration(run_seconds).c_str(),
+              resumed ? " (resumed)" : "");
+  if (!stop_reason.empty() && stop_reason != "completed")
+    std::printf("stopped early: %s\n", stop_reason.c_str());
+  if (checkpoints)
+    std::printf("checkpoints written: %llu\n",
+                static_cast<unsigned long long>(checkpoints));
+  std::printf("\n");
+
+  // Order phases by first appearance in the trace, not alphabetically.
+  std::vector<std::pair<std::string, PhaseTotals>> ordered(phases.begin(),
+                                                           phases.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.first_seen < b.second.first_seen;
+            });
+
+  AsciiTable table({"Phase", "Time", "%Run", "Vectors", "Detected", "GA runs",
+                    "Generations"});
+  double phase_total = 0.0;
+  for (const auto& [name, p] : ordered) {
+    phase_total += p.seconds;
+    table.add_row(
+        {name, format_duration(p.seconds),
+         run_seconds > 0.0
+             ? strprintf("%.1f%%", 100.0 * p.seconds / run_seconds)
+             : "-",
+         strprintf("%llu", static_cast<unsigned long long>(p.vectors)),
+         strprintf("%llu", static_cast<unsigned long long>(p.detected)),
+         strprintf("%llu", static_cast<unsigned long long>(p.ga_runs)),
+         strprintf("%llu", static_cast<unsigned long long>(p.generations))});
+  }
+  if (table.row_count() == 0) {
+    std::printf("no phase spans in trace\n");
+  } else {
+    table.print(std::cout);
+    if (run_seconds > 0.0)
+      std::printf("\nphase spans cover %s of %s run time (%.1f%%)\n",
+                  format_duration(phase_total).c_str(),
+                  format_duration(run_seconds).c_str(),
+                  100.0 * phase_total / run_seconds);
+  }
+
+  if (list_commits && !commits.empty()) {
+    std::printf("\n");
+    AsciiTable ct({"Commit", "t", "Phase", "+Detected", "Coverage"});
+    for (const CommitRow& row : commits)
+      ct.add_row({strprintf("%llu", static_cast<unsigned long long>(row.index)),
+                  format_duration(row.ts), row.phase,
+                  strprintf("%llu",
+                            static_cast<unsigned long long>(row.detected_delta)),
+                  strprintf("%.2f%%", 100.0 * row.coverage)});
+    ct.print(std::cout);
+  }
+  return 0;
+}
