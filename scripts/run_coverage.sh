@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Line-coverage summary for the hot-path libraries (src/fsim, src/gatest).
+#
+#   scripts/run_coverage.sh
+#
+# Builds the unit tests with -DGATEST_COVERAGE=ON (gcov instrumentation),
+# runs the suites that exercise the fault simulator and the GA test
+# generator, and prints per-file + aggregate line coverage for src/fsim and
+# src/gatest.  The repo's expectation is >= 80% line coverage for both
+# directories (see DESIGN.md); the script warns below that bar but only
+# fails on infrastructure errors, so a coverage dip shows up in CI logs
+# without masking the rest of the pipeline.
+#
+# Skips itself (exit 0) when gcov or python3 is unavailable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v gcov >/dev/null 2>&1; then
+  echo "=== gcov not installed; skipping coverage stage ==="
+  exit 0
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "=== python3 not installed; skipping coverage stage ==="
+  exit 0
+fi
+
+echo "=== line coverage (src/fsim + src/gatest) ==="
+cmake -B build-coverage -G Ninja -DGATEST_COVERAGE=ON \
+      -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-coverage --target fsim_test gatest_test ga_test \
+      run_control_test telemetry_test atpg_test
+
+# Fresh counters each run.
+find build-coverage -name '*.gcda' -delete
+
+build-coverage/tests/fsim_test >/dev/null
+build-coverage/tests/gatest_test >/dev/null
+build-coverage/tests/ga_test >/dev/null
+build-coverage/tests/run_control_test >/dev/null
+build-coverage/tests/telemetry_test >/dev/null
+build-coverage/tests/atpg_test >/dev/null
+
+# `gcov -n <file.gcda>` prints, for every source that object touches:
+#   File '<path>'
+#   Lines executed:NN.NN% of M
+report=$(mktemp /tmp/gatest_cov.XXXXXX)
+trap 'rm -f "$report"' EXIT
+(
+  cd build-coverage
+  find src/fsim src/gatest -name '*.gcda' -print0 |
+    xargs -0 -n 1 gcov -n 2>/dev/null
+) > "$report"
+
+python3 - "$report" <<'EOF'
+import re
+import sys
+
+per_file = {}  # path -> (covered, total); best run wins per file
+path = None
+for line in open(sys.argv[1]):
+    m = re.match(r"File '(.*)'", line)
+    if m:
+        path = m.group(1)
+        continue
+    m = re.match(r"Lines executed:([0-9.]+)% of (\d+)", line)
+    if m and path is not None:
+        idx = path.find("src/")
+        if idx >= 0 and ("src/fsim/" in path or "src/gatest/" in path):
+            rel = path[idx:]
+            pct, total = float(m.group(1)), int(m.group(2))
+            covered = round(pct * total / 100.0)
+            old = per_file.get(rel)
+            if old is None or covered > old[0]:
+                per_file[rel] = (covered, total)
+        path = None
+
+if not per_file:
+    sys.exit("run_coverage.sh: no coverage data found under src/fsim "
+             "or src/gatest")
+
+width = max(len(p) for p in per_file)
+ok = True
+for directory in ("src/fsim", "src/gatest"):
+    dcov = dtot = 0
+    for rel in sorted(per_file):
+        if not rel.startswith(directory + "/"):
+            continue
+        cov, tot = per_file[rel]
+        dcov += cov
+        dtot += tot
+        print(f"  {rel:<{width}}  {100.0 * cov / tot:6.2f}%  "
+              f"({cov}/{tot} lines)")
+    pct = 100.0 * dcov / dtot if dtot else 0.0
+    status = "ok" if pct >= 80.0 else "BELOW 80% EXPECTATION"
+    if pct < 80.0:
+        ok = False
+    print(f"  {directory + '/**':<{width}}  {pct:6.2f}%  [{status}]")
+print("coverage summary " + ("passed" if ok else
+      "below expectation (not fatal; see DESIGN.md)"))
+EOF

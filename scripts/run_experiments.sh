@@ -29,6 +29,25 @@ build-sanitize/tools/gatest_atpg --profile s298 --time-limit 5 \
 echo "sanitized smoke passed (exit 0)"
 rm -f "$smoke_ckpt" "$smoke_ckpt.tmp"
 
+# ASan+UBSan differential fuzz: 50 random sequential circuits through the
+# naive reference, the packed simulator, and the packed simulator with
+# aggressive lane compaction — detection sets and FF fault-effect counts
+# must agree exactly while the sanitizers watch the packed kernels.
+echo "=== sanitized differential fuzz (fsim vs reference) ==="
+cmake --build build-sanitize --target fsim_test
+build-sanitize/tests/fsim_test --gtest_filter='FsimDifferentialFuzz*'
+
+# Fitness hot-path acceleration gate: the memoization cache + lane
+# compaction must deliver >= 1.25x on the s344 phase-2 evaluation stream
+# (and produce bit-identical fitness sums, checked inside the bench).
+echo "=== fitness cache/compaction speedup gate ==="
+build/bench/micro_fitness_cache --check
+
+# Line-coverage summary for the hot-path libraries (gcov-based; skips
+# itself gracefully when gcov is unavailable).  DESIGN.md documents the
+# >= 80% expectation for src/fsim and src/gatest.
+scripts/run_coverage.sh
+
 # Telemetry gate: the disabled path must stay within 2% of a bare run, and a
 # traced run must produce a schema-valid JSONL that gatest_report can digest.
 echo "=== telemetry overhead + trace validation ==="

@@ -47,12 +47,21 @@ build-tsan/tools/gatest_atpg --profile s298 --engine ga --seed 1 \
     --threads 4 --max-evals 2000 --trace-out "$tsan_trace" \
     --metrics-out /dev/null || fail=1
 rm -f "$tsan_trace"
+# Same path with the fitness hot-path acceleration on: per-worker caches and
+# compacted per-worker simulators must stay data-race free at 4 threads.
+build-tsan/tools/gatest_atpg --profile s298 --engine ga --seed 1 \
+    --threads 4 --max-evals 2000 --fitness-cache --lane-compaction \
+    --metrics-out /dev/null || fail=1
 # Unit coverage of the pool itself (exception propagation, reuse) and the
 # parallel-vs-serial identity of the generator.
 build-tsan/tests/util_test --gtest_filter='ThreadPool*' || fail=1
 build-tsan/tests/run_control_test --gtest_filter='*Parallel*' || fail=1
 # Concurrent metrics updates and the telemetry-attached identity check.
 build-tsan/tests/telemetry_test || fail=1
+# Differential fuzz sweep under TSan (serial, but catches lurking UB that
+# TSan's instrumentation surfaces differently than a plain build).
+cmake --build build-tsan --target fsim_test
+build-tsan/tests/fsim_test --gtest_filter='FsimDifferentialFuzz*' || fail=1
 
 if [ "$fail" -ne 0 ]; then
   echo "static analysis FAILED"

@@ -73,6 +73,15 @@ SequentialFaultSimulator::SequentialFaultSimulator(const Circuit& c,
   scratch_diffs_.resize(faults.size());
   scratch_dirty_.assign(faults.size(), 0);
   eval_detected_.assign(faults.size(), 0);
+  activity_score_.assign(faults.size(), 0);
+}
+
+void SequentialFaultSimulator::set_lane_compaction(bool enabled,
+                                                   LaneCompactionPolicy policy) {
+  compaction_enabled_ = enabled;
+  compaction_policy_ = policy;
+  compact_order_valid_ = false;
+  if (!enabled) std::fill(activity_score_.begin(), activity_score_.end(), 0u);
 }
 
 void SequentialFaultSimulator::reset() {
@@ -80,6 +89,10 @@ void SequentialFaultSimulator::reset() {
   prev_val_.assign(circuit_->num_gates(), Logic::X);
   for (auto& d : diffs_) d.clear();
   started_ = false;
+  ++state_epoch_;
+  compact_order_valid_ = false;
+  std::fill(activity_score_.begin(), activity_score_.end(), 0u);
+  commits_since_compaction_ = 0;
 }
 
 std::vector<Logic> SequentialFaultSimulator::good_ff_state() const {
@@ -124,6 +137,8 @@ void SequentialFaultSimulator::restore(const Snapshot& s) {
       faults_->mark_detected(i, s.detected_by[i]);
   }
   started_ = s.started;
+  ++state_epoch_;
+  compact_order_valid_ = false;
 }
 
 const std::vector<SequentialFaultSimulator::FfDiff>&
@@ -154,7 +169,70 @@ void SequentialFaultSimulator::begin_eval() {
 
 std::vector<std::uint32_t> SequentialFaultSimulator::default_active_set()
     const {
-  return faults_->undetected_indices();
+  if (!compaction_enabled_ || !compact_order_valid_)
+    return faults_->undetected_indices();
+  // Replay the compacted order, dropping faults detected since the rebuild.
+  // Same *set* as undetected_indices(), packed-lane-friendly *order*.
+  std::vector<std::uint32_t> out;
+  out.reserve(compact_order_.size());
+  for (std::uint32_t fi : compact_order_)
+    if (faults_->status(fi) == FaultStatus::Undetected) out.push_back(fi);
+  return out;
+}
+
+void SequentialFaultSimulator::note_commit_for_compaction(
+    const std::vector<std::uint32_t>& active) {
+  if (!compaction_enabled_) return;
+  // Activity = committed frames in which the fault's machine held a live
+  // state divergence; such faults are the ones a near-future vector can
+  // convert into detections, so they belong in the same leading words.
+  for (std::uint32_t fi : active)
+    if (!diffs_[fi].empty()) ++activity_score_[fi];
+  ++commits_since_compaction_;
+  if (!compact_order_valid_) {
+    rebuild_compact_order();
+    return;
+  }
+  if (commits_since_compaction_ < compaction_policy_.min_commits) return;
+  const std::uint64_t groups = counters_.fault_groups - window_groups_;
+  const std::uint64_t lanes = counters_.fault_group_lanes - window_lanes_;
+  const double occupancy =
+      groups == 0 ? 1.0
+                  : static_cast<double>(lanes) /
+                        (64.0 * static_cast<double>(groups));
+  if (occupancy < compaction_policy_.occupancy_threshold)
+    rebuild_compact_order();
+}
+
+void SequentialFaultSimulator::rebuild_compact_order() {
+  compact_order_ = faults_->undetected_indices();
+  // Highest recent activity first; ties grouped by injection-site level so
+  // one 64-lane word's event region spans neighbouring logic, then by index
+  // for determinism.  std::sort is safe: the key is a strict weak order and
+  // distinct indices never compare equal.
+  const Circuit& c = *circuit_;
+  auto site_level = [&](std::uint32_t fi) {
+    const Fault& f = faults_->fault(fi);
+    const GateId site = f.pin == Fault::kOutputPin
+                            ? f.gate
+                            : c.gate(f.gate).fanins[f.pin];
+    return c.gate(site).level;
+  };
+  std::sort(compact_order_.begin(), compact_order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (activity_score_[a] != activity_score_[b])
+                return activity_score_[a] > activity_score_[b];
+              const std::uint32_t la = site_level(a), lb = site_level(b);
+              if (la != lb) return la < lb;
+              return a < b;
+            });
+  // Halve scores so the ordering tracks *recent* activity, not lifetime.
+  for (auto& s : activity_score_) s >>= 1;
+  compact_order_valid_ = true;
+  commits_since_compaction_ = 0;
+  window_groups_ = counters_.fault_groups;
+  window_lanes_ = counters_.fault_group_lanes;
+  ++counters_.lane_compactions;
 }
 
 namespace {
@@ -195,8 +273,12 @@ FaultSimStats SequentialFaultSimulator::apply_vector(const TestVector& v,
   ctx.commit = true;
   ctx.test_index = test_index;
   ++counters_.vectors_committed;
+  ++state_epoch_;
   std::vector<std::uint32_t> active = default_active_set();
-  return simulate_frame(v, active, ctx);
+  const FaultSimStats stats = simulate_frame(v, active, ctx);
+  // `active` now holds the still-undetected survivors of this frame.
+  note_commit_for_compaction(active);
+  return stats;
 }
 
 FaultSimStats SequentialFaultSimulator::apply_sequence(
@@ -225,6 +307,8 @@ void SequentialFaultSimulator::import_fault_status(
     const std::vector<FaultStatus>& status,
     const std::vector<std::int64_t>& detected_by) {
   faults_->import_status(status, detected_by);
+  ++state_epoch_;
+  compact_order_valid_ = false;
 }
 
 FaultSimStats SequentialFaultSimulator::evaluate_vector(

@@ -74,6 +74,7 @@ struct FsimCounters {
   std::uint64_t faults_dropped = 0;       ///< faults detected & dropped (commit)
   std::uint64_t fault_groups = 0;         ///< 64-lane packed groups settled
   std::uint64_t fault_group_lanes = 0;    ///< faults across those groups
+  std::uint64_t lane_compactions = 0;     ///< activity-order rebuilds
 
   /// Mean occupancy of the 64 bit lanes, in [0, 1].  Low values mean the
   /// undetected-fault tail no longer fills packed words.
@@ -92,7 +93,17 @@ struct FsimCounters {
     faults_dropped += o.faults_dropped;
     fault_groups += o.fault_groups;
     fault_group_lanes += o.fault_group_lanes;
+    lane_compactions += o.lane_compactions;
   }
+};
+
+/// When to re-derive the packed-lane order from measured occupancy (see
+/// set_lane_compaction): after at least `min_commits` committed frames since
+/// the last rebuild, and only once mean lane occupancy over that window has
+/// fallen below `occupancy_threshold`.
+struct LaneCompactionPolicy {
+  double occupancy_threshold = 0.90;
+  unsigned min_commits = 8;
 };
 
 class SequentialFaultSimulator {
@@ -176,6 +187,30 @@ class SequentialFaultSimulator {
   const FsimCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = FsimCounters{}; }
 
+  // ---- packed-lane compaction (hot-path acceleration) ---------------------
+
+  /// Enable activity-ordered fault grouping: the default active set is kept
+  /// in an order that packs faults closest to detection (nonempty state
+  /// diffs over recent committed frames) into the same leading 64-lane
+  /// words, tie-broken by injection-site level so one group's event region
+  /// stays small.  The order is re-derived at commit boundaries when the
+  /// measured lane occupancy drops below the policy threshold.  Grouping is
+  /// observation-order only — every lane evolves independently — so
+  /// detection sets, fault effects at flip-flops, and event counts are
+  /// bit-identical with compaction on or off (ctest-enforced).
+  void set_lane_compaction(bool enabled,
+                           LaneCompactionPolicy policy = LaneCompactionPolicy{});
+  bool lane_compaction_enabled() const { return compaction_enabled_; }
+
+  // ---- committed-state epoch (memoization support) ------------------------
+
+  /// Monotonic counter bumped whenever the committed machine state or the
+  /// fault list's detection bookkeeping changes (apply_*, reset, restore,
+  /// replay_committed, import_fault_status).  Candidate evaluation never
+  /// bumps it, so a fitness value computed against epoch E is valid for as
+  /// long as state_epoch() == E — the FitnessEvaluator cache keys on this.
+  std::uint64_t state_epoch() const { return state_epoch_; }
+
  private:
   using FfDiff = std::pair<std::uint32_t, Logic>;  // (ff ordinal, faulty val)
 
@@ -212,6 +247,11 @@ class SequentialFaultSimulator {
 
   std::vector<std::uint32_t> default_active_set() const;
 
+  /// Commit-boundary compaction bookkeeping: bump activity scores for the
+  /// surviving active faults, and rebuild the packed order when due.
+  void note_commit_for_compaction(const std::vector<std::uint32_t>& active);
+  void rebuild_compact_order();
+
   const Circuit* circuit_;
   FaultList* faults_;
 
@@ -242,6 +282,19 @@ class SequentialFaultSimulator {
   std::vector<Logic> eval_val_;
   std::vector<Logic> eval_prev_val_;
   std::vector<Logic> latch_scratch_;
+
+  // Packed-lane compaction state (derived, never checkpointed: it only
+  // changes which lanes share a word, never any lane's result).
+  bool compaction_enabled_ = false;
+  LaneCompactionPolicy compaction_policy_;
+  bool compact_order_valid_ = false;
+  std::vector<std::uint32_t> compact_order_;    // undetected-at-rebuild order
+  std::vector<std::uint32_t> activity_score_;   // per fault, decayed on rebuild
+  unsigned commits_since_compaction_ = 0;
+  std::uint64_t window_groups_ = 0;             // since last rebuild
+  std::uint64_t window_lanes_ = 0;
+
+  std::uint64_t state_epoch_ = 0;
 
   FsimCounters counters_;
 };

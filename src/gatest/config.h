@@ -95,6 +95,19 @@ struct TestGenConfig {
   /// bit-identical with and without pruning.
   bool prune_untestable = false;
 
+  // ---- fitness hot-path acceleration (DESIGN.md) ---------------------------
+  /// Memoize genome→fitness results between commits.  Overlapping
+  /// populations and elitist survivors re-evaluate identical genomes; a hit
+  /// skips the fault simulation entirely.  Emitted tests are bit-identical
+  /// with the cache on or off (ctest-enforced).
+  bool fitness_cache = false;
+  /// Max cached entries per evaluator before a whole-map eviction.
+  std::size_t fitness_cache_capacity = 1u << 14;
+  /// Periodically re-pack the undetected-fault tail into dense 64-lane
+  /// words, activity-ordered so likely-detected faults share words and drop
+  /// early.  Observable results are unchanged; only packing density moves.
+  bool lane_compaction = false;
+
   // ---- robustness guards (not in the paper; needed for circuits with
   // uninitializable flip-flops, which a simulation-based generator cannot
   // distinguish from hard-to-initialize ones) -------------------------------

@@ -18,6 +18,8 @@ GaTestGenerator::GaTestGenerator(const Circuit& c, FaultList& faults,
       fitness_(sim_, config_),
       rng_(config.seed) {
   depth_ = std::max(1u, c.sequential_depth());
+  sim_.set_lane_compaction(config_.lane_compaction);
+  fitness_.set_cache(config_.fitness_cache, config_.fitness_cache_capacity);
   if (config_.prune_untestable)
     faults_pruned_ =
         analysis::summarize_tags(analysis::classify_untestable(c, faults.faults()))
@@ -34,8 +36,11 @@ GaTestGenerator::GaTestGenerator(const Circuit& c, FaultList& faults,
         worker_faults_.back()->set_status(i, faults.status(i));
       worker_sims_.push_back(std::make_unique<SequentialFaultSimulator>(
           c, *worker_faults_.back()));
+      worker_sims_.back()->set_lane_compaction(config_.lane_compaction);
       worker_fitness_.push_back(
           std::make_unique<FitnessEvaluator>(*worker_sims_.back(), config_));
+      worker_fitness_.back()->set_cache(config_.fitness_cache,
+                                        config_.fitness_cache_capacity);
     }
   }
 }
@@ -45,6 +50,12 @@ FaultSimStats GaTestGenerator::commit_vector(const TestVector& v,
   const FaultSimStats stats = sim_.apply_vector(v, index);
   for (auto& wsim : worker_sims_) wsim->apply_vector(v, index);
   return stats;
+}
+
+FitnessCacheStats GaTestGenerator::cache_stats() const {
+  FitnessCacheStats cs = fitness_.cache_stats();
+  for (const auto& wf : worker_fitness_) cs.accumulate(wf->cache_stats());
+  return cs;
 }
 
 std::size_t GaTestGenerator::total_evaluations() const {
@@ -679,6 +690,8 @@ TestGenResult GaTestGenerator::run() {
            {"coverage", result_.fault_coverage},
            {"evaluations",
             static_cast<std::uint64_t>(result_.fitness_evaluations)},
+           {"cache_hits", cache_stats().hits},
+           {"cache_misses", cache_stats().misses},
            {"stop_reason", to_string(stop_reason_)}});
     }
     telem_->progress.finish();
@@ -707,7 +720,17 @@ void GaTestGenerator::telemetry_finalize_metrics() {
   set_total("fsim.faults_dropped", fc.faults_dropped);
   set_total("fsim.fault_groups", fc.fault_groups);
   set_total("fsim.fault_group_lanes", fc.fault_group_lanes);
+  set_total("fsim.lane_compactions", fc.lane_compactions);
   m.gauge("fsim.packed_utilization").set(fc.packed_utilization());
+
+  const FitnessCacheStats cs = cache_stats();
+  set_total("fitness.cache.hits", cs.hits);
+  set_total("fitness.cache.misses", cs.misses);
+  set_total("fitness.cache.evictions", cs.evictions);
+  set_total("fitness.cache.invalidations", cs.invalidations);
+  std::size_t sim_evals = fitness_.sim_evaluations();
+  for (const auto& wf : worker_fitness_) sim_evals += wf->sim_evaluations();
+  set_total("fitness.sim_evaluations", sim_evals);
 
   for (Phase p : {Phase::InitializeFfs, Phase::DetectFaults,
                   Phase::DetectWithActivity, Phase::Sequences}) {

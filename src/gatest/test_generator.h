@@ -102,6 +102,10 @@ class GaTestGenerator {
   /// Effective sequential depth used for limits: max(1, structural depth).
   unsigned effective_depth() const { return depth_; }
 
+  /// Fitness-cache counters aggregated over the main evaluator and every
+  /// parallel worker (all zero unless TestGenConfig::fitness_cache).
+  FitnessCacheStats cache_stats() const;
+
  private:
   /// Phase-machine position, checkpointed at every commit boundary.
   struct RunState {

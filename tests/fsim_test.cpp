@@ -19,10 +19,19 @@ namespace {
 // ---- brute-force reference fault simulator ----------------------------------
 //
 // One full 3-valued machine per fault, evaluated gate by gate each frame.
-// Used as the golden model for the PROOFS-style simulator's detection sets.
+// Used as the golden model for the PROOFS-style simulator's detection sets
+// and per-frame flip-flop fault-effect counts.  Detection is checked on the
+// settled combinational frame *before* the latch commits (primary outputs may
+// tap flop nodes directly), matching the packed simulator's ordering.
 
 class ReferenceFaultSim {
  public:
+  /// Per-frame observables comparable to FaultSimStats.
+  struct FrameStats {
+    std::size_t detected = 0;
+    std::size_t ff_effects = 0;  ///< (fault, flop) definite-difference pairs
+  };
+
   ReferenceFaultSim(const Circuit& c, const std::vector<Fault>& faults)
       : c_(c), faults_(faults) {
     good_.assign(c.num_gates(), Logic::X);
@@ -31,20 +40,40 @@ class ReferenceFaultSim {
     detected_.assign(faults.size(), false);
   }
 
-  void apply(const TestVector& v) {
-    step_machine(good_, v, nullptr);
+  FrameStats apply(const TestVector& v) {
+    FrameStats fs;
+    settle(good_, v, nullptr);
+    const std::vector<Logic> good_next = next_state(good_, nullptr);
     for (std::size_t f = 0; f < faults_.size(); ++f) {
       if (detected_[f]) continue;
-      step_machine(faulty_[f], v, &faults_[f]);
+      settle(faulty_[f], v, &faults_[f]);
+      bool det = false;
       for (GateId po : c_.outputs()) {
         const Logic g = value_of(good_, po, nullptr);
         const Logic b = value_of(faulty_[f], po, &faults_[f]);
         if (is_binary(g) && is_binary(b) && g != b) {
-          detected_[f] = true;
+          det = true;
           break;
         }
       }
+      const std::vector<Logic> next = next_state(faulty_[f], &faults_[f]);
+      latch(faulty_[f], next);
+      if (det) {
+        detected_[f] = true;
+        ++fs.detected;
+        continue;  // dropped: its state no longer matters
+      }
+      // A fault effect at a flip-flop is a definite binary difference
+      // between the good and faulty captured next-states, counted only for
+      // faults that survive the frame (the packed simulator drops detected
+      // lanes before capture).
+      for (std::size_t i = 0; i < next.size(); ++i)
+        if (is_binary(good_next[i]) && is_binary(next[i]) &&
+            good_next[i] != next[i])
+          ++fs.ff_effects;
     }
+    latch(good_, good_next);
+    return fs;
   }
 
   bool detected(std::size_t f) const { return detected_[f]; }
@@ -99,14 +128,20 @@ class ReferenceFaultSim {
     }
   }
 
-  void step_machine(std::vector<Logic>& val, const TestVector& v,
-                    const Fault* f) {
+  /// Load PIs and settle the combinational frame (no latch).
+  void settle(std::vector<Logic>& val, const TestVector& v,
+              const Fault* f) {
     for (std::size_t i = 0; i < c_.num_inputs(); ++i)
       val[c_.inputs()[i]] = v[i];
     for (GateId id : c_.topo_order())
       if (!is_combinational_source(c_.gate(id).type))
         val[id] = eval(val, id, f);
-    // Latch (simultaneous; D-pin faults latch the stuck value).
+  }
+
+  /// Captured next-state values (simultaneous; D-pin faults latch the stuck
+  /// value), one per flip-flop in c_.dffs() order.
+  std::vector<Logic> next_state(const std::vector<Logic>& val,
+                                const Fault* f) const {
     std::vector<Logic> next;
     next.reserve(c_.dffs().size());
     for (GateId ff : c_.dffs()) {
@@ -115,6 +150,10 @@ class ReferenceFaultSim {
         d = f->stuck ? Logic::One : Logic::Zero;
       next.push_back(d);
     }
+    return next;
+  }
+
+  void latch(std::vector<Logic>& val, const std::vector<Logic>& next) {
     for (std::size_t i = 0; i < c_.dffs().size(); ++i)
       val[c_.dffs()[i]] = next[i];
   }
@@ -562,6 +601,84 @@ INSTANTIATE_TEST_SUITE_P(
 INSTANTIATE_TEST_SUITE_P(
     DeepCircuit, FsimEquivalenceTest,
     ::testing::Combine(::testing::Values("s526"), ::testing::Values(1)));
+
+// ---- differential fuzz: random circuits vs. the naive reference -------------
+//
+// circuitgen-driven randomized sweep (fixed seed): ~50 random small
+// sequential circuits, each driven by a random vector sequence through three
+// simulators in lockstep — the one-fault-at-a-time reference, the packed
+// simulator, and the packed simulator with aggressive lane compaction.  The
+// per-frame detection counts, per-frame flip-flop fault-effect counts, and
+// final detection sets must agree exactly; compaction may only change
+// packing-density telemetry, never an observable.
+
+TEST(FsimDifferentialFuzz, RandomCircuitsMatchReference) {
+  Rng rng(0xf52f);
+  int built = 0;
+  for (int iter = 0; built < 50; ++iter) {
+    ASSERT_LT(iter, 200) << "circuit generation kept failing";
+    CircuitProfile prof;
+    prof.name = "fuzz" + std::to_string(iter);
+    prof.num_pis = 3 + static_cast<unsigned>(rng.below(6));
+    prof.num_pos = 1 + static_cast<unsigned>(rng.below(4));
+    prof.seq_depth = 1 + static_cast<unsigned>(rng.below(4));
+    prof.num_ffs = prof.seq_depth + static_cast<unsigned>(rng.below(7));
+    prof.num_gates = 10 + static_cast<unsigned>(rng.below(51));
+    Circuit c;
+    try {
+      c = generate_circuit(prof, 0xabc0 + static_cast<std::uint64_t>(iter));
+    } catch (const std::exception&) {
+      continue;  // profile rejected (e.g. too few gates for the depth)
+    }
+    ++built;
+
+    FaultList ref_fl(c);
+    ReferenceFaultSim ref(c, ref_fl.faults());
+    FaultList plain_fl(c);
+    SequentialFaultSimulator plain(c, plain_fl);
+    FaultList packed_fl(c);
+    SequentialFaultSimulator packed(c, packed_fl);
+    // Rebuild nearly every commit: any grouping-order dependence in the
+    // packed kernels would surface immediately.
+    LaneCompactionPolicy aggressive;
+    aggressive.occupancy_threshold = 1.0;
+    aggressive.min_commits = 1;
+    packed.set_lane_compaction(true, aggressive);
+
+    const int frames = 8 + static_cast<int>(rng.below(9));
+    for (int t = 0; t < frames; ++t) {
+      const TestVector v = random_vector(c, rng);
+      const ReferenceFaultSim::FrameStats want = ref.apply(v);
+      const FaultSimStats plain_s = plain.apply_vector(v, t);
+      const FaultSimStats packed_s = packed.apply_vector(v, t);
+      ASSERT_EQ(plain_s.detected, want.detected)
+          << prof.name << " frame " << t;
+      ASSERT_EQ(plain_s.fault_effects_at_ffs, want.ff_effects)
+          << prof.name << " frame " << t;
+      ASSERT_EQ(packed_s.detected, want.detected)
+          << prof.name << " frame " << t << " (compacted)";
+      ASSERT_EQ(packed_s.fault_effects_at_ffs, want.ff_effects)
+          << prof.name << " frame " << t << " (compacted)";
+      // Compaction must also leave the event-count observables (phase-3
+      // fitness inputs) untouched.
+      ASSERT_EQ(packed_s.good_events, plain_s.good_events);
+      ASSERT_EQ(packed_s.faulty_events, plain_s.faulty_events);
+      ASSERT_EQ(packed_s.ffs_set, plain_s.ffs_set);
+      ASSERT_EQ(packed_s.ffs_changed, plain_s.ffs_changed);
+    }
+    for (std::size_t f = 0; f < plain_fl.size(); ++f) {
+      ASSERT_EQ(plain_fl.status(f) == FaultStatus::Detected, ref.detected(f))
+          << prof.name << ": " << fault_name(c, plain_fl.fault(f));
+      ASSERT_EQ(packed_fl.status(f), plain_fl.status(f))
+          << prof.name << ": " << fault_name(c, packed_fl.fault(f))
+          << " (compacted)";
+      ASSERT_EQ(packed_fl.detected_by(f), plain_fl.detected_by(f))
+          << prof.name << ": " << fault_name(c, packed_fl.fault(f))
+          << " (compacted)";
+    }
+  }
+  EXPECT_EQ(built, 50);
+}
 
 /// Transition-fault variant of the golden-model equivalence, via the
 /// diagnosis dictionary's independent scalar implementation.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "circuitgen/circuitgen.h"
 #include "fault/fault.h"
@@ -151,6 +152,127 @@ TEST_F(FitnessFormulaTest, SampleRestrictsFaultsSimulated) {
 }
 
 // ---- generator end-to-end -------------------------------------------------------
+
+// ---- fitness memoization cache ----------------------------------------------
+
+class FitnessCacheTest : public FitnessFormulaTest {
+ protected:
+  TestVector vec(const char* bits) { return logic_vector(bits); }
+};
+
+TEST_F(FitnessCacheTest, RepeatedGenomeHitsWithoutResimulating) {
+  eval_.set_cache(true);
+  const double a = eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  const double b = eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(eval_.cache_stats().hits, 1u);
+  EXPECT_EQ(eval_.cache_stats().misses, 1u);
+  EXPECT_EQ(eval_.evaluations(), 2u);       // logical count includes hits
+  EXPECT_EQ(eval_.sim_evaluations(), 1u);   // but the simulator ran once
+}
+
+TEST_F(FitnessCacheTest, PhaseIsPartOfTheKey) {
+  eval_.set_cache(true);
+  eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  eval_.vector_fitness(vec("0110"), Phase::DetectWithActivity);
+  eval_.vector_fitness(vec("0110"), Phase::InitializeFfs);
+  EXPECT_EQ(eval_.cache_stats().hits, 0u);
+  EXPECT_EQ(eval_.cache_stats().misses, 3u);
+}
+
+TEST_F(FitnessCacheTest, CommitInvalidatesAndRecomputes) {
+  eval_.set_cache(true);
+  eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  sim_.apply_vector(vec("1011"), 0);  // commit: epoch moves, state changed
+  const double after = eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  EXPECT_EQ(eval_.cache_stats().hits, 0u);
+  EXPECT_EQ(eval_.cache_stats().misses, 2u);
+  EXPECT_GE(eval_.cache_stats().invalidations, 1u);
+  // The recomputed value reflects the new committed state.
+  FitnessEvaluator fresh(sim_, config_);
+  EXPECT_EQ(after, fresh.vector_fitness(vec("0110"), Phase::DetectFaults));
+}
+
+TEST_F(FitnessCacheTest, ResetAndRestoreInvalidate) {
+  eval_.set_cache(true);
+  sim_.apply_vector(vec("1011"), 0);
+  const auto snap = sim_.snapshot();
+  eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  sim_.restore(snap);
+  eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  sim_.reset();
+  eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  EXPECT_EQ(eval_.cache_stats().hits, 0u);
+  EXPECT_EQ(eval_.cache_stats().misses, 3u);
+}
+
+TEST_F(FitnessCacheTest, SampleChangeInvalidatesOnlyOnRealChange) {
+  eval_.set_cache(true);
+  eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  eval_.set_sample({0, 1, 2});  // real change: drop memoized full-list scores
+  eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  EXPECT_EQ(eval_.cache_stats().misses, 2u);
+  eval_.set_sample({0, 1, 2});  // same sample again: cache survives
+  eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  EXPECT_EQ(eval_.cache_stats().hits, 1u);
+  EXPECT_EQ(eval_.cache_stats().misses, 2u);
+}
+
+TEST_F(FitnessCacheTest, CapacityOverflowEvicts) {
+  eval_.set_cache(true, 4);
+  Rng rng(91);
+  std::set<std::vector<Logic>> seen;
+  for (int i = 0; i < 32; ++i) {
+    TestVector v(circuit_.num_inputs());
+    for (Logic& b : v) b = rng.coin() ? Logic::One : Logic::Zero;
+    seen.insert(v);
+    eval_.vector_fitness(v, Phase::DetectFaults);
+  }
+  EXPECT_GT(eval_.cache_stats().evictions, 0u);
+  EXPECT_LE(eval_.sim_evaluations(), 32u);
+  EXPECT_GE(eval_.sim_evaluations(), seen.size());
+}
+
+TEST_F(FitnessCacheTest, SequencesAreCachedToo) {
+  eval_.set_cache(true);
+  const TestSequence seq = {vec("0110"), vec("1011"), vec("0001")};
+  const double a = eval_.sequence_fitness(seq);
+  const double b = eval_.sequence_fitness(seq);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(eval_.cache_stats().hits, 1u);
+  EXPECT_EQ(eval_.sim_evaluations(), 1u);
+}
+
+TEST_F(FitnessCacheTest, DisabledCacheTouchesNothing) {
+  eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  eval_.vector_fitness(vec("0110"), Phase::DetectFaults);
+  EXPECT_EQ(eval_.cache_stats().hits, 0u);
+  EXPECT_EQ(eval_.cache_stats().misses, 0u);
+  EXPECT_EQ(eval_.sim_evaluations(), eval_.evaluations());
+}
+
+TEST(FitnessCache, GeneratorRunsIdenticallyWithCacheAndCompaction) {
+  // End-to-end (library-level twin of the cli_cache_identity gates): same
+  // circuit and seed, accelerated vs. plain, byte-identical test sets.
+  const Circuit c = benchmark_circuit("s386", 3);
+  TestGenConfig plain_cfg;
+  plain_cfg.seed = 21;
+  FaultList plain_faults(c);
+  GaTestGenerator plain(c, plain_faults, plain_cfg);
+  const TestGenResult plain_res = plain.run();
+
+  TestGenConfig accel_cfg = plain_cfg;
+  accel_cfg.fitness_cache = true;
+  accel_cfg.lane_compaction = true;
+  FaultList accel_faults(c);
+  GaTestGenerator accel(c, accel_faults, accel_cfg);
+  const TestGenResult accel_res = accel.run();
+
+  EXPECT_EQ(plain_res.test_set, accel_res.test_set);
+  EXPECT_EQ(plain_res.faults_detected, accel_res.faults_detected);
+  EXPECT_EQ(plain_res.fitness_evaluations, accel_res.fitness_evaluations);
+  EXPECT_GT(accel.cache_stats().hits, 0u);
+}
 
 TEST(GaTestGenerator, FullCoverageOnS27) {
   const Circuit c = make_s27();

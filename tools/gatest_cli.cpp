@@ -80,6 +80,10 @@ namespace {
       "                      report fault efficiency next to coverage\n"
       "                      (accounting only: generated tests and detected\n"
       "                      faults are identical to an unpruned run)\n"
+      "  --fitness-cache     memoize genome fitness between commits (emitted\n"
+      "                      tests are bit-identical with or without it)\n"
+      "  --lane-compaction   re-pack the undetected-fault tail into dense\n"
+      "                      64-lane words (bit-identical results)\n"
       "\n"
       "run control (GA engines; SIGINT/SIGTERM stop cooperatively and flush):\n"
       "  --time-limit SEC    stop after SEC seconds of wall clock\n"
@@ -220,6 +224,8 @@ int main(int argc, char** argv) {
     else if (a == "--lint") do_lint = true;
     else if (a == "--lint-only") lint_only = true;
     else if (a == "--prune-untestable") cfg.prune_untestable = true;
+    else if (a == "--fitness-cache") cfg.fitness_cache = true;
+    else if (a == "--lane-compaction") cfg.lane_compaction = true;
     else if (a == "--compact") do_compact = true;
     else if (a == "--report") do_report = true;
     else if (a == "--out") out_file = arg_value(argc, argv, i, argv[0]);

@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
   std::string circuit = "?", stop_reason;
   double run_seconds = 0.0, final_coverage = 0.0;
   std::uint64_t final_vectors = 0, final_detected = 0, evaluations = 0;
+  std::uint64_t cache_hits = 0, cache_misses = 0;
   std::uint64_t checkpoints = 0;
   bool saw_run_begin = false, saw_run_end = false, resumed = false;
 
@@ -127,6 +128,10 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(ev.number_or("detected", 0.0));
       evaluations =
           static_cast<std::uint64_t>(ev.number_or("evaluations", 0.0));
+      cache_hits =
+          static_cast<std::uint64_t>(ev.number_or("cache_hits", 0.0));
+      cache_misses =
+          static_cast<std::uint64_t>(ev.number_or("cache_misses", 0.0));
       stop_reason = ev.string_or("stop_reason", "");
     } else if (type == "phase_end") {
       PhaseTotals& p = phase_slot(ev.string_or("phase", "?"));
@@ -178,6 +183,12 @@ int main(int argc, char** argv) {
               resumed ? " (resumed)" : "");
   if (!stop_reason.empty() && stop_reason != "completed")
     std::printf("stopped early: %s\n", stop_reason.c_str());
+  if (cache_hits + cache_misses > 0)
+    std::printf("fitness cache: %llu hits / %llu misses (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses),
+                100.0 * static_cast<double>(cache_hits) /
+                    static_cast<double>(cache_hits + cache_misses));
   if (checkpoints)
     std::printf("checkpoints written: %llu\n",
                 static_cast<unsigned long long>(checkpoints));
