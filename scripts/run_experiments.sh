@@ -62,6 +62,26 @@ fi
 build/tools/gatest_report "$trace_tmp/s344.jsonl"
 rm -rf "$trace_tmp"
 
+# Service gate: the daemon must serve a small mixed workload to completion
+# (checkpoint-sliced, 2 workers) with a schema-valid server trace, and the
+# scheduler bench must hold its completion/identity/throughput gates.
+echo "=== serve smoke + scheduler throughput gate ==="
+serve_tmp=$(mktemp -d /tmp/gatest_serve.XXXXXX)
+build/tools/gatest_serve --port 0 --port-file "$serve_tmp/port" \
+    --workers 2 --slice-ms 50 --trace-out "$serve_tmp/serve.jsonl" --quiet &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$serve_tmp/port" ] && break; sleep 0.1; done
+[ -s "$serve_tmp/port" ] || { echo "gatest_serve never published its port"; exit 1; }
+build/tools/gatest_loadgen --port "$(cat "$serve_tmp/port")" \
+    --jobs 6 --profiles s27,s298 --max-evals 2000 --expect-complete
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/validate_trace.py "$serve_tmp/serve.jsonl"
+fi
+rm -rf "$serve_tmp"
+build/bench/serve_throughput --check
+
 {
   for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue

@@ -10,8 +10,9 @@
 #      toolchain — the repo must compile -Wall -Wextra clean;
 #   3. a ThreadSanitizer smoke: rebuild with GATEST_SANITIZE=thread and
 #      exercise the parallel fitness evaluation path (ThreadPool +
-#      per-worker fault simulators) at 4 threads, plus the run-control and
-#      parallelism unit tests.
+#      per-worker fault simulators) at 4 threads, the run-control and
+#      parallelism unit tests, and the gatest_serve daemon (worker pool,
+#      slice preemption, connection threads) under loadgen traffic.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,6 +63,28 @@ build-tsan/tests/telemetry_test || fail=1
 # TSan's instrumentation surfaces differently than a plain build).
 cmake --build build-tsan --target fsim_test
 build-tsan/tests/fsim_test --gtest_filter='FsimDifferentialFuzz*' || fail=1
+# Serve daemon under TSan: 2 scheduler workers slicing 4 jobs at an
+# aggressive 20 ms quantum while loadgen polls over TCP — races between
+# worker threads, connection handlers, and the watch/metrics paths would
+# surface here.
+cmake --build build-tsan --target gatest_serve_cli gatest_loadgen_cli
+tsan_serve=$(mktemp -d /tmp/gatest_tsan_serve.XXXXXX)
+build-tsan/tools/gatest_serve --port 0 --port-file "$tsan_serve/port" \
+    --workers 2 --slice-ms 20 --quiet &
+tsan_serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$tsan_serve/port" ] && break; sleep 0.1; done
+if [ -s "$tsan_serve/port" ]; then
+  build-tsan/tools/gatest_loadgen --port "$(cat "$tsan_serve/port")" \
+      --jobs 4 --profiles s27,s298 --max-evals 1000 --expect-complete \
+      --quiet || fail=1
+  kill -TERM "$tsan_serve_pid"
+  wait "$tsan_serve_pid" || fail=1
+else
+  echo "gatest_serve never published its port under TSan"
+  kill "$tsan_serve_pid" 2>/dev/null || true
+  fail=1
+fi
+rm -rf "$tsan_serve"
 
 if [ "$fail" -ne 0 ]; then
   echo "static analysis FAILED"

@@ -1,17 +1,29 @@
 #!/usr/bin/env python3
-"""Validate a gatest_atpg --trace-out JSONL run trace.
+"""Validate a gatest JSONL trace: a gatest_atpg --trace-out run trace, or a
+gatest_serve --trace-out server trace (auto-detected).
 
-Checks the schema contract the telemetry layer promises:
+Run-trace checks (the telemetry layer's schema contract):
   * every line is a JSON object with ts (number), tid (integer), type (string)
   * timestamps are monotonically non-decreasing per thread
   * exactly one run_begin and (for a completed run) one run_end
   * phase_begin/phase_end events pair up and never nest
   * ga_run_begin/ga_run_end pair up per thread
 
+Server-trace checks (detected when job lifecycle events are present and no
+run_begin is — the daemon traces job scheduling, not one run):
+  * the per-line schema and per-thread monotonicity above
+  * every job event carries an integer job id >= 1
+  * per job id: exactly one job_submit, at most one job_start, exactly one
+    terminal job_done with state in {done, cancelled, failed}
+  * lifecycle order: job_submit, then job_start, then slice_stop events,
+    then job_done; slice_stop never appears outside start..done
+  * a job_done with state "done" reports vectors/evaluations/coverage, the
+    coverage in [0, 1], and at least as many slices as slice_stop events
+
 With --metrics METRICS.json it additionally checks that the phase spans in
 the trace sum to within --tolerance (default 5%) of the run's own
 TestGenResult::seconds as recorded in the run_end event — the acceptance
-bar for "phase profiling accounts for the run".
+bar for "phase profiling accounts for the run".  (Run traces only.)
 
 Usage:
   validate_trace.py TRACE.jsonl [--metrics METRICS.json] [--tolerance 0.05]
@@ -27,6 +39,80 @@ import sys
 def fail(msg):
     print(f"validate_trace: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+JOB_EVENTS = {"job_submit", "job_start", "slice_stop", "job_done"}
+JOB_TERMINAL_STATES = {"done", "cancelled", "failed"}
+
+
+def validate_server_trace(path, events):
+    """Validate a gatest_serve job-lifecycle trace (one daemon, many jobs)."""
+    # job id -> dict(submitted, started, slice_stops, done_ev)
+    jobs = {}
+    for lineno, ev in events:
+        typ = ev["type"]
+        if typ not in JOB_EVENTS:
+            continue
+        job = ev.get("job")
+        if not isinstance(job, int) or isinstance(job, bool) or job < 1:
+            fail(f"{path}:{lineno}: '{typ}' without a positive integer 'job'")
+        st = jobs.setdefault(job, {"submitted": False, "started": False,
+                                   "slice_stops": 0, "done_ev": None})
+        if st["done_ev"] is not None:
+            fail(f"{path}:{lineno}: '{typ}' for job {job} after its job_done")
+        if typ == "job_submit":
+            if st["submitted"]:
+                fail(f"{path}:{lineno}: duplicate job_submit for job {job}")
+            st["submitted"] = True
+        elif typ == "job_start":
+            if not st["submitted"]:
+                fail(f"{path}:{lineno}: job_start for job {job} "
+                     f"before job_submit")
+            if st["started"]:
+                fail(f"{path}:{lineno}: duplicate job_start for job {job}")
+            st["started"] = True
+        elif typ == "slice_stop":
+            if not st["started"]:
+                fail(f"{path}:{lineno}: slice_stop for job {job} "
+                     f"before job_start")
+            st["slice_stops"] += 1
+        elif typ == "job_done":
+            if not st["submitted"]:
+                fail(f"{path}:{lineno}: job_done for job {job} "
+                     f"before job_submit")
+            state = ev.get("state")
+            if state not in JOB_TERMINAL_STATES:
+                fail(f"{path}:{lineno}: job_done state '{state}' not in "
+                     f"{sorted(JOB_TERMINAL_STATES)}")
+            if state == "done":
+                if not st["started"]:
+                    fail(f"{path}:{lineno}: job {job} done without job_start")
+                for key in ("vectors", "evaluations", "slices", "coverage",
+                            "seconds"):
+                    if not isinstance(ev.get(key), (int, float)):
+                        fail(f"{path}:{lineno}: job_done missing or "
+                             f"mistyped '{key}'")
+                if not 0.0 <= float(ev["coverage"]) <= 1.0:
+                    fail(f"{path}:{lineno}: coverage "
+                         f"{ev['coverage']} outside [0, 1]")
+                if int(ev["slices"]) < st["slice_stops"] + 1:
+                    fail(f"{path}:{lineno}: job {job} reports "
+                         f"{ev['slices']} slice(s) but the trace has "
+                         f"{st['slice_stops']} slice_stop event(s)")
+            st["done_ev"] = ev
+
+    if not jobs:
+        fail(f"{path}: server trace has no job events")
+    unfinished = sorted(j for j, st in jobs.items() if st["done_ev"] is None)
+    if unfinished:
+        fail(f"{path}: job(s) {unfinished} never reached job_done")
+    n_done = sum(1 for st in jobs.values()
+                 if st["done_ev"].get("state") == "done")
+    n_slices = sum(st["slice_stops"] for st in jobs.values())
+    print(f"validate_trace: server trace, {len(events)} events, "
+          f"{len(jobs)} job(s) ({n_done} done), "
+          f"{n_slices} slice preemption(s)")
+    sys.exit(0)
 
 
 def main():
@@ -58,7 +144,20 @@ def main():
     if not events:
         fail(f"{args.trace}: no events")
 
+    # Schema checks shared by both trace flavours: per-thread monotonic ts.
     last_ts = {}
+    for lineno, ev in events:
+        tid, ts = ev["tid"], ev["ts"]
+        if ts < last_ts.get(tid, 0.0):
+            fail(f"{args.trace}:{lineno}: ts went backwards on tid {tid}")
+        last_ts[tid] = ts
+
+    types = {ev["type"] for _, ev in events}
+    if types & JOB_EVENTS and "run_begin" not in types:
+        if args.metrics:
+            fail("--metrics applies to run traces, not server traces")
+        validate_server_trace(args.trace, events)
+
     open_phase = None
     open_ga_runs = {}  # tid -> count (warm-start runs share a thread)
     run_begin = run_end = 0
@@ -66,11 +165,7 @@ def main():
     run_end_ev = None
 
     for lineno, ev in events:
-        tid, ts, typ = ev["tid"], ev["ts"], ev["type"]
-        if ts < last_ts.get(tid, 0.0):
-            fail(f"{args.trace}:{lineno}: ts went backwards on tid {tid}")
-        last_ts[tid] = ts
-
+        tid, typ = ev["tid"], ev["type"]
         if typ == "run_begin":
             run_begin += 1
         elif typ == "run_end":

@@ -77,7 +77,7 @@ struct TestGenConfig {
   /// 1 = serial.
   unsigned num_threads = 1;
 
-  // ---- ablation switches (DESIGN.md §5) -----------------------------------
+  // ---- ablation switches (DESIGN.md §6) -----------------------------------
   /// Run phases 1-3 (individual test vectors).
   bool enable_vector_phases = true;
   /// Run phase 4 (test sequences).

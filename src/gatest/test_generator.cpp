@@ -66,8 +66,20 @@ std::size_t GaTestGenerator::total_evaluations() const {
 
 bool GaTestGenerator::stop_now() {
   if (stop_reason_ != StopReason::Completed) return true;
-  const StopReason r = tracker_.check(total_evaluations(),
-                                      result_.test_set.size(), ctrl_.stop);
+  StopReason r = tracker_.check(total_evaluations(),
+                                result_.test_set.size(), ctrl_.stop);
+  if (r == StopReason::Completed) {
+    // Slice stops rank below every budget/interrupt: an explicit request is
+    // honored immediately, a deadline only once this segment has committed
+    // at least one vector (so a slice always makes progress).
+    if (slice_requested_.load(std::memory_order_relaxed)) {
+      r = StopReason::SliceStop;
+    } else if (slice_seconds_ > 0.0 &&
+               result_.test_set.size() > slice_start_vectors_ &&
+               tracker_.elapsed_seconds() >= slice_seconds_) {
+      r = StopReason::SliceStop;
+    }
+  }
   if (r == StopReason::Completed) return false;
   stop_reason_ = r;
   return true;
@@ -603,6 +615,7 @@ TestGenResult GaTestGenerator::run() {
   last_checkpoint_elapsed_ = 0.0;
   stop_reason_ = StopReason::Completed;
   open_phase_ = -1;
+  slice_requested_.store(false, std::memory_order_relaxed);
   if (tracing())
     telem_->trace.event(
         "run_begin",
@@ -621,6 +634,7 @@ TestGenResult GaTestGenerator::run() {
     boundary_evals_ = prior_evals_;
   }
   resumed_ = false;  // a later run() without restore starts fresh again
+  slice_start_vectors_ = result_.test_set.size();
 
   try {
     if (state_.macro == MacroPhase::Vectors) {
@@ -677,6 +691,15 @@ TestGenResult GaTestGenerator::run() {
   if (telem_) {
     telemetry_finalize_metrics();
     if (telem_->trace.enabled()) {
+      if (stop_reason_ == StopReason::SliceStop)
+        telem_->trace.event(
+            "slice_stop",
+            {{"vectors", static_cast<std::uint64_t>(result_.test_set.size())},
+             {"committed_this_slice",
+              static_cast<std::uint64_t>(result_.test_set.size() -
+                                         slice_start_vectors_)},
+             {"evaluations", static_cast<std::uint64_t>(boundary_evals_)},
+             {"coverage", result_.fault_coverage}});
       if (stop_reason_ != StopReason::Completed)
         telem_->trace.event(
             "stop", {{"reason", to_string(stop_reason_)},

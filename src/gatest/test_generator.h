@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -92,6 +93,28 @@ class GaTestGenerator {
 
   /// Snapshot of the last commit boundary (what a stop would write to disk).
   Checkpoint make_checkpoint() const;
+
+  // ---- cooperative time slicing (gatest_serve fair-share scheduling) ------
+  //
+  // A slice stop ends run() with StopReason::SliceStop at the next
+  // generation-granularity poll, exactly like a budget stop: partial GA work
+  // is discarded, the last commit boundary stays intact, and a resume from
+  // make_checkpoint() reproduces the uninterrupted run bit-for-bit.  No
+  // signal is involved, so many sliced jobs can coexist in one process.
+
+  /// Arm a slice deadline for the next run(): once `seconds` of wall clock
+  /// elapse AND at least one vector has been committed in this run segment,
+  /// the run stops with SliceStop.  The progress precondition guarantees
+  /// every slice advances the job, so a scheduler can never livelock on a
+  /// slice shorter than one GA run.  0 disables (seed behavior).
+  void set_slice_limit(double seconds) { slice_seconds_ = seconds; }
+
+  /// Request an immediate cooperative slice stop (thread-safe; honored at
+  /// the next generation or commit-boundary poll, without the one-commit
+  /// progress precondition).  Cleared when run() starts.
+  void request_slice_stop() {
+    slice_requested_.store(true, std::memory_order_relaxed);
+  }
 
   /// Run full test generation (vectors, then sequences), or continue a
   /// restored run.  Ends early — at a commit boundary, with the partial
@@ -194,6 +217,11 @@ class GaTestGenerator {
   double prior_seconds_ = 0.0;
   double last_checkpoint_elapsed_ = 0.0;
   bool resumed_ = false;
+
+  // Cooperative time slicing (see set_slice_limit / request_slice_stop).
+  double slice_seconds_ = 0.0;
+  std::atomic<bool> slice_requested_{false};
+  std::size_t slice_start_vectors_ = 0;  // test-set size when run() started
 
   // Parallel evaluation replicas (config_.num_threads > 1): each worker owns
   // a fault-list copy and simulator kept in lockstep with the main one by

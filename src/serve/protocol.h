@@ -1,0 +1,116 @@
+// gatest_serve wire protocol: newline-delimited JSON requests and responses.
+//
+// Every request is one JSON object on one line.  Grammar (DESIGN.md §5):
+//
+//   {"cmd":"submit", "profile":"s298" | "bench":"<.bench text>",
+//    ["name":"...,"] ["config":{...}], ["budget":{...}]}
+//   {"cmd":"status" [,"id":N]}         one job, or a summary of all jobs
+//   {"cmd":"result", "id":N}           final test set of a terminal job
+//   {"cmd":"cancel", "id":N}
+//   {"cmd":"watch" [,"id":N]}          stream job events until terminal / EOF
+//   {"cmd":"metrics"}                  MetricsRegistry snapshot + server gauges
+//   {"cmd":"shutdown"}                 graceful stop (same path as SIGTERM)
+//
+// Every response is one JSON object per line: {"ok":true,...} or
+// {"ok":false,"error":{"code":"...","message":"..."}}.  Error codes are
+// stable slugs: oversized, bad-json, not-object, unknown-command,
+// missing-field, bad-field, unknown-job, not-done, shutting-down.
+//
+// This header owns request parsing/validation (pure functions, no I/O —
+// unit-testable without sockets) and a small JSON writer for responses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "gatest/config.h"
+#include "util/run_control.h"
+
+namespace gatest::serve {
+
+/// Hard cap on one request line; longer frames are rejected with an
+/// "oversized" error before any JSON parsing happens.
+inline constexpr std::size_t kMaxRequestBytes = 1u << 20;  // 1 MiB
+
+enum class Command : std::uint8_t {
+  Submit,
+  Status,
+  Cancel,
+  Result,
+  Watch,
+  Metrics,
+  Shutdown,
+};
+
+const char* to_string(Command c);
+
+/// Structured protocol error; serialized as {"ok":false,"error":{...}}.
+struct ProtocolError {
+  std::string code;     ///< stable slug, e.g. "bad-json"
+  std::string message;  ///< human-readable detail
+};
+
+/// A validated submit payload.  Exactly one of `profile` / `bench_text` is
+/// non-empty.  `config` and `budget` carry the mapped knobs with defaults
+/// suitable for a multiplexed server (1 evaluation thread per job).
+struct SubmitRequest {
+  std::string name;        ///< optional client-chosen label
+  std::string profile;     ///< benchmark profile name, or
+  std::string bench_text;  ///< inline .bench netlist
+  TestGenConfig config;
+  RunBudget budget;
+};
+
+struct Request {
+  Command cmd = Command::Status;
+  bool has_id = false;
+  std::uint64_t id = 0;
+  SubmitRequest submit;  ///< meaningful only when cmd == Submit
+};
+
+/// Parse and validate one request line.  Returns true and fills `req`, or
+/// returns false and fills `err` (never throws; malformed input of any shape
+/// yields a structured error).
+bool parse_request(std::string_view line, Request& req, ProtocolError& err);
+
+// ---- response building ------------------------------------------------------
+
+/// Incremental JSON writer producing one compact object/array per response
+/// line.  Handles commas and string escaping; the caller is responsible for
+/// begin/end pairing (asserted in debug builds by construction order).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member key (inside an object); follow with exactly one value call.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(std::int64_t i);
+  /// Splice pre-serialized JSON (e.g. a MetricsRegistry snapshot) verbatim.
+  JsonWriter& raw(std::string_view json);
+
+  /// Finish the line: returns the buffer with a trailing '\n'.
+  std::string take();
+
+ private:
+  void comma();
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// {"ok":false,"error":{"code":...,"message":...}}\n
+std::string error_line(const ProtocolError& err);
+
+/// Convenience for one-field acks, e.g. ok_line() -> {"ok":true}\n.
+std::string ok_line();
+
+}  // namespace gatest::serve

@@ -1,0 +1,477 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "circuitgen/circuitgen.h"
+#include "fault/fault.h"
+#include "netlist/bench_io.h"
+#include "sim/logic.h"
+
+namespace gatest::serve {
+
+using telemetry::TraceField;
+using telemetry::TraceValue;
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::Queued:    return "queued";
+    case JobState::Running:   return "running";
+    case JobState::Done:      return "done";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Failed:    return "failed";
+  }
+  return "?";
+}
+
+// ---- Subscription -----------------------------------------------------------
+
+void Subscription::push(const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    if (lines_.size() >= kMaxQueuedLines) {
+      lines_.pop_front();
+      ++dropped_;
+    }
+    lines_.push_back(line);
+  }
+  cv_.notify_one();
+}
+
+void Subscription::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Subscription::pop(std::string& line, double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+               [this] { return closed_ || !lines_.empty(); });
+  if (lines_.empty()) {
+    line.clear();
+    return false;
+  }
+  line = std::move(lines_.front());
+  lines_.pop_front();
+  return true;
+}
+
+bool Subscription::closed_and_drained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_ && lines_.empty();
+}
+
+std::uint64_t Subscription::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+// ---- JobManager lifecycle ---------------------------------------------------
+
+JobManager::JobManager(ServeConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+}
+
+JobManager::~JobManager() { shutdown(); }
+
+void JobManager::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  if (!cfg_.trace_path.empty()) server_trace_.open(cfg_.trace_path);
+  metrics_.gauge("serve.workers").set(static_cast<double>(cfg_.workers));
+  workers_.reserve(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void JobManager::shutdown() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+    // Cancel everything still in flight: queued jobs terminate here, running
+    // jobs get their stop token tripped and finalize in their worker.
+    queue_.clear();
+    for (auto& [id, job] : jobs_) {
+      if (job->state == JobState::Queued) {
+        finalize(*job, JobState::Cancelled, lk);
+      } else if (job->state == JobState::Running) {
+        job->cancel.request_stop();
+      }
+    }
+    refresh_gauges_locked();
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (auto& s : subs_) s->close();
+    subs_.clear();
+  }
+  server_trace_.close();
+}
+
+bool JobManager::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stop_;
+}
+
+// ---- submit / cancel --------------------------------------------------------
+
+std::uint64_t JobManager::submit(const SubmitRequest& req, ProtocolError& err) {
+  // Build the circuit outside the lock; this is the expensive, fallible part.
+  std::unique_ptr<Circuit> circuit;
+  try {
+    if (!req.profile.empty()) {
+      circuit = std::make_unique<Circuit>(benchmark_circuit(req.profile));
+    } else {
+      circuit = std::make_unique<Circuit>(
+          parse_bench_string(req.bench_text, req.name.empty() ? "bench"
+                                                              : req.name));
+    }
+  } catch (const std::exception& e) {
+    err = {"bad-field", e.what()};
+    return 0;
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stop_) {
+    err = {"shutting-down", "server is shutting down"};
+    return 0;
+  }
+  const std::uint64_t id = next_id_++;
+  auto job = std::make_unique<Job>();
+  Job& j = *job;
+  j.id = id;
+  j.spec = req;
+  j.circuit = std::move(circuit);
+  j.submitted = std::chrono::steady_clock::now();
+  // Stream every trace event the generator emits for this job (and our own
+  // lifecycle events) to watch subscribers, wrapped with the job id.
+  j.telem.trace.open([this, id](const std::string& line) {
+    std::string wrapped = "{\"job\":" + std::to_string(id) + ",";
+    if (line.size() > 1) wrapped.append(line.data() + 1, line.size() - 1);
+    publish(id, wrapped);
+  });
+  jobs_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  metrics_.counter("serve.jobs_submitted").add();
+  refresh_gauges_locked();
+  job_event(j, "job_submit",
+            {{"job", TraceValue(static_cast<unsigned long long>(id))},
+             {"name", TraceValue(j.spec.name)},
+             {"circuit", TraceValue(j.circuit->name())},
+             {"queue_depth",
+              TraceValue(static_cast<unsigned long long>(queue_.size()))}});
+  lk.unlock();
+  cv_.notify_one();
+  return id;
+}
+
+bool JobManager::cancel(std::uint64_t id, ProtocolError& err) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    err = {"unknown-job", "no job with id " + std::to_string(id)};
+    return false;
+  }
+  Job& job = *it->second;
+  if (job.terminal()) return true;  // idempotent
+  job.cancel.request_stop();
+  if (job.state == JobState::Queued) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+    finalize(job, JobState::Cancelled, lk);
+    refresh_gauges_locked();
+  }
+  // A Running job finalizes in its worker once the generator polls the token.
+  return true;
+}
+
+// ---- worker loop ------------------------------------------------------------
+
+void JobManager::worker_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      const std::uint64_t id = queue_.front();
+      queue_.pop_front();
+      job = jobs_.at(id).get();  // jobs_ entries are never erased
+      job->state = JobState::Running;
+      ++active_;
+      refresh_gauges_locked();
+      if (!job->started_once) {
+        job->started_once = true;
+        job_event(*job, "job_start",
+                  {{"job", TraceValue(static_cast<unsigned long long>(id))},
+                   {"circuit", TraceValue(job->circuit->name())}});
+      }
+    }
+    run_slice(*job);
+  }
+}
+
+void JobManager::run_slice(Job& job) {
+  // Each slice rebuilds the run from the job's checkpoint: fresh fault list
+  // and generator, committed vectors replayed, RNG continued from the last
+  // commit boundary.  That makes slices independent of worker identity and
+  // interleaving — the determinism argument in DESIGN.md §5.3.
+  TestGenResult r;
+  std::string error;
+  std::optional<Checkpoint> next_cp;
+  try {
+    FaultList faults(*job.circuit);
+    GaTestGenerator gen(*job.circuit, faults, job.spec.config);
+    RunControl ctrl;
+    ctrl.budget = job.spec.budget;
+    ctrl.stop = &job.cancel;
+    gen.set_run_control(ctrl);
+    gen.set_telemetry(&job.telem);
+    if (job.cp) gen.restore_from_checkpoint(*job.cp);
+    if (cfg_.slice_seconds > 0.0) gen.set_slice_limit(cfg_.slice_seconds);
+    r = gen.run();
+    if (r.stop_reason == StopReason::SliceStop) next_cp = gen.make_checkpoint();
+  } catch (const std::exception& e) {
+    // restore_from_checkpoint / construction failures; run() itself reports
+    // errors through stop_reason = Error.
+    r.stop_reason = StopReason::Error;
+    error = e.what();
+  }
+  if (r.stop_reason == StopReason::Error && error.empty())
+    error = r.error_message;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  --active_;
+  ++job.slices;
+  job.last_vectors = next_cp ? next_cp->test_set.size() : r.test_set.size();
+  job.last_evals = next_cp ? next_cp->fitness_evaluations
+                           : r.fitness_evaluations;
+  job.last_coverage = r.fault_coverage;
+
+  if (r.stop_reason == StopReason::SliceStop && !stop_) {
+    metrics_.counter("serve.slice_preemptions").add();
+    job_event(job, "slice_stop",
+              {{"job", TraceValue(static_cast<unsigned long long>(job.id))},
+               {"slice",
+                TraceValue(static_cast<unsigned long long>(job.slices))},
+               {"vectors", TraceValue(static_cast<unsigned long long>(
+                               job.last_vectors))},
+               {"evaluations", TraceValue(static_cast<unsigned long long>(
+                                   job.last_evals))},
+               {"coverage", TraceValue(r.fault_coverage)}});
+    job.cp = std::move(next_cp);
+    job.state = JobState::Queued;
+    queue_.push_back(job.id);  // back of the line: round-robin fair share
+    refresh_gauges_locked();
+    lk.unlock();
+    cv_.notify_one();
+    return;
+  }
+
+  job.result = std::move(r);
+  job.error = std::move(error);
+  job.cp.reset();
+  JobState final_state = JobState::Done;
+  if (job.result.stop_reason == StopReason::Error)
+    final_state = JobState::Failed;
+  else if (job.result.stop_reason == StopReason::Interrupted ||
+           (stop_ && job.result.stop_reason == StopReason::SliceStop))
+    final_state = JobState::Cancelled;
+  finalize(job, final_state, lk);
+  refresh_gauges_locked();
+}
+
+void JobManager::finalize(Job& job, JobState state,
+                          std::unique_lock<std::mutex>& lk) {
+  (void)lk;  // documents that mu_ must be held
+  job.state = state;
+  job.finished = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(job.finished - job.submitted).count();
+  switch (state) {
+    case JobState::Done:
+      metrics_.counter("serve.jobs_done").add();
+      // Time from submit to final coverage, including queue wait — the
+      // latency a client actually experiences.  p95 comes out in the
+      // metrics snapshot.
+      metrics_.histogram("serve.time_to_coverage_s").observe(seconds);
+      break;
+    case JobState::Cancelled:
+      metrics_.counter("serve.jobs_cancelled").add();
+      break;
+    case JobState::Failed:
+      metrics_.counter("serve.jobs_failed").add();
+      break;
+    default:
+      break;
+  }
+  job_event(job, "job_done",
+            {{"job", TraceValue(static_cast<unsigned long long>(job.id))},
+             {"state", TraceValue(to_string(state))},
+             {"vectors", TraceValue(static_cast<unsigned long long>(
+                             job.result.test_set.size()))},
+             {"coverage", TraceValue(job.result.fault_coverage)},
+             {"evaluations", TraceValue(static_cast<unsigned long long>(
+                                 job.result.fitness_evaluations))},
+             {"slices", TraceValue(static_cast<unsigned long long>(
+                            job.slices))},
+             {"seconds", TraceValue(seconds)}});
+  job.telem.trace.close();
+  // Close per-job watch streams; watch-all streams stay open.
+  std::lock_guard<std::mutex> slock(subs_mu_);
+  for (auto& s : subs_)
+    if (!s->wants(0) && s->wants(job.id)) s->close();
+}
+
+// ---- events -----------------------------------------------------------------
+
+void JobManager::job_event(
+    Job& job, std::string_view type,
+    std::initializer_list<telemetry::TraceField> fields) {
+  if (server_trace_.enabled()) server_trace_.event(type, fields);
+  // The job's own sink forwards to watchers through its LineCallback.
+  job.telem.trace.event(type, fields);
+}
+
+void JobManager::publish(std::uint64_t job_id, const std::string& line) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  for (auto& s : subs_)
+    if (s->wants(job_id)) s->push(line);
+}
+
+// ---- queries ----------------------------------------------------------------
+
+JobSnapshot JobManager::snapshot_locked(const Job& job) const {
+  JobSnapshot s;
+  s.id = job.id;
+  s.name = job.spec.name;
+  s.circuit = job.circuit->name();
+  s.state = job.state;
+  s.slices = job.slices;
+  s.error = job.error;
+  const auto until = job.terminal() ? job.finished
+                                    : std::chrono::steady_clock::now();
+  s.seconds = std::chrono::duration<double>(until - job.submitted).count();
+  if (job.terminal()) {
+    s.vectors = job.result.test_set.size();
+    s.evaluations = job.result.fitness_evaluations;
+    s.coverage = job.result.fault_coverage;
+  } else {
+    s.vectors = job.last_vectors;
+    s.evaluations = job.last_evals;
+    s.coverage = job.last_coverage;
+  }
+  return s;
+}
+
+bool JobManager::snapshot(std::uint64_t id, JobSnapshot& out,
+                          ProtocolError& err) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    err = {"unknown-job", "no job with id " + std::to_string(id)};
+    return false;
+  }
+  out = snapshot_locked(*it->second);
+  return true;
+}
+
+std::vector<JobSnapshot> JobManager::snapshot_all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobSnapshot> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(snapshot_locked(*job));
+  return out;
+}
+
+bool JobManager::result(std::uint64_t id, JobSnapshot& snap,
+                        std::vector<std::string>& vectors,
+                        ProtocolError& err) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    err = {"unknown-job", "no job with id " + std::to_string(id)};
+    return false;
+  }
+  const Job& job = *it->second;
+  if (!job.terminal()) {
+    err = {"not-done", "job " + std::to_string(id) + " is " +
+                           to_string(job.state)};
+    return false;
+  }
+  snap = snapshot_locked(job);
+  vectors.clear();
+  vectors.reserve(job.result.test_set.size());
+  for (const TestVector& v : job.result.test_set)
+    vectors.push_back(logic_string(v));
+  return true;
+}
+
+std::shared_ptr<Subscription> JobManager::watch(bool has_id, std::uint64_t id,
+                                                ProtocolError& err) {
+  auto sub = std::make_shared<Subscription>(!has_id, id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (has_id) {
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end()) {
+        err = {"unknown-job", "no job with id " + std::to_string(id)};
+        return nullptr;
+      }
+      if (it->second->terminal()) {
+        sub->close();  // nothing more will happen; client sees EOF
+        return sub;
+      }
+    } else if (stop_) {
+      sub->close();
+    }
+  }
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  subs_.push_back(sub);
+  return sub;
+}
+
+void JobManager::unsubscribe(const std::shared_ptr<Subscription>& sub) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  subs_.erase(std::remove(subs_.begin(), subs_.end(), sub), subs_.end());
+}
+
+void JobManager::refresh_gauges_locked() const {
+  metrics_.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+  metrics_.gauge("serve.active_jobs").set(static_cast<double>(active_));
+  std::size_t done = 0;
+  for (const auto& [id, job] : jobs_)
+    if (job->terminal()) ++done;
+  metrics_.gauge("serve.jobs_terminal").set(static_cast<double>(done));
+  metrics_.gauge("serve.jobs_total").set(static_cast<double>(jobs_.size()));
+}
+
+std::string JobManager::metrics_json() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    refresh_gauges_locked();
+  }
+  std::ostringstream os;
+  metrics_.write_json(os);
+  std::string json = os.str();
+  // write_json ends with a newline; the snapshot gets spliced into a
+  // single-line response, so strip trailing whitespace.
+  while (!json.empty() && (json.back() == '\n' || json.back() == '\r' ||
+                           json.back() == ' '))
+    json.pop_back();
+  return json;
+}
+
+}  // namespace gatest::serve

@@ -1,0 +1,211 @@
+// Job manager for gatest_serve: a fixed worker pool running ATPG jobs under
+// checkpoint-based fair-share scheduling.
+//
+// Every job runs in time slices: a worker restores the job's in-memory
+// checkpoint (if any), arms GaTestGenerator's slice deadline, and runs until
+// the slice expires (StopReason::SliceStop), the job finishes, its budget
+// trips, or it is cancelled.  A sliced job checkpoints at its last commit
+// boundary and goes to the back of the FIFO queue — round-robin fair share —
+// so K workers make progress on more than K jobs concurrently.
+//
+// Determinism: a slice stop is a budget stop (DESIGN.md §5.3).  The
+// checkpoint captures the last commit boundary only (partial GA work is
+// discarded, exactly as on resume-from-disk), so the final test set of a
+// sliced job is bit-identical to an uninterrupted single-process run with
+// the same config — ctest enforces this at 1 and 4 workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gatest/checkpoint.h"
+#include "gatest/test_generator.h"
+#include "netlist/circuit.h"
+#include "serve/protocol.h"
+#include "telemetry/telemetry.h"
+#include "util/run_control.h"
+
+namespace gatest::serve {
+
+struct ServeConfig {
+  unsigned workers = 2;         ///< worker threads (>= 1)
+  double slice_seconds = 0.25;  ///< fair-share time slice; 0 = run to end
+  std::string trace_path;       ///< server-level JSONL trace; empty = off
+};
+
+enum class JobState : std::uint8_t {
+  Queued,     ///< waiting for a worker (fresh or preempted)
+  Running,    ///< a worker is executing a slice right now
+  Done,       ///< finished (completed or budget-stopped); result available
+  Cancelled,  ///< cancel request or server shutdown ended it
+  Failed,     ///< the generator surfaced an error; message recorded
+};
+
+const char* to_string(JobState s);
+
+/// One watch stream: a bounded queue of event lines a connection thread
+/// drains.  Producers never block — when the consumer lags past the cap the
+/// oldest lines are dropped (and counted), so a stalled client cannot back
+/// up the workers.
+class Subscription {
+ public:
+  Subscription(bool all, std::uint64_t job_id) : all_(all), job_id_(job_id) {}
+
+  bool wants(std::uint64_t job_id) const { return all_ || job_id_ == job_id; }
+
+  /// Producer side: enqueue one line (drops the oldest beyond the cap).
+  void push(const std::string& line);
+  /// No more events will arrive (terminal job event or server shutdown).
+  void close();
+
+  /// Consumer side: block up to `timeout_seconds` for the next line.  False
+  /// means no line yet (timeout, or closed and drained — distinguish with
+  /// closed_and_drained()); timeouts let the connection thread notice dead
+  /// clients and server shutdown.
+  bool pop(std::string& line, double timeout_seconds);
+
+  /// True once close() was called and every queued line was consumed.
+  bool closed_and_drained() const;
+
+  std::uint64_t dropped() const;
+
+ private:
+  static constexpr std::size_t kMaxQueuedLines = 4096;
+
+  const bool all_;
+  const std::uint64_t job_id_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> lines_;
+  std::uint64_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+/// Point-in-time view of one job for status responses.
+struct JobSnapshot {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string circuit;
+  JobState state = JobState::Queued;
+  unsigned slices = 0;
+  std::size_t vectors = 0;
+  std::size_t evaluations = 0;
+  double coverage = 0.0;
+  double seconds = 0.0;  ///< wall clock since submit (frozen at terminal)
+  std::string error;
+};
+
+class JobManager {
+ public:
+  explicit JobManager(ServeConfig cfg);
+  ~JobManager();
+
+  /// Launch the worker pool (and the server trace, when configured).
+  void start();
+
+  /// Stop accepting, cancel queued and running jobs, join workers, close
+  /// every watch stream.  Idempotent; called by shutdown command, SIGTERM
+  /// path, and the destructor.
+  void shutdown();
+
+  bool shutting_down() const;
+
+  /// Validate and enqueue a job.  Returns the job id, or 0 with `err` set
+  /// (unknown profile / unparsable bench text / submit after shutdown).
+  std::uint64_t submit(const SubmitRequest& req, ProtocolError& err);
+
+  /// Cancel a queued or running job.  Terminal jobs are left untouched
+  /// (cancel is idempotent); unknown ids fail with "unknown-job".
+  bool cancel(std::uint64_t id, ProtocolError& err);
+
+  /// Snapshot one job (false + "unknown-job" if the id is unknown).
+  bool snapshot(std::uint64_t id, JobSnapshot& out, ProtocolError& err) const;
+  /// Snapshot every job, in submit order.
+  std::vector<JobSnapshot> snapshot_all() const;
+
+  /// Final test set of a terminal job: fails with "unknown-job" or, for a
+  /// job still queued/running, "not-done".
+  bool result(std::uint64_t id, JobSnapshot& snap,
+              std::vector<std::string>& vectors, ProtocolError& err) const;
+
+  /// Subscribe to job events: every job when `has_id` is false, else one
+  /// job ("unknown-job" if the id is unknown; an already-terminal job yields
+  /// a closed, empty stream).  The caller drains with Subscription::pop and
+  /// must unsubscribe() when done.
+  std::shared_ptr<Subscription> watch(bool has_id, std::uint64_t id,
+                                      ProtocolError& err);
+  void unsubscribe(const std::shared_ptr<Subscription>& sub);
+
+  /// MetricsRegistry snapshot (server gauges refreshed first) as one JSON
+  /// object, for the metrics response.
+  std::string metrics_json() const;
+
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    SubmitRequest spec;
+    std::unique_ptr<Circuit> circuit;
+    JobState state = JobState::Queued;
+    std::optional<Checkpoint> cp;  ///< present between slices
+    StopToken cancel;
+    telemetry::RunTelemetry telem;  ///< streams to watchers via callback
+    TestGenResult result;           ///< valid once terminal
+    std::string error;
+    unsigned slices = 0;
+    // Progress as of the last slice boundary (status while running).
+    std::size_t last_vectors = 0;
+    std::size_t last_evals = 0;
+    double last_coverage = 0.0;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point finished;
+    bool started_once = false;
+    bool terminal() const {
+      return state == JobState::Done || state == JobState::Cancelled ||
+             state == JobState::Failed;
+    }
+  };
+
+  void worker_loop();
+  /// Run one slice of `job` (mu_ NOT held); requeues or finalizes it.
+  void run_slice(Job& job);
+  /// Mark `job` terminal and emit job_done (mu_ held by caller).
+  void finalize(Job& job, JobState state, std::unique_lock<std::mutex>& lk);
+
+  /// Emit a lifecycle event to the server trace file and to watchers.
+  void job_event(Job& job, std::string_view type,
+                 std::initializer_list<telemetry::TraceField> fields);
+  /// Deliver one wrapped line to every subscription watching `job_id`.
+  void publish(std::uint64_t job_id, const std::string& line);
+
+  JobSnapshot snapshot_locked(const Job& job) const;
+  void refresh_gauges_locked() const;
+
+  ServeConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::deque<std::uint64_t> queue_;
+  std::vector<std::thread> workers_;
+  std::uint64_t next_id_ = 1;
+  unsigned active_ = 0;
+  bool started_ = false;
+  bool stop_ = false;
+
+  std::mutex subs_mu_;
+  std::vector<std::shared_ptr<Subscription>> subs_;
+
+  mutable telemetry::MetricsRegistry metrics_;
+  telemetry::TraceSink server_trace_;
+};
+
+}  // namespace gatest::serve

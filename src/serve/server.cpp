@@ -1,0 +1,213 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gatest::serve {
+
+namespace {
+
+void append_job(JsonWriter& w, const JobSnapshot& s) {
+  w.begin_object()
+      .key("id").value(static_cast<std::uint64_t>(s.id))
+      .key("name").value(s.name)
+      .key("circuit").value(s.circuit)
+      .key("state").value(to_string(s.state))
+      .key("slices").value(static_cast<std::uint64_t>(s.slices))
+      .key("vectors").value(static_cast<std::uint64_t>(s.vectors))
+      .key("evaluations").value(static_cast<std::uint64_t>(s.evaluations))
+      .key("coverage").value(s.coverage)
+      .key("seconds").value(s.seconds);
+  if (!s.error.empty()) w.key("error").value(s.error);
+  w.end_object();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), jobs_(cfg_.serve) {}
+
+Server::~Server() {
+  request_stop();
+  jobs_.shutdown();
+  for (auto& t : handlers_)
+    if (t.joinable()) t.join();
+}
+
+void Server::start() {
+  listener_ = std::make_unique<TcpListener>(cfg_.host, cfg_.port);
+  port_ = listener_->port();
+  jobs_.start();
+}
+
+bool Server::stopping() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stop_;
+}
+
+void Server::request_stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_ = true;
+  // Kick every blocked read so handler threads notice and wind down.
+  for (TcpConnection* c : open_conns_) c->shutdown_both();
+}
+
+void Server::run(const StopToken* stop) {
+  while (!stopping() && !(stop && stop->stop_requested())) {
+    TcpConnection conn = listener_->accept(0.2);
+    if (!conn.valid()) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) break;
+    handlers_.emplace_back(
+        [this](TcpConnection c) { handle_connection(std::move(c)); },
+        std::move(conn));
+  }
+  request_stop();
+  listener_->close();
+  jobs_.shutdown();  // cancels jobs, closes watch streams
+  for (auto& t : handlers_)
+    if (t.joinable()) t.join();
+  handlers_.clear();
+}
+
+void Server::handle_connection(TcpConnection conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    open_conns_.push_back(&conn);
+  }
+  std::string line;
+  for (;;) {
+    // Allow slack beyond the protocol cap so an oversized frame is answered
+    // with a structured error (from parse_request) instead of a hard drop,
+    // while a runaway line without newlines still terminates the read.
+    const auto rs = conn.read_line(line, 2 * kMaxRequestBytes);
+    if (rs == TcpConnection::ReadStatus::Eof) break;
+    if (rs == TcpConnection::ReadStatus::Overflow) {
+      conn.write_all(error_line(
+          {"oversized", "request line exceeds the maximum frame size"}));
+      break;
+    }
+    if (line.empty()) continue;
+    jobs_.metrics().counter("serve.requests").add();
+
+    Request req;
+    ProtocolError err;
+    if (!parse_request(line, req, err)) {
+      jobs_.metrics().counter("serve.protocol_errors").add();
+      if (!conn.write_all(error_line(err))) break;
+      continue;
+    }
+
+    if (req.cmd == Command::Watch) {
+      stream_watch(req, conn);
+      continue;
+    }
+    if (req.cmd == Command::Shutdown) {
+      // Ack first: request_stop() half-closes every open socket, including
+      // this one.
+      conn.write_all(ok_line());
+      request_stop();
+      break;
+    }
+    if (!conn.write_all(dispatch(req))) break;
+  }
+  conn.shutdown_both();
+  std::lock_guard<std::mutex> lock(mu_);
+  open_conns_.erase(
+      std::remove(open_conns_.begin(), open_conns_.end(), &conn),
+      open_conns_.end());
+}
+
+std::string Server::dispatch(const Request& req) {
+  ProtocolError err;
+  JsonWriter w;
+  switch (req.cmd) {
+    case Command::Submit: {
+      const std::uint64_t id = jobs_.submit(req.submit, err);
+      if (id == 0) return error_line(err);
+      w.begin_object()
+          .key("ok").value(true)
+          .key("id").value(id)
+          .key("state").value("queued")
+      .end_object();
+      return w.take();
+    }
+    case Command::Status: {
+      if (req.has_id) {
+        JobSnapshot s;
+        if (!jobs_.snapshot(req.id, s, err)) return error_line(err);
+        w.begin_object().key("ok").value(true).key("job");
+        append_job(w, s);
+        w.end_object();
+        return w.take();
+      }
+      w.begin_object().key("ok").value(true).key("jobs").begin_array();
+      for (const JobSnapshot& s : jobs_.snapshot_all()) append_job(w, s);
+      w.end_array().end_object();
+      return w.take();
+    }
+    case Command::Cancel: {
+      if (!jobs_.cancel(req.id, err)) return error_line(err);
+      w.begin_object()
+          .key("ok").value(true)
+          .key("id").value(req.id)
+      .end_object();
+      return w.take();
+    }
+    case Command::Result: {
+      JobSnapshot s;
+      std::vector<std::string> vectors;
+      if (!jobs_.result(req.id, s, vectors, err)) return error_line(err);
+      w.begin_object().key("ok").value(true).key("job");
+      append_job(w, s);
+      w.key("vectors").begin_array();
+      for (const std::string& v : vectors) w.value(v);
+      w.end_array().end_object();
+      return w.take();
+    }
+    case Command::Metrics: {
+      w.begin_object().key("ok").value(true).key("metrics")
+          .raw(jobs_.metrics_json()).end_object();
+      return w.take();
+    }
+    case Command::Shutdown:
+    case Command::Watch:
+      break;  // handled directly in handle_connection
+  }
+  return error_line({"unknown-command", "unhandled command"});
+}
+
+void Server::stream_watch(const Request& req, TcpConnection& conn) {
+  ProtocolError err;
+  auto sub = jobs_.watch(req.has_id, req.id, err);
+  if (!sub) {
+    conn.write_all(error_line(err));
+    return;
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("ok").value(true).key("watch")
+        .value(req.has_id ? std::string("job") : std::string("all"));
+    if (req.has_id) w.key("id").value(req.id);
+    w.end_object();
+    if (!conn.write_all(w.take())) {
+      jobs_.unsubscribe(sub);
+      return;
+    }
+  }
+  std::string line;
+  for (;;) {
+    if (sub->pop(line, 0.2)) {
+      if (!conn.write_all(line)) break;
+    } else if (sub->closed_and_drained() || stopping()) {
+      break;
+    }
+  }
+  jobs_.unsubscribe(sub);
+  JsonWriter w;
+  w.begin_object().key("ok").value(true).key("watch_end").value(true)
+      .end_object();
+  conn.write_all(w.take());
+}
+
+}  // namespace gatest::serve

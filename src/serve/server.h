@@ -1,0 +1,66 @@
+// TCP front end for the ATPG service: accepts connections, speaks the
+// newline-delimited JSON protocol (serve/protocol.h), and dispatches onto a
+// JobManager.  One thread per connection; the accept loop polls so SIGTERM
+// (or a shutdown command) stops the server promptly and gracefully.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/scheduler.h"
+#include "util/net.h"
+#include "util/run_control.h"
+
+namespace gatest::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  unsigned short port = 0;  ///< 0 = OS-assigned; Server::port() has the value
+  ServeConfig serve;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  /// Bind the listener and launch the worker pool.  Throws on bind failure.
+  void start();
+
+  /// Actual bound port (meaningful after start()).
+  unsigned short port() const { return port_; }
+
+  /// Accept-and-serve until request_stop(), a shutdown command, or `stop`
+  /// trips (poll cadence ~200 ms).  On exit: cancels in-flight jobs, closes
+  /// every connection, joins all threads.
+  void run(const StopToken* stop = nullptr);
+
+  /// Make run() return (thread-safe; callable from a connection handler).
+  void request_stop();
+
+  JobManager& jobs() { return jobs_; }
+
+ private:
+  void handle_connection(TcpConnection conn);
+  /// Non-streaming commands: returns the complete response line.
+  std::string dispatch(const Request& req);
+  /// Watch: ack, then pump events until the stream closes or the peer dies.
+  void stream_watch(const Request& req, TcpConnection& conn);
+
+  bool stopping() const;
+
+  ServerConfig cfg_;
+  JobManager jobs_;
+  std::unique_ptr<TcpListener> listener_;
+  unsigned short port_ = 0;
+
+  mutable std::mutex mu_;
+  bool stop_ = false;
+  std::vector<std::thread> handlers_;
+  std::vector<TcpConnection*> open_conns_;  ///< live fds, for shutdown kicks
+};
+
+}  // namespace gatest::serve

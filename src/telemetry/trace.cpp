@@ -71,9 +71,19 @@ void TraceSink::open(const std::string& path) {
   enabled_.store(true, std::memory_order_relaxed);
 }
 
+void TraceSink::open(LineCallback fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fn) throw std::runtime_error("trace: open() requires a callback");
+  callback_ = std::move(fn);
+  epoch_ = std::chrono::steady_clock::now();
+  thread_ids_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
 void TraceSink::close() {
   std::lock_guard<std::mutex> lock(mu_);
   enabled_.store(false, std::memory_order_relaxed);
+  callback_ = nullptr;
   if (out_.is_open()) {
     out_.flush();
     out_.close();
@@ -111,7 +121,7 @@ void TraceSink::emit(std::string_view type, const TraceField* begin,
   if (!enabled()) return;
   const double ts = now();
   std::lock_guard<std::mutex> lock(mu_);
-  if (!out_.is_open()) return;
+  if (!out_.is_open() && !callback_) return;
   line_.clear();
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.6f", ts);
@@ -129,7 +139,8 @@ void TraceSink::emit(std::string_view type, const TraceField* begin,
     f->value.append_json(line_);
   }
   line_ += "}\n";
-  out_ << line_;
+  if (out_.is_open()) out_ << line_;
+  if (callback_) callback_(line_);
 }
 
 TraceSpan::TraceSpan(TraceSink& sink, std::string name,

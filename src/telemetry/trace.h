@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <initializer_list>
 #include <map>
 #include <mutex>
@@ -64,6 +65,14 @@ class TraceSink {
   /// file cannot be opened.  Resets the trace clock to zero.
   void open(const std::string& path);
 
+  /// Adapter: start emitting by handing each formatted JSONL line (newline
+  /// included) to `fn` instead of a file.  Used by gatest_serve to stream
+  /// per-job events to watch subscribers; `fn` is called under the sink
+  /// mutex, so it must not re-enter the sink and should be quick.  Resets
+  /// the trace clock to zero.
+  using LineCallback = std::function<void(const std::string&)>;
+  void open(LineCallback fn);
+
   /// Flush and stop emitting.  Safe to call on a never-opened sink.
   void close();
 
@@ -85,6 +94,7 @@ class TraceSink {
   std::atomic<bool> enabled_{false};
   std::mutex mu_;
   std::ofstream out_;
+  LineCallback callback_;  // line sink alternative to out_ (see open(fn))
   std::chrono::steady_clock::time_point epoch_;
   std::map<std::thread::id, std::uint32_t> thread_ids_;
   std::string line_;  // reused formatting buffer

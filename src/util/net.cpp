@@ -1,0 +1,165 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace gatest {
+
+namespace {
+
+[[noreturn]] void net_error(const std::string& what) {
+  throw std::runtime_error("net: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, unsigned short port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("net: bad IPv4 address '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { close(); }
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+TcpConnection::ReadStatus TcpConnection::read_line(std::string& line,
+                                                   std::size_t max_bytes) {
+  line.clear();
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      if (nl > max_bytes) return ReadStatus::Overflow;
+      line.assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return ReadStatus::Ok;
+    }
+    if (buf_.size() > max_bytes) return ReadStatus::Overflow;
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::recv(fd_, chunk, sizeof chunk, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return ReadStatus::Eof;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool TcpConnection::write_all(std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n;
+    do {
+      n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+void TcpConnection::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpConnection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+TcpListener::TcpListener(const std::string& host, unsigned short port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) net_error("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    net_error("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    net_error("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    net_error("getsockname");
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+TcpConnection TcpListener::accept(double timeout_seconds) {
+  if (fd_ < 0) return TcpConnection{};
+  pollfd pfd{fd_, POLLIN, 0};
+  const int timeout_ms = timeout_seconds < 0
+                             ? -1
+                             : static_cast<int>(timeout_seconds * 1000.0);
+  int r;
+  do {
+    r = ::poll(&pfd, 1, timeout_ms);
+  } while (r < 0 && errno == EINTR);
+  if (r <= 0 || !(pfd.revents & POLLIN)) return TcpConnection{};
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return TcpConnection{};
+  return TcpConnection{cfd};
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpConnection tcp_connect(const std::string& host, unsigned short port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) net_error("socket");
+  sockaddr_in addr = make_addr(host, port);
+  int r;
+  do {
+    r = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (r != 0 && errno == EINTR);
+  if (r != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    net_error("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpConnection{fd};
+}
+
+}  // namespace gatest

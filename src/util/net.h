@@ -1,0 +1,85 @@
+// Minimal blocking TCP wrappers (POSIX) for the ATPG service layer.
+//
+// gatest_serve speaks a newline-delimited JSON protocol over loopback (or
+// any interface the operator binds); these wrappers cover exactly what that
+// needs: a listener with a poll-based, interruptible accept, a connection
+// with buffered line reads capped at a maximum frame size, and SIGPIPE-free
+// writes.  No TLS, no non-blocking I/O — jobs are long-lived and the server
+// runs a thread per connection.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace gatest {
+
+/// One accepted (or dialed) TCP stream.  Move-only; closes on destruction.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  enum class ReadStatus {
+    Ok,        ///< one full line delivered (terminator stripped)
+    Eof,       ///< orderly shutdown or error before a full line arrived
+    Overflow,  ///< line exceeded max_bytes; the connection should be dropped
+  };
+
+  /// Read one '\n'-terminated line into `line` (terminator and any '\r'
+  /// stripped).  Blocks until a full line, EOF, or `max_bytes` of unbroken
+  /// input accumulate.
+  ReadStatus read_line(std::string& line, std::size_t max_bytes);
+
+  /// Write the whole buffer; SIGPIPE is suppressed (MSG_NOSIGNAL).  False on
+  /// any error (the peer is gone; the caller should drop the connection).
+  bool write_all(std::string_view data);
+
+  /// Half-close both directions, unblocking any reader on this socket from
+  /// another thread (used for server shutdown).  The fd stays owned.
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the last delivered line
+};
+
+/// Listening socket bound to host:port.  port 0 asks the OS for a free port;
+/// port() reports the actual one.
+class TcpListener {
+ public:
+  /// Binds and listens; throws std::runtime_error with errno context.
+  TcpListener(const std::string& host, unsigned short port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  unsigned short port() const { return port_; }
+
+  /// Wait up to `timeout_seconds` for one connection.  Returns an invalid
+  /// TcpConnection on timeout or when the listener was closed.
+  TcpConnection accept(double timeout_seconds);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  unsigned short port_ = 0;
+};
+
+/// Dial host:port (client side).  Throws std::runtime_error on failure.
+TcpConnection tcp_connect(const std::string& host, unsigned short port);
+
+}  // namespace gatest

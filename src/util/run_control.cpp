@@ -11,6 +11,7 @@ const char* to_string(StopReason r) {
     case StopReason::EvalLimit:   return "eval-limit";
     case StopReason::VectorLimit: return "vector-limit";
     case StopReason::Interrupted: return "interrupted";
+    case StopReason::SliceStop:   return "slice-stop";
     case StopReason::Error:       return "error";
   }
   return "?";

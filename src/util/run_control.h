@@ -25,6 +25,7 @@ enum class StopReason : std::uint8_t {
   EvalLimit,       ///< RunBudget fitness-evaluation budget exhausted
   VectorLimit,     ///< RunBudget committed-vector budget exhausted
   Interrupted,     ///< cooperative stop requested (SIGINT/SIGTERM or API)
+  SliceStop,       ///< scheduler time slice expired; checkpoint and requeue
   Error,           ///< an exception surfaced; partial result is still valid
 };
 

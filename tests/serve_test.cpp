@@ -1,0 +1,432 @@
+// gatest_serve tests: protocol parsing/validation (no sockets), response
+// writing, scheduler determinism under time slicing, and one socket-level
+// end-to-end pass through the server.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuitgen/circuitgen.h"
+#include "fault/fault.h"
+#include "gatest/test_generator.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "sim/logic.h"
+#include "telemetry/json.h"
+#include "util/net.h"
+
+namespace gatest::serve {
+namespace {
+
+// ---- request parsing --------------------------------------------------------
+
+ProtocolError parse_error(const std::string& line) {
+  Request req;
+  ProtocolError err;
+  EXPECT_FALSE(parse_request(line, req, err)) << line;
+  return err;
+}
+
+TEST(Protocol, RejectsMalformedJson) {
+  EXPECT_EQ(parse_error("{not json").code, "bad-json");
+  EXPECT_EQ(parse_error("\"cmd\"").code, "not-object");
+  EXPECT_EQ(parse_error("[1,2]").code, "not-object");
+  EXPECT_EQ(parse_error("{}").code, "missing-field");
+  EXPECT_EQ(parse_error("{\"cmd\":42}").code, "bad-field");
+  EXPECT_EQ(parse_error("{\"cmd\":\"frobnicate\"}").code, "unknown-command");
+}
+
+TEST(Protocol, RejectsOversizedFrame) {
+  std::string line = "{\"cmd\":\"status\",\"pad\":\"";
+  line.append(kMaxRequestBytes, 'x');
+  line += "\"}";
+  EXPECT_EQ(parse_error(line).code, "oversized");
+}
+
+TEST(Protocol, RequiresIdWhereItMatters) {
+  EXPECT_EQ(parse_error("{\"cmd\":\"cancel\"}").code, "missing-field");
+  EXPECT_EQ(parse_error("{\"cmd\":\"result\"}").code, "missing-field");
+  EXPECT_EQ(parse_error("{\"cmd\":\"cancel\",\"id\":-1}").code, "bad-field");
+  EXPECT_EQ(parse_error("{\"cmd\":\"cancel\",\"id\":1.5}").code, "bad-field");
+
+  Request req;
+  ProtocolError err;
+  // status and watch work with or without an id.
+  ASSERT_TRUE(parse_request("{\"cmd\":\"status\"}", req, err));
+  EXPECT_FALSE(req.has_id);
+  ASSERT_TRUE(parse_request("{\"cmd\":\"status\",\"id\":7}", req, err));
+  EXPECT_TRUE(req.has_id);
+  EXPECT_EQ(req.id, 7u);
+}
+
+TEST(Protocol, SubmitNeedsExactlyOneCircuitSource) {
+  EXPECT_EQ(parse_error("{\"cmd\":\"submit\"}").code, "missing-field");
+  EXPECT_EQ(
+      parse_error(
+          "{\"cmd\":\"submit\",\"profile\":\"s27\",\"bench\":\"INPUT(a)\"}")
+          .code,
+      "missing-field");
+  EXPECT_EQ(parse_error("{\"cmd\":\"submit\",\"profile\":\"\"}").code,
+            "bad-field");
+  EXPECT_EQ(parse_error("{\"cmd\":\"submit\",\"profile\":17}").code,
+            "bad-field");
+}
+
+TEST(Protocol, SubmitMapsConfigAndBudget) {
+  Request req;
+  ProtocolError err;
+  ASSERT_TRUE(parse_request(
+      "{\"cmd\":\"submit\",\"profile\":\"s298\",\"name\":\"n1\","
+      "\"config\":{\"seed\":42,\"gap\":0.5,\"selection\":\"tournament\","
+      "\"crossover\":\"uniform\",\"coding\":\"nonbinary\","
+      "\"fitness_cache\":true},"
+      "\"budget\":{\"max_evals\":500,\"max_vectors\":9}}",
+      req, err))
+      << err.code << ": " << err.message;
+  EXPECT_EQ(req.cmd, Command::Submit);
+  EXPECT_EQ(req.submit.profile, "s298");
+  EXPECT_EQ(req.submit.name, "n1");
+  EXPECT_EQ(req.submit.config.seed, 42u);
+  EXPECT_DOUBLE_EQ(req.submit.config.generation_gap, 0.5);
+  EXPECT_EQ(req.submit.config.selection,
+            SelectionScheme::TournamentNoReplacement);
+  EXPECT_EQ(req.submit.config.crossover, CrossoverScheme::Uniform);
+  EXPECT_EQ(req.submit.config.sequence_coding, Coding::NonBinary);
+  EXPECT_TRUE(req.submit.config.fitness_cache);
+  EXPECT_EQ(req.submit.budget.max_evaluations, 500u);
+  EXPECT_EQ(req.submit.budget.max_vectors, 9u);
+}
+
+TEST(Protocol, SubmitRejectsBadKnobs) {
+  const std::string prefix = "{\"cmd\":\"submit\",\"profile\":\"s27\",";
+  EXPECT_EQ(parse_error(prefix + "\"config\":{\"speling\":1}}").code,
+            "bad-field");
+  EXPECT_EQ(parse_error(prefix + "\"config\":{\"gap\":0}}").code, "bad-field");
+  EXPECT_EQ(parse_error(prefix + "\"config\":{\"gap\":1.5}}").code,
+            "bad-field");
+  EXPECT_EQ(parse_error(prefix + "\"config\":{\"threads\":0}}").code,
+            "bad-field");
+  EXPECT_EQ(parse_error(prefix + "\"config\":{\"selection\":\"best\"}}").code,
+            "bad-field");
+  EXPECT_EQ(parse_error(prefix + "\"budget\":{\"max_evals\":0}}").code,
+            "bad-field");
+  EXPECT_EQ(parse_error(prefix + "\"budget\":{\"fuel\":3}}").code,
+            "bad-field");
+  // Wall-clock budgets are rejected for served jobs: slice segments restart
+  // the clock, so the budget would not be cumulative.
+  EXPECT_EQ(parse_error(prefix + "\"budget\":{\"time_limit\":5}}").code,
+            "bad-field");
+}
+
+TEST(Protocol, ParserNeverThrowsOnHostileInput) {
+  const std::vector<std::string> hostile = {
+      "",
+      "null",
+      "true",
+      "3.14",
+      "\"\\u0000\"",
+      "{\"cmd\":null}",
+      "{\"cmd\":\"submit\",\"profile\":\"s27\",\"config\":[1]}",
+      "{\"cmd\":\"submit\",\"profile\":\"s27\",\"budget\":\"lots\"}",
+      "{\"cmd\":\"submit\",\"bench\":true}",
+      std::string(64, '{'),
+      "{\"cmd\":\"status\",\"id\":1e99}",
+  };
+  for (const std::string& line : hostile) {
+    Request req;
+    ProtocolError err;
+    EXPECT_NO_THROW({
+      const bool ok = parse_request(line, req, err);
+      if (!ok) {
+        EXPECT_FALSE(err.code.empty()) << line;
+      }
+    }) << line;
+  }
+}
+
+// ---- response writing -------------------------------------------------------
+
+TEST(JsonWriter, BuildsNestedObjectsWithEscaping) {
+  JsonWriter w;
+  w.begin_object()
+      .key("ok").value(true)
+      .key("msg").value("line1\nline2 \"quoted\"")
+      .key("nums").begin_array().value(std::uint64_t{1}).value(2.5)
+          .value(std::int64_t{-3}).end_array()
+      .key("inner").begin_object().key("k").value("v").end_object()
+  .end_object();
+  const std::string line = w.take();
+  EXPECT_EQ(line,
+            "{\"ok\":true,\"msg\":\"line1\\nline2 \\\"quoted\\\"\","
+            "\"nums\":[1,2.5,-3],\"inner\":{\"k\":\"v\"}}\n");
+  // Round-trips through the JSON reader.
+  EXPECT_NO_THROW(telemetry::parse_json(line));
+}
+
+TEST(JsonWriter, ErrorLineIsParsable) {
+  const std::string line = error_line({"bad-json", "oops at byte 3"});
+  const telemetry::JsonValue v = telemetry::parse_json(line);
+  ASSERT_TRUE(v.find("error"));
+  EXPECT_EQ(v.find("error")->string_or("code", ""), "bad-json");
+}
+
+// ---- scheduler determinism --------------------------------------------------
+
+std::vector<std::string> direct_run(const std::string& profile,
+                                    std::uint64_t seed,
+                                    std::size_t max_evals) {
+  const Circuit c = benchmark_circuit(profile);
+  FaultList faults(c);
+  TestGenConfig cfg;
+  cfg.seed = seed;
+  GaTestGenerator gen(c, faults, cfg);
+  RunControl ctrl;
+  ctrl.budget.max_evaluations = max_evals;
+  gen.set_run_control(ctrl);
+  const TestGenResult r = gen.run();
+  std::vector<std::string> out;
+  for (const TestVector& v : r.test_set) out.push_back(logic_string(v));
+  return out;
+}
+
+void wait_all_terminal(JobManager& jm, std::size_t expect) {
+  for (int i = 0; i < 6000; ++i) {
+    std::size_t terminal = 0;
+    for (const JobSnapshot& s : jm.snapshot_all())
+      if (s.state == JobState::Done || s.state == JobState::Cancelled ||
+          s.state == JobState::Failed)
+        ++terminal;
+    if (terminal == expect) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "jobs did not reach a terminal state in time";
+}
+
+class SliceIdentity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SliceIdentity, SlicedJobsMatchUninterruptedRuns) {
+  // Aggressive 5 ms slices guarantee preemption; the final test set must
+  // still match an uninterrupted in-process run bit for bit.
+  const unsigned workers = GetParam();
+  const std::vector<std::string> profiles = {"s27", "s298"};
+  const std::size_t max_evals = 4000;
+
+  ServeConfig cfg;
+  cfg.workers = workers;
+  cfg.slice_seconds = 0.005;
+  JobManager jm(cfg);
+  jm.start();
+
+  std::vector<std::uint64_t> ids;
+  ProtocolError err;
+  for (const std::string& profile : profiles) {
+    SubmitRequest req;
+    req.profile = profile;
+    req.name = profile;
+    req.config.seed = 11;
+    req.budget.max_evaluations = max_evals;
+    const std::uint64_t id = jm.submit(req, err);
+    ASSERT_NE(id, 0u) << err.message;
+    ids.push_back(id);
+  }
+  wait_all_terminal(jm, ids.size());
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    JobSnapshot snap;
+    std::vector<std::string> vectors;
+    ASSERT_TRUE(jm.result(ids[i], snap, vectors, err)) << err.message;
+    EXPECT_EQ(snap.state, JobState::Done);
+    EXPECT_EQ(vectors, direct_run(profiles[i], 11, max_evals))
+        << profiles[i] << " with " << workers << " workers, " << snap.slices
+        << " slices";
+  }
+  jm.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, SliceIdentity, ::testing::Values(1u, 4u));
+
+// ---- scheduler lifecycle ----------------------------------------------------
+
+TEST(Scheduler, CancelQueuedAndRunningJobs) {
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.slice_seconds = 0.02;
+  JobManager jm(cfg);
+  jm.start();
+
+  ProtocolError err;
+  // An effectively unbounded job occupies the single worker...
+  SubmitRequest big;
+  big.profile = "s298";
+  big.budget.max_evaluations = 100000000;
+  const std::uint64_t running = jm.submit(big, err);
+  ASSERT_NE(running, 0u);
+  // ...so this one stays queued and cancels instantly.
+  const std::uint64_t queued = jm.submit(big, err);
+  ASSERT_NE(queued, 0u);
+
+  EXPECT_TRUE(jm.cancel(queued, err));
+  EXPECT_TRUE(jm.cancel(running, err));
+  wait_all_terminal(jm, 2);
+  JobSnapshot snap;
+  ASSERT_TRUE(jm.snapshot(queued, snap, err));
+  EXPECT_EQ(snap.state, JobState::Cancelled);
+  ASSERT_TRUE(jm.snapshot(running, snap, err));
+  EXPECT_EQ(snap.state, JobState::Cancelled);
+
+  EXPECT_FALSE(jm.cancel(999, err));
+  EXPECT_EQ(err.code, "unknown-job");
+  std::vector<std::string> vectors;
+  EXPECT_FALSE(jm.result(999, snap, vectors, err));
+  EXPECT_EQ(err.code, "unknown-job");
+  jm.shutdown();
+}
+
+TEST(Scheduler, ResultBeforeTerminalIsNotDone) {
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.slice_seconds = 0.02;
+  JobManager jm(cfg);
+  jm.start();
+  ProtocolError err;
+  SubmitRequest big;
+  big.profile = "s298";
+  big.budget.max_evaluations = 100000000;
+  const std::uint64_t id = jm.submit(big, err);
+  ASSERT_NE(id, 0u);
+  JobSnapshot snap;
+  std::vector<std::string> vectors;
+  EXPECT_FALSE(jm.result(id, snap, vectors, err));
+  EXPECT_EQ(err.code, "not-done");
+  jm.cancel(id, err);
+  jm.shutdown();
+}
+
+TEST(Scheduler, WatchStreamsLifecycleAndGeneratorEvents) {
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.slice_seconds = 0.0;  // run to completion
+  JobManager jm(cfg);
+  jm.start();
+  ProtocolError err;
+
+  auto all = jm.watch(false, 0, err);
+  ASSERT_TRUE(all);
+
+  SubmitRequest req;
+  req.profile = "s27";
+  req.budget.max_evaluations = 300;
+  const std::uint64_t id = jm.submit(req, err);
+  ASSERT_NE(id, 0u);
+  wait_all_terminal(jm, 1);
+
+  bool saw_submit = false, saw_done = false;
+  std::string line;
+  while (all->pop(line, 0.2)) {
+    const telemetry::JsonValue v = telemetry::parse_json(line);
+    EXPECT_EQ(static_cast<std::uint64_t>(v.number_or("job", 0)), id);
+    const std::string type = v.string_or("type", "");
+    if (type == "job_submit") saw_submit = true;
+    if (type == "job_done") {
+      saw_done = true;
+      EXPECT_EQ(v.string_or("state", ""), "done");
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_submit);
+  EXPECT_TRUE(saw_done);
+  jm.unsubscribe(all);
+
+  // Watching an unknown job fails; watching a terminal one yields a closed
+  // stream.
+  EXPECT_FALSE(jm.watch(true, 999, err));
+  EXPECT_EQ(err.code, "unknown-job");
+  auto done_watch = jm.watch(true, id, err);
+  ASSERT_TRUE(done_watch);
+  EXPECT_FALSE(done_watch->pop(line, 0.05));
+  EXPECT_TRUE(done_watch->closed_and_drained());
+  jm.shutdown();
+}
+
+TEST(Scheduler, MetricsReportServerGauges) {
+  ServeConfig cfg;
+  cfg.workers = 2;
+  JobManager jm(cfg);
+  jm.start();
+  ProtocolError err;
+  SubmitRequest req;
+  req.profile = "s27";
+  req.budget.max_evaluations = 200;
+  ASSERT_NE(jm.submit(req, err), 0u);
+  wait_all_terminal(jm, 1);
+  const telemetry::JsonValue m = telemetry::parse_json(jm.metrics_json());
+  ASSERT_TRUE(m.find("counters"));
+  EXPECT_EQ(m.find("counters")->number_or("serve.jobs_submitted", 0), 1.0);
+  EXPECT_EQ(m.find("counters")->number_or("serve.jobs_done", 0), 1.0);
+  ASSERT_TRUE(m.find("gauges"));
+  EXPECT_EQ(m.find("gauges")->number_or("serve.workers", 0), 2.0);
+  jm.shutdown();
+}
+
+// ---- socket end-to-end ------------------------------------------------------
+
+TEST(Server, EndToEndOverTcp) {
+  ServerConfig cfg;
+  cfg.serve.workers = 1;
+  cfg.serve.slice_seconds = 0.02;
+  Server server(cfg);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+  std::thread runner([&server] { server.run(); });
+
+  TcpConnection conn = tcp_connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.valid());
+  auto rpc = [&conn](const std::string& req) {
+    EXPECT_TRUE(conn.write_all(req + "\n"));
+    std::string line;
+    EXPECT_EQ(conn.read_line(line, kMaxRequestBytes),
+              TcpConnection::ReadStatus::Ok);
+    return telemetry::parse_json(line);
+  };
+
+  // Malformed input gets a structured error, not a dropped connection.
+  EXPECT_EQ(rpc("{oops").find("error")->string_or("code", ""), "bad-json");
+
+  const telemetry::JsonValue sub = rpc(
+      "{\"cmd\":\"submit\",\"profile\":\"s27\","
+      "\"config\":{\"seed\":5},\"budget\":{\"max_evals\":300}}");
+  ASSERT_TRUE(sub.find("ok") && sub.find("ok")->boolean);
+  const auto id = static_cast<std::uint64_t>(sub.number_or("id", 0));
+  ASSERT_GT(id, 0u);
+
+  std::string state;
+  for (int i = 0; i < 2000 && state != "done"; ++i) {
+    const telemetry::JsonValue st =
+        rpc("{\"cmd\":\"status\",\"id\":" + std::to_string(id) + "}");
+    state = st.find("job") ? st.find("job")->string_or("state", "") : "";
+    if (state != "done")
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(state, "done");
+
+  const telemetry::JsonValue res =
+      rpc("{\"cmd\":\"result\",\"id\":" + std::to_string(id) + "}");
+  ASSERT_TRUE(res.find("ok") && res.find("ok")->boolean);
+  ASSERT_TRUE(res.find("vectors"));
+  EXPECT_FALSE(res.find("vectors")->array.empty());
+
+  const telemetry::JsonValue met = rpc("{\"cmd\":\"metrics\"}");
+  ASSERT_TRUE(met.find("metrics"));
+  EXPECT_GE(met.find("metrics")->find("counters")->number_or(
+                "serve.requests", 0),
+            4.0);
+
+  const telemetry::JsonValue bye = rpc("{\"cmd\":\"shutdown\"}");
+  EXPECT_TRUE(bye.find("ok") && bye.find("ok")->boolean);
+  runner.join();
+}
+
+}  // namespace
+}  // namespace gatest::serve

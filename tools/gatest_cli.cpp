@@ -326,8 +326,12 @@ int main(int argc, char** argv) {
                     resume_file.c_str(), cp.test_set.size(),
                     faults.num_detected(), cp.seconds);
       } catch (const std::exception& e) {
-        std::fprintf(stderr, "gatest_atpg: %s\n", e.what());
-        return 1;
+        // A missing, truncated, or mismatched checkpoint is an operator
+        // error, same class as a bad flag value: exit 2 with the offending
+        // path in the diagnostic.
+        std::fprintf(stderr, "gatest_atpg: --resume %s: %s\n",
+                     resume_file.c_str(), e.what());
+        return 2;
       }
     }
     result = gen.run();

@@ -1,0 +1,312 @@
+// gatest_loadgen: workload driver for the gatest_serve daemon.
+//
+// Submits a mixed stream of ATPG jobs — benchmark profiles plus, with
+// --circuitgen, synthetic netlists shipped inline as .bench text — at a
+// configurable arrival rate, waits for every job to reach a terminal state,
+// and reports completed jobs/sec and client-observed submit-to-done latency
+// quantiles (p50/p95 via the streaming P² estimator).
+//
+// Exit codes: 0 success; 1 assertion failure (--expect-complete with a
+// non-done job, or --min-coverage unmet) or connection failure; 2 bad flags.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuitgen/circuitgen.h"
+#include "netlist/bench_io.h"
+#include "serve/protocol.h"
+#include "telemetry/json.h"
+#include "util/net.h"
+#include "util/stats.h"
+
+using namespace gatest;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port N [options]\n"
+      "\n"
+      "  --host ADDR        daemon address (default 127.0.0.1)\n"
+      "  --port N           daemon port (required)\n"
+      "  --jobs N           jobs to submit (default 6)\n"
+      "  --rate R           arrival rate in jobs/sec; 0 submits a burst "
+      "(default 0)\n"
+      "  --profiles CSV     profile rotation (default s298,s344,s27)\n"
+      "  --circuitgen       make every third job an inline-.bench synthetic\n"
+      "                     circuit instead of a named profile\n"
+      "  --seed N           base seed; job i runs with seed N+i (default 1)\n"
+      "  --max-evals N      per-job evaluation budget (default 2000)\n"
+      "  --max-vectors N    per-job vector budget (default unlimited)\n"
+      "  --min-coverage X   fail unless every done job covers >= X (0..1)\n"
+      "  --expect-complete  fail unless every job ends in state done\n"
+      "  --quiet            summary line only\n",
+      argv0);
+}
+
+[[noreturn]] void flag_error(const char* flag, const char* expected,
+                             const std::string& got) {
+  std::fprintf(stderr, "gatest_loadgen: %s expects %s, got '%s'\n", flag,
+               expected, got.c_str());
+  std::exit(2);
+}
+
+std::string arg_value(int argc, char** argv, int& i, const char* argv0) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "gatest_loadgen: %s needs a value\n", argv[i]);
+    usage(argv0);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+unsigned long parse_uint(const char* flag, const std::string& v,
+                         const char* expected) {
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+  if (v.empty() || *end != '\0' || v[0] == '-') flag_error(flag, expected, v);
+  return n;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// One request/response round trip; exits 1 if the daemon goes away.
+telemetry::JsonValue roundtrip(TcpConnection& conn, const std::string& req) {
+  if (!conn.write_all(req)) {
+    std::fprintf(stderr, "gatest_loadgen: connection lost on write\n");
+    std::exit(1);
+  }
+  std::string line;
+  if (conn.read_line(line, serve::kMaxRequestBytes) !=
+      TcpConnection::ReadStatus::Ok) {
+    std::fprintf(stderr, "gatest_loadgen: connection lost on read\n");
+    std::exit(1);
+  }
+  try {
+    return telemetry::parse_json(line);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gatest_loadgen: bad response '%s': %s\n",
+                 line.c_str(), e.what());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  unsigned short port = 0;
+  std::size_t num_jobs = 6;
+  double rate = 0.0;
+  std::vector<std::string> profiles = {"s298", "s344", "s27"};
+  bool use_circuitgen = false;
+  std::uint64_t seed = 1;
+  std::uint64_t max_evals = 2000, max_vectors = 0;
+  double min_coverage = -1.0;
+  bool expect_complete = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host") {
+      host = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--port") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      const unsigned long p = parse_uint("--port", v, "a port number 1-65535");
+      if (p < 1 || p > 65535) flag_error("--port", "a port number 1-65535", v);
+      port = static_cast<unsigned short>(p);
+    } else if (a == "--jobs") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      num_jobs = parse_uint("--jobs", v, "a positive count");
+      if (num_jobs == 0) flag_error("--jobs", "a positive count", v);
+    } else if (a == "--rate") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      char* end = nullptr;
+      rate = std::strtod(v.c_str(), &end);
+      if (v.empty() || *end != '\0' || rate < 0.0)
+        flag_error("--rate", "a non-negative jobs/sec rate", v);
+    } else if (a == "--profiles") {
+      profiles = split_csv(arg_value(argc, argv, i, argv[0]));
+      if (profiles.empty())
+        flag_error("--profiles", "a comma-separated profile list", "");
+    } else if (a == "--circuitgen") {
+      use_circuitgen = true;
+    } else if (a == "--seed") {
+      seed = parse_uint("--seed", arg_value(argc, argv, i, argv[0]),
+                        "a non-negative seed");
+    } else if (a == "--max-evals") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      max_evals = parse_uint("--max-evals", v, "a positive count");
+      if (max_evals == 0) flag_error("--max-evals", "a positive count", v);
+    } else if (a == "--max-vectors") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      max_vectors = parse_uint("--max-vectors", v, "a positive count");
+      if (max_vectors == 0) flag_error("--max-vectors", "a positive count", v);
+    } else if (a == "--min-coverage") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      char* end = nullptr;
+      min_coverage = std::strtod(v.c_str(), &end);
+      if (v.empty() || *end != '\0' || min_coverage < 0.0 ||
+          min_coverage > 1.0)
+        flag_error("--min-coverage", "a fraction in [0,1]", v);
+    } else if (a == "--expect-complete") {
+      expect_complete = true;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "gatest_loadgen: unknown flag '%s'\n", a.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "gatest_loadgen: --port is required\n");
+    usage(argv[0]);
+    return 2;
+  }
+
+  TcpConnection conn;
+  try {
+    conn = tcp_connect(host, port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gatest_loadgen: %s\n", e.what());
+    return 1;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  std::map<std::uint64_t, Clock::time_point> submitted;  // id -> submit time
+  std::map<std::uint64_t, double> latency;               // id -> seconds
+  std::map<std::uint64_t, std::string> final_state;
+  std::map<std::uint64_t, double> coverage;
+
+  // ---- submission phase -----------------------------------------------------
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    if (rate > 0.0) {
+      // Deterministic arrival schedule: job i departs at i/rate seconds.
+      const auto due =
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(static_cast<double>(i) /
+                                                 rate));
+      std::this_thread::sleep_until(due);
+    }
+    serve::JsonWriter w;
+    w.begin_object().key("cmd").value("submit");
+    const std::string& profile = profiles[i % profiles.size()];
+    if (use_circuitgen && i % 3 == 2) {
+      // Exercise the inline-.bench path with a synthetic circuit matching
+      // this profile's shape.
+      const Circuit c =
+          generate_circuit(profile_by_name(profile), seed + i);
+      w.key("name").value("circuitgen-" + profile + "-" + std::to_string(i));
+      w.key("bench").value(write_bench_string(c));
+    } else {
+      w.key("name").value(profile + "-" + std::to_string(i));
+      w.key("profile").value(profile);
+    }
+    w.key("config").begin_object()
+        .key("seed").value(static_cast<std::uint64_t>(seed + i))
+    .end_object();
+    w.key("budget").begin_object()
+        .key("max_evals").value(static_cast<std::uint64_t>(max_evals));
+    if (max_vectors > 0)
+      w.key("max_vectors").value(static_cast<std::uint64_t>(max_vectors));
+    w.end_object().end_object();
+
+    const telemetry::JsonValue resp = roundtrip(conn, w.take());
+    const telemetry::JsonValue* okv = resp.find("ok");
+    if (!okv || okv->type != telemetry::JsonValue::Type::Bool ||
+        !okv->boolean) {
+      std::fprintf(stderr, "gatest_loadgen: submit %zu rejected: %s\n", i,
+                   resp.find("error")
+                       ? resp.find("error")->string_or("message", "?").c_str()
+                       : "?");
+      return 1;
+    }
+    const auto id = static_cast<std::uint64_t>(resp.number_or("id", 0));
+    submitted[id] = Clock::now();
+    if (!quiet)
+      std::fprintf(stderr, "gatest_loadgen: submitted job %llu (%s)\n",
+                   static_cast<unsigned long long>(id), profile.c_str());
+  }
+
+  // ---- completion phase -----------------------------------------------------
+  serve::JsonWriter sw;
+  sw.begin_object().key("cmd").value("status").end_object();
+  const std::string status_req = sw.take();
+  while (latency.size() < submitted.size()) {
+    const telemetry::JsonValue resp = roundtrip(conn, status_req);
+    const telemetry::JsonValue* jobs = resp.find("jobs");
+    if (jobs) {
+      for (const telemetry::JsonValue& j : jobs->array) {
+        const auto id = static_cast<std::uint64_t>(j.number_or("id", 0));
+        if (!submitted.count(id) || latency.count(id)) continue;
+        const std::string state = j.string_or("state", "");
+        if (state == "done" || state == "cancelled" || state == "failed") {
+          latency[id] = std::chrono::duration<double>(Clock::now() -
+                                                      submitted[id])
+                            .count();
+          final_state[id] = state;
+          coverage[id] = j.number_or("coverage", 0.0);
+          if (!quiet)
+            std::fprintf(stderr,
+                         "gatest_loadgen: job %llu %s (%.1f%% coverage, "
+                         "%.2fs)\n",
+                         static_cast<unsigned long long>(id), state.c_str(),
+                         coverage[id] * 100.0, latency[id]);
+        }
+      }
+    }
+    if (latency.size() < submitted.size())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  // ---- summary + assertions -------------------------------------------------
+  RunningStats lat;
+  std::size_t done = 0;
+  for (const auto& [id, s] : latency) lat.add(s);
+  for (const auto& [id, s] : final_state)
+    if (s == "done") ++done;
+  std::printf(
+      "LOADGEN: %zu jobs, %zu done, %.2fs wall, %.2f jobs/sec, latency "
+      "p50 %.2fs p95 %.2fs max %.2fs\n",
+      submitted.size(), done, wall,
+      wall > 0.0 ? static_cast<double>(done) / wall : 0.0, lat.p50(),
+      lat.p95(), lat.max());
+
+  int rc = 0;
+  if (expect_complete && done != submitted.size()) {
+    std::fprintf(stderr,
+                 "gatest_loadgen: FAIL — %zu of %zu jobs did not complete\n",
+                 submitted.size() - done, submitted.size());
+    rc = 1;
+  }
+  if (min_coverage >= 0.0) {
+    for (const auto& [id, cov] : coverage) {
+      if (final_state[id] == "done" && cov < min_coverage) {
+        std::fprintf(stderr,
+                     "gatest_loadgen: FAIL — job %llu coverage %.3f < %.3f\n",
+                     static_cast<unsigned long long>(id), cov, min_coverage);
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}

@@ -1,0 +1,148 @@
+// gatest_serve: ATPG-as-a-service daemon.
+//
+// Listens on a TCP port for newline-delimited JSON requests (submit /
+// status / cancel / result / watch / metrics / shutdown — grammar in
+// serve/protocol.h and DESIGN.md §5), runs submitted jobs on a fixed worker
+// pool with checkpoint-based fair-share time slicing, and exits 0 on SIGTERM,
+// SIGINT, or a shutdown command after cancelling in-flight work cleanly.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "serve/server.h"
+#include "telemetry/log.h"
+#include "util/run_control.h"
+
+using namespace gatest;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "\n"
+      "  --host ADDR        bind address (default 127.0.0.1)\n"
+      "  --port N           TCP port; 0 asks the OS for a free one "
+      "(default 0)\n"
+      "  --port-file FILE   write the bound port number to FILE once "
+      "listening\n"
+      "  --workers N        worker threads running job slices (default 2)\n"
+      "  --slice-ms N       fair-share time slice in milliseconds; 0 runs\n"
+      "                     every job to completion uninterrupted "
+      "(default 250)\n"
+      "  --trace-out FILE   server-level JSONL trace (job_submit/job_start/\n"
+      "                     slice_stop/job_done events)\n"
+      "  --metrics-out FILE write a metrics snapshot as JSON on shutdown\n"
+      "  --quiet            suppress informational stderr messages\n"
+      "  --verbose          debug-level stderr messages\n",
+      argv0);
+}
+
+[[noreturn]] void flag_error(const char* flag, const char* expected,
+                             const std::string& got) {
+  std::fprintf(stderr, "gatest_serve: %s expects %s, got '%s'\n", flag,
+               expected, got.c_str());
+  std::exit(2);
+}
+
+std::string arg_value(int argc, char** argv, int& i, const char* argv0) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "gatest_serve: %s needs a value\n", argv[i]);
+    usage(argv0);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+unsigned long parse_uint(const char* flag, const std::string& v,
+                         const char* expected) {
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+  if (v.empty() || *end != '\0' || v[0] == '-') flag_error(flag, expected, v);
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerConfig cfg;
+  std::string port_file, metrics_file;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host") {
+      cfg.host = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--port") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      const unsigned long p = parse_uint("--port", v, "a port number 0-65535");
+      if (p > 65535) flag_error("--port", "a port number 0-65535", v);
+      cfg.port = static_cast<unsigned short>(p);
+    } else if (a == "--port-file") {
+      port_file = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--workers") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      const unsigned long n = parse_uint("--workers", v, "a count 1-64");
+      if (n < 1 || n > 64) flag_error("--workers", "a count 1-64", v);
+      cfg.serve.workers = static_cast<unsigned>(n);
+    } else if (a == "--slice-ms") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      const unsigned long ms =
+          parse_uint("--slice-ms", v, "a non-negative millisecond count");
+      cfg.serve.slice_seconds = static_cast<double>(ms) / 1000.0;
+    } else if (a == "--trace-out") {
+      cfg.serve.trace_path = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--metrics-out") {
+      metrics_file = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--quiet") {
+      quiet = true;
+      telemetry::global_logger().set_level(telemetry::LogLevel::Quiet);
+    } else if (a == "--verbose") {
+      telemetry::global_logger().set_level(telemetry::LogLevel::Debug);
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "gatest_serve: unknown flag '%s'\n", a.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  serve::Server server(cfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gatest_serve: %s\n", e.what());
+    return 1;
+  }
+
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file, std::ios::trunc);
+    pf << server.port() << "\n";
+    if (!pf) {
+      std::fprintf(stderr, "gatest_serve: cannot write port file '%s'\n",
+                   port_file.c_str());
+      return 1;
+    }
+  }
+  if (!quiet)
+    std::fprintf(stderr,
+                 "gatest_serve: listening on %s:%u (%u workers, slice %.0f "
+                 "ms)\n",
+                 cfg.host.c_str(), server.port(), cfg.serve.workers,
+                 cfg.serve.slice_seconds * 1000.0);
+
+  install_signal_stop_handlers();
+  server.run(&global_stop_token());
+
+  if (!metrics_file.empty()) {
+    std::ofstream mf(metrics_file, std::ios::trunc);
+    mf << server.jobs().metrics_json() << "\n";
+  }
+  if (!quiet) std::fprintf(stderr, "gatest_serve: shut down cleanly\n");
+  return 0;
+}
