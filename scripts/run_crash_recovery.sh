@@ -1,0 +1,84 @@
+#!/bin/sh
+# Crash-recovery acceptance: kill -9 the ATPG service mid-slice, restart it
+# on the same --state-dir, and require the restarted daemon to serve test
+# sets bit-identical to uninterrupted single-process gatest_atpg runs.
+#
+#   run_crash_recovery.sh SERVE_BIN CLIENT_BIN ATPG_BIN WORKDIR [WORKERS]
+#
+# Budgets are picked so the kill catches jobs in both interesting states:
+# the s27 job is terminal on disk by then (its record must survive verbatim)
+# while the s298 job is mid-run (it must resume from its last checkpoint).
+# Exercised by ctest (cli_crash_recovery_w1 / _w4) and run_experiments.sh.
+set -eu
+
+SERVE=${1:?usage: run_crash_recovery.sh SERVE_BIN CLIENT_BIN ATPG_BIN WORKDIR [WORKERS]}
+CLIENT=${2:?CLIENT_BIN missing}
+ATPG=${3:?ATPG_BIN missing}
+DIR=${4:?WORKDIR missing}
+WORKERS=${5:-2}
+
+EVALS_s27=3000
+EVALS_s298=20000
+
+rm -rf "$DIR"
+mkdir -p "$DIR/state"
+DAEMON=""
+trap '[ -n "$DAEMON" ] && kill -9 "$DAEMON" 2>/dev/null; true' EXIT
+
+# Reference bits from uninterrupted single-process runs (strip the --out
+# header comment; what remains is one vector per line).
+for profile in s27 s298; do
+  eval "evals=\$EVALS_$profile"
+  "$ATPG" --profile "$profile" --engine ga --seed 7 --max-evals "$evals" \
+      --out "$DIR/ref_$profile.tests" > /dev/null
+  grep -v '^#' "$DIR/ref_$profile.tests" > "$DIR/ref_$profile.vectors"
+done
+
+start_daemon() {
+  rm -f "$DIR/port"
+  "$SERVE" --port 0 --port-file "$DIR/port" --workers "$WORKERS" \
+      --slice-ms 5 --state-dir "$DIR/state" --quiet &
+  DAEMON=$!
+  i=0
+  while [ ! -s "$DIR/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "run_crash_recovery: daemon never published its port" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  PORT=$(cat "$DIR/port")
+}
+
+start_daemon
+ID_s27=$("$CLIENT" --port "$PORT" --submit --profile s27 --seed 7 \
+    --max-evals "$EVALS_s27")
+ID_s298=$("$CLIENT" --port "$PORT" --submit --profile s298 --seed 7 \
+    --max-evals "$EVALS_s298")
+
+# Let a few 5 ms slices land, then cut the power.
+sleep 0.2
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+DAEMON=""
+
+start_daemon
+for profile in s27 s298; do
+  eval "id=\$ID_$profile"
+  state=$("$CLIENT" --port "$PORT" --wait "$id" --quiet)
+  if [ "$state" != done ]; then
+    echo "run_crash_recovery: job $id ($profile) ended '$state'" >&2
+    exit 1
+  fi
+  "$CLIENT" --port "$PORT" --result "$id" > "$DIR/got_$profile.vectors"
+  if ! diff "$DIR/ref_$profile.vectors" "$DIR/got_$profile.vectors"; then
+    echo "run_crash_recovery: job $id ($profile) served different bits after restart" >&2
+    exit 1
+  fi
+done
+
+"$CLIENT" --port "$PORT" --req '{"cmd":"shutdown"}' > /dev/null
+wait "$DAEMON" 2>/dev/null || true
+DAEMON=""
+echo "crash-recovery ok: $WORKERS worker(s), jobs $ID_s27 $ID_s298 bit-identical after kill -9"

@@ -82,6 +82,27 @@ fi
 rm -rf "$serve_tmp"
 build/bench/serve_throughput --check
 
+# Durability gate: kill -9 + restart bit-identity at 1 and 4 workers, then
+# the full torture protocol — 25 submit/crash/restart cycles under
+# deterministic write-side fault injection with zero lost or corrupt jobs.
+echo "=== serve durability: crash recovery + torture (25 cycles) ==="
+for workers in 1 4; do
+  scripts/run_crash_recovery.sh build/tools/gatest_serve \
+      build/tools/gatest_client build/tools/gatest_atpg \
+      "$(mktemp -d /tmp/gatest_crash.XXXXXX)" "$workers"
+done
+scripts/run_torture.sh build/tools/gatest_serve build/tools/gatest_client \
+    build/tools/gatest_atpg "$(mktemp -d /tmp/gatest_torture.XXXXXX)" 25 2
+
+# The same torture protocol against the ASan+UBSan build: crash-time file
+# states, journal recovery, and the fault-injection error paths must be
+# clean under the sanitizers (fewer cycles — sanitized runs are slower).
+echo "=== serve durability torture under ASan+UBSan ==="
+cmake --build build-sanitize --target gatest_serve_cli gatest_client_cli
+scripts/run_torture.sh build-sanitize/tools/gatest_serve \
+    build-sanitize/tools/gatest_client build/tools/gatest_atpg \
+    "$(mktemp -d /tmp/gatest_torture_asan.XXXXXX)" 10 2
+
 {
   for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue

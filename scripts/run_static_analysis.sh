@@ -85,6 +85,14 @@ else
   fail=1
 fi
 rm -rf "$tsan_serve"
+# Restart-recovery under TSan at 4 workers: kill -9 the journaled daemon
+# mid-slice and restart on the same state dir — the recovery scan, the
+# re-enqueue of checkpointed jobs across 4 worker threads, and the served
+# bit-identity must all be race-free.
+cmake --build build-tsan --target gatest_client_cli
+scripts/run_crash_recovery.sh build-tsan/tools/gatest_serve \
+    build-tsan/tools/gatest_client build-tsan/tools/gatest_atpg \
+    "$(mktemp -d /tmp/gatest_tsan_crash.XXXXXX)" 4 || fail=1
 
 if [ "$fail" -ne 0 ]; then
   echo "static analysis FAILED"

@@ -1,0 +1,120 @@
+#!/bin/sh
+# Durability torture: loop submit -> kill -9 -> restart on one --state-dir
+# while deterministic write-side fault injection makes journal writes,
+# fsyncs, and renames fail intermittently.  After the final restart (faults
+# off) every job ever acknowledged must finish and serve bits identical to
+# an uninterrupted gatest_atpg run — no lost jobs, no corrupt results.
+#
+#   run_torture.sh SERVE_BIN CLIENT_BIN ATPG_BIN WORKDIR [CYCLES] [WORKERS]
+#
+# CYCLES defaults to 25.  The client retries journal-error rejections with
+# jittered backoff, so a submit is only counted once the daemon has durably
+# acknowledged it.  run_experiments.sh runs this against both the regular
+# and the ASan+UBSan build.
+set -eu
+
+SERVE=${1:?usage: run_torture.sh SERVE_BIN CLIENT_BIN ATPG_BIN WORKDIR [CYCLES] [WORKERS]}
+CLIENT=${2:?CLIENT_BIN missing}
+ATPG=${3:?ATPG_BIN missing}
+DIR=${4:?WORKDIR missing}
+CYCLES=${5:-25}
+WORKERS=${6:-2}
+
+JOBS=6
+FAULT_SPEC='journal_write:p=0.10,journal_fsync:p=0.08,journal_rename:p=0.08'
+
+# Even jobs are quick s27 runs (terminal records must survive every
+# subsequent crash); odd jobs are long s298 runs (crashes catch them mid-run
+# and they must resume from their last checkpoint).
+job_profile() { [ $(($1 % 2)) -eq 0 ] && echo s27 || echo s298; }
+job_evals() { [ $(($1 % 2)) -eq 0 ] && echo 1500 || echo 8000; }
+
+rm -rf "$DIR"
+mkdir -p "$DIR/state"
+DAEMON=""
+trap '[ -n "$DAEMON" ] && kill -9 "$DAEMON" 2>/dev/null; true' EXIT
+
+# Reference bits per seed, from uninterrupted single-process runs.
+j=0
+while [ "$j" -lt "$JOBS" ]; do
+  seed=$((100 + j))
+  "$ATPG" --profile "$(job_profile $j)" --engine ga --seed "$seed" \
+      --max-evals "$(job_evals $j)" --out "$DIR/ref_$j.tests" > /dev/null
+  grep -v '^#' "$DIR/ref_$j.tests" > "$DIR/ref_$j.vectors"
+  j=$((j + 1))
+done
+
+start_daemon() {
+  # $1: extra flags (fault injection during torture cycles, none at the end)
+  rm -f "$DIR/port"
+  # shellcheck disable=SC2086
+  "$SERVE" --port 0 --port-file "$DIR/port" --workers "$WORKERS" \
+      --slice-ms 5 --state-dir "$DIR/state" --quiet $1 &
+  DAEMON=$!
+  i=0
+  while [ ! -s "$DIR/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "run_torture: daemon never published its port" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  PORT=$(cat "$DIR/port")
+}
+
+: > "$DIR/ids"
+submitted=0
+cycle=0
+while [ "$cycle" -lt "$CYCLES" ]; do
+  start_daemon "--fault-inject $FAULT_SPEC --fault-seed $((42 + cycle))"
+  # Drip-feed submissions across the early cycles so crashes hit jobs in
+  # every phase: freshly queued, mid-run, and already terminal.
+  while [ "$submitted" -lt "$JOBS" ] && \
+        [ "$submitted" -lt $((2 * (cycle + 1))) ]; do
+    seed=$((100 + submitted))
+    id=$("$CLIENT" --port "$PORT" --submit \
+        --profile "$(job_profile $submitted)" --name "t$submitted" \
+        --seed "$seed" --max-evals "$(job_evals $submitted)")
+    echo "$submitted $id" >> "$DIR/ids"
+    submitted=$((submitted + 1))
+  done
+  sleep 0.1
+  kill -9 "$DAEMON"
+  wait "$DAEMON" 2>/dev/null || true
+  DAEMON=""
+  cycle=$((cycle + 1))
+done
+
+# Final restart with faults off: everything acknowledged must complete.
+start_daemon ""
+fail=0
+while read -r j id; do
+  state=$("$CLIENT" --port "$PORT" --wait "$id" --quiet)
+  if [ "$state" != done ]; then
+    echo "run_torture: job $id ($(job_profile "$j") seed $((100 + j))) ended '$state'" >&2
+    fail=1
+    continue
+  fi
+  "$CLIENT" --port "$PORT" --result "$id" > "$DIR/got_$j.vectors"
+  if ! diff "$DIR/ref_$j.vectors" "$DIR/got_$j.vectors" > /dev/null; then
+    echo "run_torture: job $id ($(job_profile "$j") seed $((100 + j))) served the wrong bits" >&2
+    fail=1
+  fi
+done < "$DIR/ids"
+
+got=$(wc -l < "$DIR/ids")
+if [ "$got" -ne "$JOBS" ]; then
+  echo "run_torture: only $got of $JOBS jobs were ever acknowledged" >&2
+  fail=1
+fi
+
+"$CLIENT" --port "$PORT" --req '{"cmd":"shutdown"}' > /dev/null
+wait "$DAEMON" 2>/dev/null || true
+DAEMON=""
+
+if [ "$fail" -ne 0 ]; then
+  echo "torture FAILED after $CYCLES crash/restart cycles" >&2
+  exit 1
+fi
+echo "torture ok: $CYCLES crash/restart cycles, $JOBS jobs, zero lost, all bit-identical"

@@ -9,6 +9,12 @@
 namespace gatest {
 namespace {
 
+// Plausibility ceilings for size fields read from disk (see Checkpoint::read).
+constexpr std::size_t kMaxInputs = 1u << 20;
+constexpr std::size_t kMaxFaults = 1u << 28;
+constexpr std::size_t kMaxVectors = 1u << 26;
+constexpr std::size_t kMaxSequenceLengths = 1u << 16;
+
 [[noreturn]] void corrupt(const std::string& what) {
   throw std::runtime_error("checkpoint: " + what);
 }
@@ -106,6 +112,11 @@ Checkpoint Checkpoint::read(std::istream& in) {
   }
   cp.num_inputs = read_value<std::size_t>(in, "inputs");
   cp.num_faults = read_value<std::size_t>(in, "faults");
+  // Corrupt size fields (a flipped bit turns 24 into 16777240) must fail as
+  // "corrupt", not drive multi-gigabyte allocations below.  The caps are far
+  // above anything a real circuit produces.
+  if (cp.num_inputs > kMaxInputs) corrupt("implausible input count");
+  if (cp.num_faults > kMaxFaults) corrupt("implausible fault count");
   cp.seed = read_value<std::uint64_t>(in, "seed");
   {
     std::istringstream ss = expect(in, "rng");
@@ -158,12 +169,15 @@ Checkpoint Checkpoint::read(std::istream& in) {
     std::istringstream ss = expect(in, "sequence_lengths_tried");
     std::size_t k = 0;
     if (!(ss >> k)) corrupt("bad value for 'sequence_lengths_tried'");
+    if (k > kMaxSequenceLengths)
+      corrupt("implausible 'sequence_lengths_tried' count");
     cp.sequence_lengths_tried.resize(k);
     for (auto& f : cp.sequence_lengths_tried)
       if (!(ss >> f)) corrupt("truncated 'sequence_lengths_tried'");
   }
   {
     const auto n = read_value<std::size_t>(in, "vectors");
+    if (n > kMaxVectors) corrupt("implausible test-set size");
     cp.test_set.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       std::string line;
@@ -177,6 +191,8 @@ Checkpoint Checkpoint::read(std::istream& in) {
   }
   {
     const auto listed = read_value<std::size_t>(in, "status");
+    if (listed > cp.num_faults)
+      corrupt("more fault-status entries than faults");
     cp.fault_status.assign(cp.num_faults, FaultStatus::Undetected);
     cp.detected_by.assign(cp.num_faults, -1);
     for (std::size_t k = 0; k < listed; ++k) {

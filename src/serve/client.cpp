@@ -1,0 +1,78 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "serve/protocol.h"
+#include "telemetry/json.h"
+
+namespace gatest::serve {
+
+unsigned Backoff::next_delay_ms(unsigned server_hint_ms) {
+  const unsigned k = std::min(attempt_, 31u);
+  ++attempt_;
+  const std::uint64_t window = std::min<std::uint64_t>(
+      p_.cap_ms, static_cast<std::uint64_t>(p_.base_ms) << k);
+  // Full jitter: any point in [0, window), on top of the server's floor.
+  return server_hint_ms +
+         static_cast<unsigned>(window > 0 ? rng_.below(window) : 0);
+}
+
+bool retryable_error(const std::string& response_line,
+                     unsigned& retry_after_ms) {
+  retry_after_ms = 0;
+  try {
+    const telemetry::JsonValue v = telemetry::parse_json(response_line);
+    const telemetry::JsonValue* ok = v.find("ok");
+    if (!ok || ok->type != telemetry::JsonValue::Type::Bool || ok->boolean)
+      return false;
+    const telemetry::JsonValue* err = v.find("error");
+    if (!err || !err->is_object()) return false;
+    const std::string code = err->string_or("code", "");
+    if (code != "overloaded" && code != "quota-exceeded" &&
+        code != "journal-error")
+      return false;
+    retry_after_ms =
+        static_cast<unsigned>(err->number_or("retry_after_ms", 0.0));
+    return true;
+  } catch (const std::exception&) {
+    return false;  // unparsable responses are not retried
+  }
+}
+
+bool roundtrip(TcpConnection& conn, const std::string& request,
+               std::string& response) {
+  if (!conn.valid()) return false;
+  std::string line = request;
+  if (line.empty() || line.back() != '\n') line += '\n';
+  if (!conn.write_all(line)) return false;
+  return conn.read_line(response, 2 * kMaxRequestBytes) ==
+         TcpConnection::ReadStatus::Ok;
+}
+
+bool request_with_retry(const std::string& host, unsigned short port,
+                        const std::string& request, std::string& response,
+                        Backoff& backoff, std::string& err) {
+  for (;;) {
+    bool sent = false;
+    unsigned hint = 0;
+    try {
+      TcpConnection conn = tcp_connect(host, port);
+      sent = roundtrip(conn, request, response);
+    } catch (const std::exception& e) {
+      err = e.what();
+    }
+    if (sent) {
+      if (!retryable_error(response, hint)) return true;
+      err = "server rejected request: " + response;
+    } else if (err.empty()) {
+      err = "connection lost before a response arrived";
+    }
+    if (!backoff.can_retry()) return false;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff.next_delay_ms(hint)));
+  }
+}
+
+}  // namespace gatest::serve

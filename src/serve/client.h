@@ -1,0 +1,68 @@
+// Client-side helpers for the gatest_serve protocol: one-line round trips
+// plus retry with exponential backoff.
+//
+// The server's overload rejections (overloaded / quota-exceeded /
+// journal-error) carry a retry_after_ms hint.  A well-behaved client backs
+// off at least that long plus *full jitter* over an exponentially growing
+// window — jitter is what keeps a fleet of rejected clients from
+// re-converging on the same instant and re-overloading the server
+// (thundering herd).  gatest_loadgen and gatest_client both go through
+// request_with_retry().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/net.h"
+#include "util/rng.h"
+
+namespace gatest::serve {
+
+struct BackoffPolicy {
+  unsigned base_ms = 100;    ///< jitter window for the first retry
+  unsigned cap_ms = 5000;    ///< jitter window ceiling
+  unsigned max_attempts = 8; ///< retries before giving up
+};
+
+/// Deterministic (seeded) backoff schedule: delay for retry k is
+/// hint + uniform[0, min(cap, base * 2^k)].
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy = {}, std::uint64_t seed = 1)
+      : p_(policy), rng_(seed) {}
+
+  /// False once the attempt budget is exhausted.
+  bool can_retry() const { return attempt_ < p_.max_attempts; }
+
+  /// Consume one attempt and return the delay to sleep before retrying.
+  unsigned next_delay_ms(unsigned server_hint_ms = 0);
+
+  void reset() { attempt_ = 0; }
+  unsigned attempts() const { return attempt_; }
+
+ private:
+  BackoffPolicy p_;
+  Rng rng_;
+  unsigned attempt_ = 0;
+};
+
+/// True when `response_line` is a backpressure rejection the client should
+/// retry (codes overloaded / quota-exceeded / journal-error); fills
+/// `retry_after_ms` with the server's hint (0 when absent).
+bool retryable_error(const std::string& response_line,
+                     unsigned& retry_after_ms);
+
+/// Send one request line, read one response line.  False on connection loss
+/// (the caller should reconnect).
+bool roundtrip(TcpConnection& conn, const std::string& request,
+               std::string& response);
+
+/// Fire `request` at host:port with bounded retries: reconnects on
+/// connection loss, sleeps with jittered backoff on retryable rejections.
+/// True with the final non-retryable response in `response`; false (with
+/// `err` describing the last failure) once the attempt budget runs out.
+bool request_with_retry(const std::string& host, unsigned short port,
+                        const std::string& request, std::string& response,
+                        Backoff& backoff, std::string& err);
+
+}  // namespace gatest::serve

@@ -1,0 +1,344 @@
+#include "serve/journal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fault_inject.h"
+
+namespace gatest::serve {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("journal: " + what);
+}
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  fail(what + ": " + std::strerror(errno));
+}
+
+/// Error strings may contain anything; keep the payload line-oriented by
+/// escaping them (\\, \n, \r and other control bytes as \xNN).
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\x%02x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[++i]) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 'x': {
+        if (i + 2 >= s.size()) fail("truncated \\x escape in record");
+        const auto hex = [&](char c) -> int {
+          if (c >= '0' && c <= '9') return c - '0';
+          if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+          return -1;
+        };
+        const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+        if (hi < 0 || lo < 0) fail("bad \\x escape in record");
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        break;
+      }
+      default: fail("unknown escape in record");
+    }
+  }
+  return out;
+}
+
+/// Cursor over the payload text; every read is bounds-checked so truncated
+/// records fail with a diagnostic instead of reading past the end.
+struct LineReader {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  std::string_view next_line(const char* what) {
+    if (pos >= text.size()) fail(std::string("truncated record (expected ") + what + ")");
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos)
+      fail(std::string("unterminated line (expected ") + what + ")");
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  }
+
+  /// "key rest-of-line" → rest; enforces the keyword.
+  std::string_view field(const char* key) {
+    std::string_view line = next_line(key);
+    const std::size_t klen = std::strlen(key);
+    if (line.size() < klen || line.substr(0, klen) != key ||
+        (line.size() > klen && line[klen] != ' '))
+      fail(std::string("expected '") + key + "' line");
+    return line.size() > klen ? line.substr(klen + 1) : std::string_view();
+  }
+
+  template <typename T>
+  T number(const char* key) {
+    std::istringstream ss{std::string(field(key))};
+    T v{};
+    if (!(ss >> v)) fail(std::string("bad value for '") + key + "'");
+    return v;
+  }
+
+  std::string_view take_bytes(std::size_t n, const char* what) {
+    if (text.size() - pos < n)
+      fail(std::string("truncated record (") + what + ")");
+    std::string_view b = text.substr(pos, n);
+    pos += n;
+    return b;
+  }
+};
+
+bool valid_state(const std::string& s) {
+  return s == "queued" || s == "done" || s == "cancelled" || s == "failed";
+}
+
+/// Sanity ceilings mirroring checkpoint.cpp: a bit-flipped count field must
+/// fail as corrupt, not drive a huge allocation.
+constexpr std::size_t kMaxRecordVectors = 1u << 26;
+constexpr std::size_t kMaxEmbeddedCheckpoint = 1u << 30;
+
+int write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+void fsync_dir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;  // best-effort; the rename itself already landed
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+std::uint32_t Journal::crc32(std::string_view data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data)
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string Journal::serialize(const JournalRecord& rec) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "submit " << rec.submit_line << '\n';
+  out << "state " << rec.state << '\n';
+  out << "slices " << rec.slices << '\n';
+  out << "evaluations " << rec.evaluations << '\n';
+  out << "coverage " << rec.coverage << '\n';
+  out << "error " << (rec.error.empty() ? "-" : escape(rec.error)) << '\n';
+  out << "vectors " << rec.vectors.size() << '\n';
+  for (const std::string& v : rec.vectors) out << v << '\n';
+  out << "checkpoint " << rec.checkpoint_text.size() << '\n';
+  out << rec.checkpoint_text;
+  out << "end\n";
+  return out.str();
+}
+
+JournalRecord Journal::parse(std::string_view text) {
+  LineReader in{text};
+  JournalRecord rec;
+  rec.submit_line = std::string(in.field("submit"));
+  if (rec.submit_line.empty()) fail("empty submit line");
+  rec.state = std::string(in.field("state"));
+  if (!valid_state(rec.state)) fail("unknown state '" + rec.state + "'");
+  rec.slices = in.number<unsigned>("slices");
+  rec.evaluations = in.number<std::uint64_t>("evaluations");
+  rec.coverage = in.number<double>("coverage");
+  {
+    const std::string_view e = in.field("error");
+    if (e != "-") rec.error = unescape(e);
+  }
+  const auto nvec = in.number<std::size_t>("vectors");
+  if (nvec > kMaxRecordVectors) fail("implausible vector count");
+  rec.vectors.reserve(nvec);
+  for (std::size_t i = 0; i < nvec; ++i)
+    rec.vectors.emplace_back(in.next_line("test vector"));
+  const auto cpbytes = in.number<std::size_t>("checkpoint");
+  if (cpbytes > kMaxEmbeddedCheckpoint) fail("implausible checkpoint size");
+  rec.checkpoint_text = std::string(in.take_bytes(cpbytes, "checkpoint bytes"));
+  if (in.field("end") != std::string_view()) fail("trailing data on 'end'");
+  if (in.pos != text.size()) fail("trailing bytes after 'end'");
+  return rec;
+}
+
+void Journal::open(const std::string& dir) {
+  if (dir.empty()) fail("empty state directory path");
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+    fail_errno("cannot create state dir '" + dir + "'");
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
+    fail("state dir '" + dir + "' is not a directory");
+  dir_ = dir;
+}
+
+std::string Journal::record_path(std::uint64_t id) const {
+  return dir_ + "/job-" + std::to_string(id) + ".rec";
+}
+
+void Journal::write(const JournalRecord& rec) {
+  if (!enabled()) return;
+  const std::string payload = serialize(rec);
+  char header[64];
+  std::snprintf(header, sizeof header, "gatest-job v1 len=%zu crc=%08x\n",
+                payload.size(), crc32(payload));
+  const std::string path = record_path(rec.id);
+  const std::string tmp = path + ".tmp";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail_errno("cannot create '" + tmp + "'");
+  const auto abort_tmp = [&](const std::string& what) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(what);
+  };
+  if (fault_should_fail("journal_write") ||
+      write_all(fd, header, std::strlen(header)) != 0 ||
+      write_all(fd, payload.data(), payload.size()) != 0)
+    abort_tmp("write to '" + tmp + "' failed");
+  if (fault_should_fail("journal_fsync") || ::fsync(fd) != 0)
+    abort_tmp("fsync of '" + tmp + "' failed");
+  ::close(fd);
+  if (fault_should_fail("journal_rename") ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  fsync_dir(dir_);
+}
+
+void Journal::remove(std::uint64_t id) {
+  if (!enabled()) return;
+  ::unlink(record_path(id).c_str());
+  fsync_dir(dir_);
+}
+
+Journal::ScanResult Journal::scan() const {
+  ScanResult out;
+  if (!enabled()) return out;
+  DIR* d = ::opendir(dir_.c_str());
+  if (!d) fail_errno("cannot open state dir '" + dir_ + "'");
+  std::vector<std::string> names;
+  while (const dirent* e = ::readdir(d)) names.emplace_back(e->d_name);
+  ::closedir(d);
+
+  for (const std::string& name : names) {
+    const std::string path = dir_ + "/" + name;
+    // A crash between write and rename leaves a .tmp behind; it was never
+    // acknowledged, so dropping it is correct.
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      ::unlink(path.c_str());
+      continue;
+    }
+    if (name.compare(0, 4, "job-") != 0 || name.size() <= 8 ||
+        name.compare(name.size() - 4, 4, ".rec") != 0)
+      continue;
+
+    try {
+      std::uint64_t id = 0;
+      {
+        std::istringstream ss(name.substr(4, name.size() - 8));
+        if (!(ss >> id) || !ss.eof()) fail("bad record filename");
+      }
+      std::ifstream f(path, std::ios::binary);
+      if (!f) fail("cannot open record");
+      std::ostringstream buf;
+      buf << f.rdbuf();
+      const std::string text = buf.str();
+
+      const std::size_t nl = text.find('\n');
+      if (nl == std::string::npos) fail("missing header");
+      std::size_t len = 0;
+      unsigned crc = 0;
+      {
+        std::istringstream hs(text.substr(0, nl));
+        std::string magic, ver, lenkv, crckv;
+        hs >> magic >> ver >> lenkv >> crckv;
+        if (magic != "gatest-job") fail("not a journal record");
+        if (ver != "v1") fail("unsupported record version '" + ver + "'");
+        if (lenkv.compare(0, 4, "len=") != 0 || crckv.compare(0, 4, "crc=") != 0)
+          fail("malformed header");
+        std::istringstream(lenkv.substr(4)) >> len;
+        std::istringstream(crckv.substr(4)) >> std::hex >> crc;
+      }
+      if (fault_should_fail("checkpoint_read")) fail("injected read fault");
+      const std::string_view payload =
+          std::string_view(text).substr(std::min(nl + 1, text.size()));
+      if (payload.size() != len) fail("payload length mismatch (torn write?)");
+      if (crc32(payload) != crc) fail("CRC mismatch");
+
+      JournalRecord rec = parse(payload);
+      rec.id = id;
+      out.records.push_back(std::move(rec));
+    } catch (const std::exception& e) {
+      ++out.corrupt;
+      std::fprintf(stderr, "gatest_serve: discarding corrupt record %s: %s\n",
+                   path.c_str(), e.what());
+      const std::string quarantined = path + ".corrupt";
+      if (std::rename(path.c_str(), quarantined.c_str()) != 0)
+        ::unlink(path.c_str());
+    }
+  }
+  std::sort(out.records.begin(), out.records.end(),
+            [](const JournalRecord& a, const JournalRecord& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace gatest::serve

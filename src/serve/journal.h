@@ -1,0 +1,104 @@
+// Persistent job journal for gatest_serve: one crash-atomic record per job
+// under a --state-dir, so a daemon restart (including kill -9) loses no
+// accepted work.
+//
+// Each record carries the job's validated submit spec (re-serialized through
+// the protocol layer, so recovery revalidates it like a fresh submit), its
+// lifecycle state, the latest slice checkpoint for unfinished jobs, and the
+// final test set for terminal ones.  Writes go to <file>.tmp, are fsynced,
+// then renamed over the record (with a directory fsync), so a crash at any
+// instant leaves either the old record or the new one — never a torn file
+// that silently resurrects stale state.
+//
+// On-disk format, one file `job-<id>.rec` per job:
+//
+//   gatest-job v1 len=<payload-bytes> crc=<crc32-hex>\n
+//   <payload>
+//
+// The CRC covers the payload; a mismatch (torn write, bit rot, truncation)
+// makes scan() discard the record with a logged diagnostic and move it
+// aside as <file>.corrupt.  The payload is line-oriented:
+//
+//   submit <one-line submit JSON>
+//   state <queued|done|cancelled|failed>
+//   slices <n>
+//   evaluations <n>
+//   coverage <float>
+//   error <JSON string or ->
+//   vectors <count>          (terminal jobs: one logic string per line)
+//   <vector lines...>
+//   checkpoint <bytes>       (unfinished jobs: embedded Checkpoint text)
+//   <checkpoint bytes>
+//   end
+//
+// Fault-injection sites (util/fault_inject.h): journal_write, journal_fsync,
+// journal_rename — each makes the corresponding syscall path report failure,
+// which Journal surfaces as std::runtime_error for the caller's policy
+// (reject the submit, or log and continue with in-memory state).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gatest::serve {
+
+/// One job's durable state.  `state` uses the JobState slugs ("queued",
+/// "done", ...); recovery maps running → queued since a crashed slice is
+/// indistinguishable from a never-started one.
+struct JournalRecord {
+  std::uint64_t id = 0;
+  std::string submit_line;      ///< one-line submit JSON (protocol grammar)
+  std::string state = "queued";
+  unsigned slices = 0;
+  std::uint64_t evaluations = 0;
+  double coverage = 0.0;
+  std::string error;            ///< failed jobs: the surfaced message
+  std::vector<std::string> vectors;  ///< terminal jobs: final test set
+  std::string checkpoint_text;  ///< unfinished jobs: latest slice checkpoint
+};
+
+class Journal {
+ public:
+  Journal() = default;
+
+  /// Bind to a state directory, creating it (one level) if missing.
+  /// Throws std::runtime_error when the directory cannot be created.
+  void open(const std::string& dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Persist one record crash-atomically (tmp + fsync + rename + dir
+  /// fsync).  Throws std::runtime_error on any I/O failure (real or
+  /// injected); the tmp file is cleaned up on the error path.
+  void write(const JournalRecord& rec);
+
+  /// Delete a job's record (best-effort; missing files are fine).
+  void remove(std::uint64_t id);
+
+  struct ScanResult {
+    std::vector<JournalRecord> records;  ///< valid records, ascending id
+    std::size_t corrupt = 0;             ///< discarded torn/corrupt files
+  };
+
+  /// Read every record in the directory.  Torn or corrupt files are counted,
+  /// logged, and renamed to <file>.corrupt so they are skipped on the next
+  /// scan but kept for post-mortem; stale .tmp files are removed.
+  ScanResult scan() const;
+
+  /// Serialize / parse one record (exposed for tests).  parse throws
+  /// std::runtime_error on corrupt input.
+  static std::string serialize(const JournalRecord& rec);
+  static JournalRecord parse(std::string_view text);
+
+  static std::uint32_t crc32(std::string_view data);
+
+ private:
+  std::string record_path(std::uint64_t id) const;
+
+  std::string dir_;
+};
+
+}  // namespace gatest::serve

@@ -232,6 +232,60 @@ bool parse_request(std::string_view line, Request& req, ProtocolError& err) {
   return true;
 }
 
+std::string submit_json(const SubmitRequest& req) {
+  JsonWriter w;
+  w.begin_object().key("cmd").value("submit");
+  if (!req.name.empty()) w.key("name").value(req.name);
+  if (!req.profile.empty()) w.key("profile").value(req.profile);
+  else w.key("bench").value(req.bench_text);
+
+  // Emit every protocol-mapped config knob explicitly (defaults included):
+  // the journal must survive a default change between daemon versions
+  // without silently re-running an old job under new settings.
+  const TestGenConfig& c = req.config;
+  const char* selection = "tournament";
+  switch (c.selection) {
+    case SelectionScheme::RouletteWheel:           selection = "roulette"; break;
+    case SelectionScheme::StochasticUniversal:     selection = "sus"; break;
+    case SelectionScheme::TournamentNoReplacement: selection = "tournament"; break;
+    case SelectionScheme::TournamentWithReplacement:
+      selection = "tournament-r";
+      break;
+  }
+  const char* crossover = "uniform";
+  switch (c.crossover) {
+    case CrossoverScheme::OnePoint: crossover = "1point"; break;
+    case CrossoverScheme::TwoPoint: crossover = "2point"; break;
+    case CrossoverScheme::Uniform:  crossover = "uniform"; break;
+  }
+  w.key("config").begin_object()
+      .key("seed").value(static_cast<std::uint64_t>(c.seed))
+      .key("sample").value(static_cast<std::uint64_t>(c.fault_sample_size))
+      .key("threads").value(static_cast<std::uint64_t>(c.num_threads))
+      .key("gap").value(c.generation_gap)
+      .key("selection").value(selection)
+      .key("crossover").value(crossover)
+      .key("coding").value(c.sequence_coding == Coding::NonBinary ? "nonbinary"
+                                                                  : "binary")
+      .key("fitness_cache").value(c.fitness_cache)
+      .key("lane_compaction").value(c.lane_compaction)
+      .key("prune_untestable").value(c.prune_untestable)
+  .end_object();
+
+  w.key("budget").begin_object();
+  if (req.budget.max_evaluations > 0)
+    w.key("max_evals")
+        .value(static_cast<std::uint64_t>(req.budget.max_evaluations));
+  if (req.budget.max_vectors > 0)
+    w.key("max_vectors")
+        .value(static_cast<std::uint64_t>(req.budget.max_vectors));
+  w.end_object().end_object();
+
+  std::string line = w.take();
+  line.pop_back();  // callers embed the line; no trailing newline
+  return line;
+}
+
 // ---- JsonWriter -------------------------------------------------------------
 
 void JsonWriter::comma() {
@@ -327,9 +381,11 @@ std::string error_line(const ProtocolError& err) {
       .key("ok").value(false)
       .key("error").begin_object()
           .key("code").value(err.code)
-          .key("message").value(err.message)
-      .end_object()
-  .end_object();
+          .key("message").value(err.message);
+  if (err.retry_after_ms > 0)
+    w.key("retry_after_ms")
+        .value(static_cast<std::uint64_t>(err.retry_after_ms));
+  w.end_object().end_object();
   return w.take();
 }
 

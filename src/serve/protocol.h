@@ -14,7 +14,11 @@
 // Every response is one JSON object per line: {"ok":true,...} or
 // {"ok":false,"error":{"code":"...","message":"..."}}.  Error codes are
 // stable slugs: oversized, bad-json, not-object, unknown-command,
-// missing-field, bad-field, unknown-job, not-done, shutting-down.
+// missing-field, bad-field, unknown-job, not-done, shutting-down,
+// overloaded, quota-exceeded, journal-error, idle-timeout.  Backpressure
+// rejections (overloaded / quota-exceeded / journal-error) additionally
+// carry "retry_after_ms": the client should back off at least that long
+// (with jitter — see serve/client.h) before retrying.
 //
 // This header owns request parsing/validation (pure functions, no I/O —
 // unit-testable without sockets) and a small JSON writer for responses.
@@ -49,6 +53,9 @@ const char* to_string(Command c);
 struct ProtocolError {
   std::string code;     ///< stable slug, e.g. "bad-json"
   std::string message;  ///< human-readable detail
+  /// For backpressure rejections: suggested client backoff before retrying.
+  /// 0 = not a retryable-overload error (member omitted from the wire).
+  unsigned retry_after_ms = 0;
 };
 
 /// A validated submit payload.  Exactly one of `profile` / `bench_text` is
@@ -73,6 +80,12 @@ struct Request {
 /// returns false and fills `err` (never throws; malformed input of any shape
 /// yields a structured error).
 bool parse_request(std::string_view line, Request& req, ProtocolError& err);
+
+/// Serialize a validated SubmitRequest back into a one-line submit command
+/// that parse_request accepts.  Round-trip identity is what the job journal
+/// depends on: a job re-read from disk after a crash must rebuild the exact
+/// generator configuration the client submitted.
+std::string submit_json(const SubmitRequest& req);
 
 // ---- response building ------------------------------------------------------
 

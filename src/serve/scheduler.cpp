@@ -1,6 +1,7 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -85,6 +86,10 @@ void JobManager::start() {
   if (started_) return;
   started_ = true;
   if (!cfg_.trace_path.empty()) server_trace_.open(cfg_.trace_path);
+  if (!cfg_.state_dir.empty()) {
+    journal_.open(cfg_.state_dir);  // throws on an unusable directory
+    recover_from_journal_locked();
+  }
   metrics_.gauge("serve.workers").set(static_cast<double>(cfg_.workers));
   workers_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i)
@@ -128,7 +133,8 @@ bool JobManager::shutting_down() const {
 
 // ---- submit / cancel --------------------------------------------------------
 
-std::uint64_t JobManager::submit(const SubmitRequest& req, ProtocolError& err) {
+std::uint64_t JobManager::submit(const SubmitRequest& req, ProtocolError& err,
+                                 std::uint64_t client) {
   // Build the circuit outside the lock; this is the expensive, fallible part.
   std::unique_ptr<Circuit> circuit;
   try {
@@ -149,13 +155,58 @@ std::uint64_t JobManager::submit(const SubmitRequest& req, ProtocolError& err) {
     err = {"shutting-down", "server is shutting down"};
     return 0;
   }
-  const std::uint64_t id = next_id_++;
+  if (cfg_.max_jobs_per_client > 0 && client != 0) {
+    const auto it = client_active_.find(client);
+    if (it != client_active_.end() &&
+        it->second >= cfg_.max_jobs_per_client) {
+      metrics_.counter("serve.quota_rejections").add();
+      err = {"quota-exceeded",
+             "client holds " + std::to_string(it->second) +
+                 " unfinished jobs (limit " +
+                 std::to_string(cfg_.max_jobs_per_client) + ")",
+             cfg_.retry_after_ms};
+      return 0;
+    }
+  }
+  if (cfg_.max_queued_jobs > 0 && queue_.size() >= cfg_.max_queued_jobs) {
+    // Graceful degradation ladder: shed watch streams first (their buffers
+    // and connection threads are the cheap load), then refuse the submit
+    // with a backoff hint.  Shedding rearms once the queue drains.
+    if (!watchers_shed_) {
+      watchers_shed_ = true;
+      shed_watchers();
+    }
+    metrics_.counter("serve.overload_rejections").add();
+    err = {"overloaded",
+           "job queue is full (" + std::to_string(queue_.size()) +
+               " queued, cap " + std::to_string(cfg_.max_queued_jobs) + ")",
+           cfg_.retry_after_ms};
+    return 0;
+  }
+  watchers_shed_ = false;
+  const std::uint64_t id = next_id_;
   auto job = std::make_unique<Job>();
   Job& j = *job;
   j.id = id;
+  j.client = client;
   j.spec = req;
+  j.submit_line = submit_json(req);
   j.circuit = std::move(circuit);
   j.submitted = std::chrono::steady_clock::now();
+  // Durable ack: with a journal, the job exists only once its record is
+  // fsynced.  On failure the submit is rejected so the client retries — an
+  // acknowledged job can never be lost to a crash.
+  if (journal_.enabled()) {
+    try {
+      journal_.write(record_locked(j));
+    } catch (const std::exception& e) {
+      metrics_.counter("serve.journal_write_failures").add();
+      err = {"journal-error", e.what(), cfg_.retry_after_ms};
+      return 0;
+    }
+  }
+  next_id_ = id + 1;
+  if (client != 0) ++client_active_[client];
   // Stream every trace event the generator emits for this job (and our own
   // lifecycle events) to watch subscribers, wrapped with the job id.
   j.telem.trace.open([this, id](const std::string& line) {
@@ -273,6 +324,7 @@ void JobManager::run_slice(Job& job) {
                {"coverage", TraceValue(r.fault_coverage)}});
     job.cp = std::move(next_cp);
     job.state = JobState::Queued;
+    journal_update_locked(job, /*throws=*/false);
     queue_.push_back(job.id);  // back of the line: round-robin fair share
     refresh_gauges_locked();
     lk.unlock();
@@ -298,6 +350,17 @@ void JobManager::finalize(Job& job, JobState state,
   (void)lk;  // documents that mu_ must be held
   job.state = state;
   job.finished = std::chrono::steady_clock::now();
+  if (job.client != 0) {
+    const auto it = client_active_.find(job.client);
+    if (it != client_active_.end() && --it->second == 0)
+      client_active_.erase(it);
+  }
+  // Make the terminal state durable — except for shutdown-path
+  // cancellations, whose on-disk record deliberately stays "queued" (with
+  // the last slice checkpoint) so the next start() resumes the work instead
+  // of reporting it cancelled.
+  if (!(stop_ && state == JobState::Cancelled))
+    journal_update_locked(job, /*throws=*/false);
   const double seconds =
       std::chrono::duration<double>(job.finished - job.submitted).count();
   switch (state) {
@@ -424,6 +487,14 @@ std::shared_ptr<Subscription> JobManager::watch(bool has_id, std::uint64_t id,
   auto sub = std::make_shared<Subscription>(!has_id, id);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Degraded mode: a saturated queue means watch streams are being shed,
+    // so refuse new ones until the backlog drains — submits keep priority.
+    if (cfg_.max_queued_jobs > 0 && queue_.size() >= cfg_.max_queued_jobs) {
+      err = {"overloaded",
+             "server is overloaded; watch streams are temporarily disabled",
+             cfg_.retry_after_ms};
+      return nullptr;
+    }
     if (has_id) {
       const auto it = jobs_.find(id);
       if (it == jobs_.end()) {
@@ -446,6 +517,174 @@ std::shared_ptr<Subscription> JobManager::watch(bool has_id, std::uint64_t id,
 void JobManager::unsubscribe(const std::shared_ptr<Subscription>& sub) {
   std::lock_guard<std::mutex> lock(subs_mu_);
   subs_.erase(std::remove(subs_.begin(), subs_.end(), sub), subs_.end());
+}
+
+std::size_t JobManager::shed_watchers() {
+  std::vector<std::shared_ptr<Subscription>> shed;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    shed.swap(subs_);
+  }
+  for (auto& s : shed) s->close();  // clients see a clean watch_end
+  if (!shed.empty()) {
+    metrics_.counter("serve.watchers_shed").add(shed.size());
+    std::fprintf(stderr, "gatest_serve: overload: shed %zu watch stream(s)\n",
+                 shed.size());
+  }
+  return shed.size();
+}
+
+// ---- durability (job journal) -----------------------------------------------
+
+JournalRecord JobManager::record_locked(const Job& job) const {
+  JournalRecord rec;
+  rec.id = job.id;
+  rec.submit_line = job.submit_line;
+  rec.slices = job.slices;
+  if (job.terminal()) {
+    rec.state = job.state == JobState::Done        ? "done"
+                : job.state == JobState::Cancelled ? "cancelled"
+                                                   : "failed";
+    rec.evaluations = job.result.fitness_evaluations;
+    rec.coverage = job.result.fault_coverage;
+    rec.error = job.error;
+    rec.vectors.reserve(job.result.test_set.size());
+    for (const TestVector& v : job.result.test_set)
+      rec.vectors.push_back(logic_string(v));
+  } else {
+    // Running is recorded as queued: after a crash a half-finished slice is
+    // indistinguishable from one that never started, and replaying it from
+    // the checkpoint yields the same bits.
+    rec.state = "queued";
+    rec.evaluations = job.last_evals;
+    rec.coverage = job.last_coverage;
+    if (job.cp) {
+      std::ostringstream os;
+      job.cp->write(os);
+      rec.checkpoint_text = os.str();
+    }
+  }
+  return rec;
+}
+
+void JobManager::journal_update_locked(const Job& job, bool throws) {
+  if (!journal_.enabled()) return;
+  try {
+    journal_.write(record_locked(job));
+  } catch (const std::exception& e) {
+    metrics_.counter("serve.journal_write_failures").add();
+    if (throws) throw;
+    // Losing a slice/terminal record costs redone work after a crash, never
+    // correctness: recovery replays from the previous record, and the
+    // determinism invariant yields the same final test set.
+    std::fprintf(stderr,
+                 "gatest_serve: journal update for job %llu failed: %s\n",
+                 static_cast<unsigned long long>(job.id), e.what());
+  }
+}
+
+void JobManager::recover_from_journal_locked() {
+  Journal::ScanResult scan;
+  try {
+    scan = journal_.scan();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gatest_serve: journal scan failed: %s\n", e.what());
+    return;
+  }
+  metrics_.counter("serve.journal_corrupt_records")
+      .add(static_cast<std::uint64_t>(scan.corrupt));
+  for (JournalRecord& rec : scan.records) {
+    try {
+      Request req;
+      ProtocolError perr;
+      if (!parse_request(rec.submit_line, req, perr) ||
+          req.cmd != Command::Submit)
+        throw std::runtime_error("journalled spec rejected: " + perr.message);
+      auto job = std::make_unique<Job>();
+      Job& j = *job;
+      j.id = rec.id;
+      j.spec = req.submit;
+      j.submit_line = rec.submit_line;
+      if (!j.spec.profile.empty()) {
+        j.circuit =
+            std::make_unique<Circuit>(benchmark_circuit(j.spec.profile));
+      } else {
+        j.circuit = std::make_unique<Circuit>(parse_bench_string(
+            j.spec.bench_text,
+            j.spec.name.empty() ? "bench" : j.spec.name));
+      }
+      j.submitted = std::chrono::steady_clock::now();
+      j.slices = rec.slices;
+      if (rec.state == "queued") {
+        if (!rec.checkpoint_text.empty()) {
+          try {
+            std::istringstream cs(rec.checkpoint_text);
+            Checkpoint cp = Checkpoint::read(cs);
+            if (cp.circuit_name != j.circuit->name())
+              throw std::runtime_error("checkpoint is for circuit '" +
+                                       cp.circuit_name + "'");
+            if (cp.seed != j.spec.config.seed)
+              throw std::runtime_error("checkpoint seed mismatch");
+            j.last_vectors = cp.test_set.size();
+            j.last_evals = cp.fitness_evaluations;
+            j.cp = std::move(cp);
+          } catch (const std::exception& e) {
+            // Version skew or corruption inside the embedded checkpoint:
+            // requeue from scratch.  Determinism makes that safe — the
+            // final test set is the same whether the job resumes mid-way
+            // or replays from vector 0.
+            std::fprintf(stderr,
+                         "gatest_serve: job %llu: discarding checkpoint "
+                         "(%s); restarting from scratch\n",
+                         static_cast<unsigned long long>(rec.id), e.what());
+            metrics_.counter("serve.checkpoints_discarded").add();
+          }
+        }
+        const std::uint64_t id = j.id;
+        j.telem.trace.open([this, id](const std::string& line) {
+          std::string wrapped = "{\"job\":" + std::to_string(id) + ",";
+          if (line.size() > 1) wrapped.append(line.data() + 1, line.size() - 1);
+          publish(id, wrapped);
+        });
+        queue_.push_back(j.id);
+      } else {
+        // Terminal record: restore the snapshot and result so status/result
+        // keep answering for this job across restarts.
+        j.started_once = true;
+        j.error = rec.error;
+        j.result.fault_coverage = rec.coverage;
+        j.result.fitness_evaluations = rec.evaluations;
+        j.result.test_set.reserve(rec.vectors.size());
+        for (const std::string& v : rec.vectors)
+          j.result.test_set.push_back(logic_vector(v));
+        if (rec.state == "done") {
+          j.state = JobState::Done;
+          j.result.stop_reason = StopReason::Completed;
+        } else if (rec.state == "cancelled") {
+          j.state = JobState::Cancelled;
+          j.result.stop_reason = StopReason::Interrupted;
+        } else {
+          j.state = JobState::Failed;
+          j.result.stop_reason = StopReason::Error;
+        }
+        j.finished = j.submitted;
+      }
+      next_id_ = std::max(next_id_, j.id + 1);
+      jobs_.emplace(j.id, std::move(job));
+      metrics_.counter("serve.jobs_recovered").add();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gatest_serve: cannot recover job %llu: %s\n",
+                   static_cast<unsigned long long>(rec.id), e.what());
+      metrics_.counter("serve.journal_corrupt_records").add();
+    }
+  }
+  if (!scan.records.empty() || scan.corrupt > 0)
+    std::fprintf(stderr,
+                 "gatest_serve: recovered %zu job(s) from '%s' (%zu queued, "
+                 "%zu corrupt record(s) quarantined)\n",
+                 jobs_.size(), journal_.dir().c_str(), queue_.size(),
+                 scan.corrupt);
+  refresh_gauges_locked();
 }
 
 void JobManager::refresh_gauges_locked() const {

@@ -29,6 +29,7 @@
 #include "gatest/checkpoint.h"
 #include "gatest/test_generator.h"
 #include "netlist/circuit.h"
+#include "serve/journal.h"
 #include "serve/protocol.h"
 #include "telemetry/telemetry.h"
 #include "util/run_control.h"
@@ -39,6 +40,24 @@ struct ServeConfig {
   unsigned workers = 2;         ///< worker threads (>= 1)
   double slice_seconds = 0.25;  ///< fair-share time slice; 0 = run to end
   std::string trace_path;       ///< server-level JSONL trace; empty = off
+
+  // ---- durability (DESIGN.md §5.4) ----
+  /// Job journal directory; empty = in-memory only.  With a state dir every
+  /// accepted job is persisted crash-atomically (spec + latest slice
+  /// checkpoint + terminal result) and recovered on the next start().
+  std::string state_dir;
+
+  // ---- overload protection ----
+  /// Queued-job cap; a full queue rejects submits with "overloaded".
+  /// 0 = unbounded.
+  std::size_t max_queued_jobs = 0;
+  /// Non-terminal jobs one client may hold; exceeding rejects with
+  /// "quota-exceeded".  0 = unlimited.  Client 0 (in-process callers and
+  /// recovered jobs) is exempt.
+  std::size_t max_jobs_per_client = 0;
+  /// Backoff hint attached to overloaded / quota-exceeded / journal-error
+  /// rejections (clients add jitter on top — serve/client.h).
+  unsigned retry_after_ms = 500;
 };
 
 enum class JobState : std::uint8_t {
@@ -119,8 +138,14 @@ class JobManager {
   bool shutting_down() const;
 
   /// Validate and enqueue a job.  Returns the job id, or 0 with `err` set
-  /// (unknown profile / unparsable bench text / submit after shutdown).
-  std::uint64_t submit(const SubmitRequest& req, ProtocolError& err);
+  /// (unknown profile / unparsable bench text / submit after shutdown, plus
+  /// the overload rejections: "overloaded" when the queue cap is hit,
+  /// "quota-exceeded" when `client` holds too many live jobs, and
+  /// "journal-error" when the durable record could not be fsynced — the job
+  /// is only acknowledged once it is safely on disk).  `client` identifies
+  /// the submitting connection for quota accounting; 0 = exempt.
+  std::uint64_t submit(const SubmitRequest& req, ProtocolError& err,
+                       std::uint64_t client = 0);
 
   /// Cancel a queued or running job.  Terminal jobs are left untouched
   /// (cancel is idempotent); unknown ids fail with "unknown-job".
@@ -144,6 +169,12 @@ class JobManager {
                                       ProtocolError& err);
   void unsubscribe(const std::shared_ptr<Subscription>& sub);
 
+  /// Graceful-degradation step: close every watch stream (clients see a
+  /// clean watch_end) so their buffers and threads are freed for submits.
+  /// Invoked automatically when the job queue reaches its high-water mark;
+  /// exposed for tests.  Returns the number of streams shed.
+  std::size_t shed_watchers();
+
   /// MetricsRegistry snapshot (server gauges refreshed first) as one JSON
   /// object, for the metrics response.
   std::string metrics_json() const;
@@ -153,7 +184,9 @@ class JobManager {
  private:
   struct Job {
     std::uint64_t id = 0;
+    std::uint64_t client = 0;  ///< submitting connection, for quota release
     SubmitRequest spec;
+    std::string submit_line;  ///< spec re-serialized once, for the journal
     std::unique_ptr<Circuit> circuit;
     JobState state = JobState::Queued;
     std::optional<Checkpoint> cp;  ///< present between slices
@@ -190,6 +223,15 @@ class JobManager {
   JobSnapshot snapshot_locked(const Job& job) const;
   void refresh_gauges_locked() const;
 
+  /// Journal image of a job's current state (mu_ held by caller).
+  JournalRecord record_locked(const Job& job) const;
+  /// Persist the job's current state; throws=false swallows I/O failure
+  /// into a log line + metric (slice/terminal records are an optimization —
+  /// re-running from an older checkpoint is still bit-identical).
+  void journal_update_locked(const Job& job, bool throws);
+  /// Rebuild jobs from the state dir (start(), before workers launch).
+  void recover_from_journal_locked();
+
   ServeConfig cfg_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -200,6 +242,11 @@ class JobManager {
   unsigned active_ = 0;
   bool started_ = false;
   bool stop_ = false;
+
+  Journal journal_;
+  /// Non-terminal job count per client id (quota accounting).
+  std::map<std::uint64_t, std::size_t> client_active_;
+  bool watchers_shed_ = false;  ///< rearms when the queue drains below cap
 
   std::mutex subs_mu_;
   std::vector<std::shared_ptr<Subscription>> subs_;

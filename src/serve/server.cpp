@@ -57,8 +57,11 @@ void Server::run(const StopToken* stop) {
     if (!conn.valid()) continue;
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) break;
+    const std::uint64_t client_id = next_client_++;
     handlers_.emplace_back(
-        [this](TcpConnection c) { handle_connection(std::move(c)); },
+        [this, client_id](TcpConnection c) {
+          handle_connection(std::move(c), client_id);
+        },
         std::move(conn));
   }
   request_stop();
@@ -69,7 +72,7 @@ void Server::run(const StopToken* stop) {
   handlers_.clear();
 }
 
-void Server::handle_connection(TcpConnection conn) {
+void Server::handle_connection(TcpConnection conn, std::uint64_t client_id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) return;
@@ -80,8 +83,16 @@ void Server::handle_connection(TcpConnection conn) {
     // Allow slack beyond the protocol cap so an oversized frame is answered
     // with a structured error (from parse_request) instead of a hard drop,
     // while a runaway line without newlines still terminates the read.
-    const auto rs = conn.read_line(line, 2 * kMaxRequestBytes);
+    const auto rs = conn.read_line(line, 2 * kMaxRequestBytes,
+                                   cfg_.idle_timeout_seconds);
     if (rs == TcpConnection::ReadStatus::Eof) break;
+    if (rs == TcpConnection::ReadStatus::Timeout) {
+      // Idle connections hold a handler thread and an fd; reclaim both.
+      jobs_.metrics().counter("serve.idle_timeouts").add();
+      conn.write_all(error_line(
+          {"idle-timeout", "connection idle too long; reconnect to resume"}));
+      break;
+    }
     if (rs == TcpConnection::ReadStatus::Overflow) {
       conn.write_all(error_line(
           {"oversized", "request line exceeds the maximum frame size"}));
@@ -109,7 +120,7 @@ void Server::handle_connection(TcpConnection conn) {
       request_stop();
       break;
     }
-    if (!conn.write_all(dispatch(req))) break;
+    if (!conn.write_all(dispatch(req, client_id))) break;
   }
   conn.shutdown_both();
   std::lock_guard<std::mutex> lock(mu_);
@@ -118,12 +129,12 @@ void Server::handle_connection(TcpConnection conn) {
       open_conns_.end());
 }
 
-std::string Server::dispatch(const Request& req) {
+std::string Server::dispatch(const Request& req, std::uint64_t client_id) {
   ProtocolError err;
   JsonWriter w;
   switch (req.cmd) {
     case Command::Submit: {
-      const std::uint64_t id = jobs_.submit(req.submit, err);
+      const std::uint64_t id = jobs_.submit(req.submit, err, client_id);
       if (id == 0) return error_line(err);
       w.begin_object()
           .key("ok").value(true)

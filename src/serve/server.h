@@ -19,6 +19,10 @@ namespace gatest::serve {
 struct ServerConfig {
   std::string host = "127.0.0.1";
   unsigned short port = 0;  ///< 0 = OS-assigned; Server::port() has the value
+  /// Close a connection that sends no request for this long (an
+  /// "idle-timeout" error line is written first so the client knows why).
+  /// 0 = never time out.
+  double idle_timeout_seconds = 0.0;
   ServeConfig serve;
 };
 
@@ -44,9 +48,9 @@ class Server {
   JobManager& jobs() { return jobs_; }
 
  private:
-  void handle_connection(TcpConnection conn);
+  void handle_connection(TcpConnection conn, std::uint64_t client_id);
   /// Non-streaming commands: returns the complete response line.
-  std::string dispatch(const Request& req);
+  std::string dispatch(const Request& req, std::uint64_t client_id);
   /// Watch: ack, then pump events until the stream closes or the peer dies.
   void stream_watch(const Request& req, TcpConnection& conn);
 
@@ -61,6 +65,7 @@ class Server {
   bool stop_ = false;
   std::vector<std::thread> handlers_;
   std::vector<TcpConnection*> open_conns_;  ///< live fds, for shutdown kicks
+  std::uint64_t next_client_ = 1;  ///< per-connection id for quota accounting
 };
 
 }  // namespace gatest::serve

@@ -37,6 +37,23 @@ class Parser {
   }
 
  private:
+  // Hostile input with thousands of nested containers must produce a
+  // structured parse error, not exhaust the call stack: the parser is
+  // recursive-descent, so nesting depth is bounded explicitly.
+  static constexpr std::size_t kMaxDepth = 96;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : parser(p) {
+      if (++parser->depth_ > kMaxDepth)
+        parser->fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                     " levels");
+    }
+    ~DepthGuard() { --parser->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser* parser;
+  };
+
   [[noreturn]] void fail(const std::string& what) const {
     throw std::runtime_error("json: " + what + " at offset " +
                              std::to_string(pos_));
@@ -69,8 +86,14 @@ class Parser {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        const DepthGuard guard(this);
+        return parse_object();
+      }
+      case '[': {
+        const DepthGuard guard(this);
+        return parse_array();
+      }
       case '"': {
         JsonValue v;
         v.type = JsonValue::Type::String;
@@ -220,6 +243,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -35,7 +35,9 @@ struct JsonValue {
 };
 
 /// Parse one complete JSON document (trailing whitespace allowed, trailing
-/// garbage is an error).  Throws std::runtime_error on malformed input.
+/// garbage is an error).  Throws std::runtime_error on malformed input,
+/// including documents nested deeper than an internal cap (~96 levels) —
+/// hostile input cannot exhaust the parser's call stack.
 JsonValue parse_json(std::string_view text);
 
 }  // namespace gatest::telemetry

@@ -1,0 +1,95 @@
+#include "util/fault_inject.h"
+
+#include <cstdlib>
+
+namespace gatest {
+
+std::atomic<FaultInjector*> FaultInjector::global_{nullptr};
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool FaultInjector::parse(const std::string& spec, std::uint64_t seed,
+                          FaultInjector& out, std::string& err) {
+  out.sites_.clear();
+  out.injected_.store(0, std::memory_order_relaxed);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      err = "fault spec entry '" + entry + "' is not site:p=X or site:every=N";
+      return false;
+    }
+    const std::string site = entry.substr(0, colon);
+    const std::string mode = entry.substr(colon + 1);
+    Site s;
+    char* end = nullptr;
+    if (mode.rfind("p=", 0) == 0) {
+      s.probability = std::strtod(mode.c_str() + 2, &end);
+      if (end == mode.c_str() + 2 || *end != '\0' || s.probability < 0.0 ||
+          s.probability > 1.0) {
+        err = "fault spec '" + entry + "': p must be a number in [0,1]";
+        return false;
+      }
+    } else if (mode.rfind("every=", 0) == 0) {
+      const unsigned long long n = std::strtoull(mode.c_str() + 6, &end, 10);
+      if (end == mode.c_str() + 6 || *end != '\0' || n < 1) {
+        err = "fault spec '" + entry + "': every must be an integer >= 1";
+        return false;
+      }
+      s.every = n;
+    } else {
+      err = "fault spec '" + entry + "' is not site:p=X or site:every=N";
+      return false;
+    }
+    // Independent deterministic stream per site: the seed keys the process
+    // run, the site-name hash separates sites within it.
+    s.rng_state = seed ^ fnv1a(site);
+    out.sites_[site] = s;
+  }
+  return true;
+}
+
+bool FaultInjector::should_fail(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  ++s.calls;
+  bool fail = false;
+  if (s.every > 0) {
+    fail = s.calls % s.every == 0;
+  } else if (s.probability > 0.0) {
+    const double u =
+        static_cast<double>(splitmix64(s.rng_state) >> 11) * 0x1.0p-53;
+    fail = u < s.probability;
+  }
+  if (fail) injected_.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+}  // namespace gatest

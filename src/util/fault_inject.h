@@ -1,0 +1,84 @@
+// Deterministic fault-injection harness for robustness testing.
+//
+// A FaultInjector owns a set of named sites ("journal_write", "sock_read",
+// ...); instrumented code asks should_fail(site) at the point where a real
+// failure could occur (disk write error, torn fsync, dead socket) and takes
+// its error path when the answer is true.  Failures are drawn from a
+// seed-keyed RNG stream per site, so a given (spec, seed) reproduces the
+// exact same failure sequence run after run — torture tests that loop
+// crash/restart cycles stay replayable.
+//
+// Zero-cost when disabled: production code consults the process-global
+// injector pointer, which is null unless a test or the daemon's
+// --fault-inject flag installed one, so the disabled path is one branch on
+// a relaxed atomic load.
+//
+// Spec grammar (comma-separated):  site:p=0.05  |  site:every=7
+//   journal_write:p=0.05,checkpoint_read:every=3
+// "p=" fails each call with probability p; "every=" fails deterministically
+// on every Nth call to that site (1-based), which is handy for pinning a
+// failure to the first write in a unit test.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace gatest {
+
+class FaultInjector {
+ public:
+  /// Parse a spec string into `out`.  False + `err` on malformed specs
+  /// (unknown form, p outside [0,1], every < 1, empty site name).
+  static bool parse(const std::string& spec, std::uint64_t seed,
+                    FaultInjector& out, std::string& err);
+
+  /// True when this call to `site` should take the failure path.  Sites not
+  /// named in the spec never fail.  Thread-safe; each site consumes its own
+  /// deterministic stream regardless of interleaving with other sites.
+  bool should_fail(std::string_view site);
+
+  bool enabled() const { return !sites_.empty(); }
+
+  /// Total failures injected so far (all sites).
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  // ---- process-global instance ---------------------------------------------
+  /// The injector production code consults; null = fault injection off.
+  static FaultInjector* global() {
+    return global_.load(std::memory_order_relaxed);
+  }
+  /// Install (or clear with nullptr) the global injector.  The caller keeps
+  /// ownership and must clear it before destroying the injector.
+  static void set_global(FaultInjector* fi) {
+    global_.store(fi, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Site {
+    double probability = 0.0;     ///< p-mode: fail with this probability
+    std::uint64_t every = 0;      ///< every-mode: fail each Nth call (if > 0)
+    std::uint64_t calls = 0;
+    std::uint64_t rng_state = 0;  ///< splitmix64 stream, derived from seed
+  };
+
+  std::mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_;
+  std::atomic<std::uint64_t> injected_{0};
+
+  static std::atomic<FaultInjector*> global_;
+};
+
+/// Convenience: global-injector check with the disabled path inlined down to
+/// one null test.
+inline bool fault_should_fail(std::string_view site) {
+  FaultInjector* fi = FaultInjector::global();
+  return fi != nullptr && fi->should_fail(site);
+}
+
+}  // namespace gatest

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -11,9 +12,29 @@
 #include <unistd.h>
 #include <utility>
 
+#include "util/fault_inject.h"
+
 namespace gatest {
 
 namespace {
+
+// A peer that disappears mid-write must surface as a false return from
+// write_all, never as a process-killing SIGPIPE: MSG_NOSIGNAL where the
+// platform has it, SO_NOSIGPIPE on the socket otherwise (macOS/BSD).
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+void suppress_sigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
+#else
+  (void)fd;
+#endif
+}
 
 [[noreturn]] void net_error(const std::string& what) {
   throw std::runtime_error("net: " + what + ": " + std::strerror(errno));
@@ -46,7 +67,18 @@ TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
 
 TcpConnection::ReadStatus TcpConnection::read_line(std::string& line,
                                                    std::size_t max_bytes) {
+  return read_line(line, max_bytes, 0.0);
+}
+
+TcpConnection::ReadStatus TcpConnection::read_line(std::string& line,
+                                                   std::size_t max_bytes,
+                                                   double timeout_seconds) {
   line.clear();
+  const bool timed = timeout_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timed ? timeout_seconds : 0.0));
   for (;;) {
     const std::size_t nl = buf_.find('\n');
     if (nl != std::string::npos) {
@@ -57,22 +89,42 @@ TcpConnection::ReadStatus TcpConnection::read_line(std::string& line,
       return ReadStatus::Ok;
     }
     if (buf_.size() > max_bytes) return ReadStatus::Overflow;
+    if (fault_should_fail("sock_read")) return ReadStatus::Eof;
+    if (timed) {
+      // The deadline covers the whole line, not each chunk: a client
+      // trickling one byte per poll interval still times out.
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return ReadStatus::Timeout;
+      pollfd pfd{fd_, POLLIN, 0};
+      int r;
+      do {
+        r = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      } while (r < 0 && errno == EINTR);
+      if (r == 0) return ReadStatus::Timeout;
+      if (r < 0) return ReadStatus::Eof;
+    }
     char chunk[4096];
     ssize_t n;
     do {
       n = ::recv(fd_, chunk, sizeof chunk, 0);
-    } while (n < 0 && errno == EINTR);
-    if (n <= 0) return ReadStatus::Eof;
+    } while (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                       errno == EWOULDBLOCK));
+    if (n <= 0) return ReadStatus::Eof;  // orderly EOF or fatal errno
     buf_.append(chunk, static_cast<std::size_t>(n));
   }
 }
 
 bool TcpConnection::write_all(std::string_view data) {
+  if (fault_should_fail("sock_write")) return false;
   while (!data.empty()) {
+    // Short writes are normal under socket-buffer pressure: loop until the
+    // frame is fully handed to the kernel or the peer is provably gone.
     ssize_t n;
     do {
-      n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
-    } while (n < 0 && errno == EINTR);
+      n = ::send(fd_, data.data(), data.size(), kSendFlags);
+    } while (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                       errno == EWOULDBLOCK));
     if (n <= 0) return false;
     data.remove_prefix(static_cast<std::size_t>(n));
   }
@@ -131,8 +183,16 @@ TcpConnection TcpListener::accept(double timeout_seconds) {
     r = ::poll(&pfd, 1, timeout_ms);
   } while (r < 0 && errno == EINTR);
   if (r <= 0 || !(pfd.revents & POLLIN)) return TcpConnection{};
-  const int cfd = ::accept(fd_, nullptr, nullptr);
+  int cfd;
+  do {
+    cfd = ::accept(fd_, nullptr, nullptr);
+  } while (cfd < 0 && errno == EINTR);
   if (cfd < 0) return TcpConnection{};
+  if (fault_should_fail("accept")) {
+    ::close(cfd);
+    return TcpConnection{};
+  }
+  suppress_sigpipe(cfd);
   return TcpConnection{cfd};
 }
 
@@ -159,6 +219,7 @@ TcpConnection tcp_connect(const std::string& host, unsigned short port) {
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  suppress_sigpipe(fd);
   return TcpConnection{fd};
 }
 

@@ -33,15 +33,25 @@ class TcpConnection {
     Ok,        ///< one full line delivered (terminator stripped)
     Eof,       ///< orderly shutdown or error before a full line arrived
     Overflow,  ///< line exceeded max_bytes; the connection should be dropped
+    Timeout,   ///< no full line within the idle deadline (timed overload only)
   };
 
   /// Read one '\n'-terminated line into `line` (terminator and any '\r'
   /// stripped).  Blocks until a full line, EOF, or `max_bytes` of unbroken
-  /// input accumulate.
+  /// input accumulate.  Interrupted recv calls (EINTR) are retried; a peer
+  /// that dies mid-frame yields Eof, never a signal or exception.
   ReadStatus read_line(std::string& line, std::size_t max_bytes);
 
-  /// Write the whole buffer; SIGPIPE is suppressed (MSG_NOSIGNAL).  False on
-  /// any error (the peer is gone; the caller should drop the connection).
+  /// Like read_line, but gives up with Timeout once `timeout_seconds` of
+  /// wall clock pass without a complete line (poll-based; the deadline spans
+  /// partial reads, so a client trickling bytes cannot hold the slot open
+  /// forever).  timeout_seconds <= 0 blocks indefinitely.
+  ReadStatus read_line(std::string& line, std::size_t max_bytes,
+                       double timeout_seconds);
+
+  /// Write the whole buffer, looping over short writes and retrying EINTR;
+  /// SIGPIPE is suppressed (MSG_NOSIGNAL / SO_NOSIGPIPE).  False on any
+  /// fatal error (the peer is gone; the caller should drop the connection).
   bool write_all(std::string_view data);
 
   /// Half-close both directions, unblocking any reader on this socket from

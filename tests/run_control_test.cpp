@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "circuitgen/circuitgen.h"
 #include "fault/fault.h"
@@ -141,6 +143,58 @@ TEST(Checkpoint, RejectsTruncatedFile) {
 TEST(Checkpoint, LoadOfMissingFileThrows) {
   EXPECT_THROW(Checkpoint::load(temp_path("does_not_exist.ckpt")),
                std::runtime_error);
+}
+
+TEST(Checkpoint, BitFlipFuzzNeverCrashesTheReader) {
+  // Single-byte corruption at every position in the serialized image must
+  // either parse (the flip hit a don't-care spot) or throw std::runtime_error
+  // — never crash, hang, or drive a huge allocation.  This is the same
+  // reader the serve-layer journal recovery trusts with post-crash disk
+  // contents.
+  std::ostringstream out;
+  sample_checkpoint().write(out);
+  const std::string text = out.str();
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    for (const char flip : {'\0', '9', char(0xFF), ' '}) {
+      std::string bad = text;
+      if (bad[pos] == flip) continue;
+      bad[pos] = flip;
+      std::istringstream in(bad);
+      try {
+        (void)Checkpoint::read(in);
+      } catch (const std::runtime_error&) {
+        // structured rejection is the expected outcome
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, ImplausibleCountsAreRejectedBeforeAllocation) {
+  // A bit flip in a count field must not become a multi-gigabyte resize:
+  // the reader cross-checks counts against plausibility caps and fails with
+  // a diagnostic instead.
+  std::ostringstream out;
+  sample_checkpoint().write(out);
+  const std::string text = out.str();
+  const std::vector<std::pair<std::string, std::string>> bloats = {
+      {"\ninputs 4", "\ninputs 99999999999"},
+      {"\nfaults 7", "\nfaults 99999999999"},
+      {"\nvectors 2", "\nvectors 99999999999"},
+  };
+  for (const auto& [from, to] : bloats) {
+    std::string bad = text;
+    const std::size_t pos = bad.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    bad.replace(pos, from.size(), to);
+    std::istringstream in(bad);
+    try {
+      (void)Checkpoint::read(in);
+      FAIL() << "implausible '" << to << "' was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 // ---- budgets and interrupts --------------------------------------------------

@@ -1,8 +1,13 @@
 // gatest_serve tests: protocol parsing/validation (no sockets), response
-// writing, scheduler determinism under time slicing, and one socket-level
-// end-to-end pass through the server.
+// writing, scheduler determinism under time slicing, durability (job
+// journal, crash/restart recovery, torture cycles under fault injection),
+// overload protection (bounded queue, quotas, watcher shedding), client
+// backoff, and socket-level end-to-end passes through the server.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -10,11 +15,14 @@
 #include "circuitgen/circuitgen.h"
 #include "fault/fault.h"
 #include "gatest/test_generator.h"
+#include "serve/client.h"
+#include "serve/journal.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
 #include "sim/logic.h"
 #include "telemetry/json.h"
+#include "util/fault_inject.h"
 #include "util/net.h"
 
 namespace gatest::serve {
@@ -425,6 +433,683 @@ TEST(Server, EndToEndOverTcp) {
 
   const telemetry::JsonValue bye = rpc("{\"cmd\":\"shutdown\"}");
   EXPECT_TRUE(bye.find("ok") && bye.find("ok")->boolean);
+  runner.join();
+}
+
+// ---- hostile-input hardening ------------------------------------------------
+
+TEST(Protocol, DeeplyNestedDocumentsRejectedStructurally) {
+  // A recursive-descent parser without a depth cap would exhaust its call
+  // stack here; the cap turns it into an ordinary structured error.
+  EXPECT_FALSE(parse_error(std::string(5000, '[')).code.empty());
+  EXPECT_FALSE(parse_error(std::string(5000, '{')).code.empty());
+  std::string nested_submit = "{\"cmd\":\"submit\",\"config\":";
+  nested_submit.append(500, '[');
+  EXPECT_FALSE(parse_error(nested_submit).code.empty());
+}
+
+TEST(Protocol, TruncatedMultibyteFrameAtCapBoundary) {
+  // A frame cut mid-UTF-8-sequence exactly at the 1 MiB cap must produce a
+  // structured error, never a throw or a read past the buffer.
+  std::string line = "{\"cmd\":\"submit\",\"name\":\"";
+  while (line.size() + 3 <= kMaxRequestBytes) line += "\xE2\x82\xAC";  // '€'
+  while (line.size() < kMaxRequestBytes) line += '\xE2';  // truncated seq
+  ASSERT_EQ(line.size(), kMaxRequestBytes);
+  Request req;
+  ProtocolError err;
+  EXPECT_NO_THROW(EXPECT_FALSE(parse_request(line, req, err)));
+  EXPECT_FALSE(err.code.empty());
+
+  line += '\xE2';  // one byte past the cap: rejected before parsing
+  EXPECT_EQ(parse_error(line).code, "oversized");
+}
+
+TEST(Protocol, SubmitJsonRoundTripsThroughParser) {
+  SubmitRequest req;
+  req.name = "round trip \"quoted\"";
+  req.profile = "s344";
+  req.config.seed = 77;
+  req.config.generation_gap = 0.5;
+  req.config.selection = SelectionScheme::TournamentNoReplacement;
+  req.config.crossover = CrossoverScheme::Uniform;
+  req.config.sequence_coding = Coding::NonBinary;
+  req.config.fitness_cache = true;
+  req.budget.max_evaluations = 1234;
+  req.budget.max_vectors = 99;
+
+  Request parsed;
+  ProtocolError err;
+  ASSERT_TRUE(parse_request(submit_json(req), parsed, err))
+      << err.code << ": " << err.message;
+  EXPECT_EQ(parsed.cmd, Command::Submit);
+  EXPECT_EQ(parsed.submit.name, req.name);
+  EXPECT_EQ(parsed.submit.profile, req.profile);
+  EXPECT_EQ(parsed.submit.config.seed, req.config.seed);
+  EXPECT_DOUBLE_EQ(parsed.submit.config.generation_gap,
+                   req.config.generation_gap);
+  EXPECT_EQ(parsed.submit.config.selection, req.config.selection);
+  EXPECT_EQ(parsed.submit.config.crossover, req.config.crossover);
+  EXPECT_EQ(parsed.submit.config.sequence_coding, req.config.sequence_coding);
+  EXPECT_EQ(parsed.submit.config.fitness_cache, req.config.fitness_cache);
+  EXPECT_EQ(parsed.submit.budget.max_evaluations,
+            req.budget.max_evaluations);
+  EXPECT_EQ(parsed.submit.budget.max_vectors, req.budget.max_vectors);
+}
+
+// ---- job journal ------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test directory under the gtest temp root.
+fs::path test_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("gatest_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+JournalRecord sample_record(std::uint64_t id) {
+  JournalRecord rec;
+  rec.id = id;
+  SubmitRequest req;
+  req.profile = "s27";
+  req.config.seed = 5;
+  req.budget.max_evaluations = 100;
+  rec.submit_line = submit_json(req);
+  rec.state = "done";
+  rec.slices = 3;
+  rec.evaluations = 100;
+  rec.coverage = 0.5;
+  rec.error = "multi\nline \\ with \x01 control";
+  rec.vectors = {"0101", "11XX"};
+  return rec;
+}
+
+TEST(Journal, SerializeParseRoundTrip) {
+  const JournalRecord rec = sample_record(4);
+  const JournalRecord back = Journal::parse(Journal::serialize(rec));
+  EXPECT_EQ(back.submit_line, rec.submit_line);
+  EXPECT_EQ(back.state, rec.state);
+  EXPECT_EQ(back.slices, rec.slices);
+  EXPECT_EQ(back.evaluations, rec.evaluations);
+  EXPECT_DOUBLE_EQ(back.coverage, rec.coverage);
+  EXPECT_EQ(back.error, rec.error);
+  EXPECT_EQ(back.vectors, rec.vectors);
+
+  JournalRecord queued = sample_record(5);
+  queued.state = "queued";
+  queued.vectors.clear();
+  queued.error.clear();
+  queued.checkpoint_text = "gatest-checkpoint v1\nnot validated here\n";
+  const JournalRecord qback = Journal::parse(Journal::serialize(queued));
+  EXPECT_EQ(qback.checkpoint_text, queued.checkpoint_text);
+  EXPECT_TRUE(qback.error.empty());
+}
+
+TEST(Journal, ParseRejectsTornAndHostilePayloads) {
+  const std::string good = Journal::serialize(sample_record(1));
+  EXPECT_THROW(Journal::parse(""), std::runtime_error);
+  EXPECT_THROW(Journal::parse(good.substr(0, good.size() / 2)),
+               std::runtime_error);
+  EXPECT_THROW(Journal::parse("state done\n"), std::runtime_error);
+  EXPECT_THROW(Journal::parse(good + "trailing"), std::runtime_error);
+  // A flipped vector-count field must fail cleanly, not drive a huge
+  // allocation.
+  std::string bloated = good;
+  const auto pos = bloated.find("vectors 2");
+  ASSERT_NE(pos, std::string::npos);
+  bloated.replace(pos, 9, "vectors 999999999999");
+  EXPECT_THROW(Journal::parse(bloated), std::runtime_error);
+}
+
+TEST(Journal, WriteScanRoundTripAndRemove) {
+  const fs::path dir = test_dir("journal_rw");
+  Journal j;
+  j.open(dir.string());
+  j.write(sample_record(2));
+  j.write(sample_record(1));
+
+  const Journal::ScanResult scan = j.scan();
+  EXPECT_EQ(scan.corrupt, 0u);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].id, 1u);  // ascending id order
+  EXPECT_EQ(scan.records[1].id, 2u);
+  EXPECT_EQ(scan.records[0].vectors, sample_record(1).vectors);
+
+  j.remove(1);
+  EXPECT_EQ(j.scan().records.size(), 1u);
+}
+
+TEST(Journal, ScanQuarantinesCorruptRecords) {
+  const fs::path dir = test_dir("journal_corrupt");
+  Journal j;
+  j.open(dir.string());
+  j.write(sample_record(1));  // stays valid
+  j.write(sample_record(2));  // gets a flipped byte
+  j.write(sample_record(3));  // gets truncated
+  j.write(sample_record(4));  // version-skewed header
+
+  {  // flip one payload byte in record 2
+    const fs::path p = dir / "job-2.rec";
+    std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(p)) - 10);
+    f.put('#');
+  }
+  fs::resize_file(dir / "job-3.rec", fs::file_size(dir / "job-3.rec") / 2);
+  {  // rewrite record 4 with an unknown version
+    std::ifstream in(dir / "job-4.rec", std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    text.replace(text.find("v1"), 2, "v9");
+    std::ofstream out(dir / "job-4.rec", std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  // A stale tmp from a crash between write and rename is swept.
+  { std::ofstream(dir / "job-9.rec.tmp") << "half a record"; }
+
+  const Journal::ScanResult scan = j.scan();
+  EXPECT_EQ(scan.corrupt, 3u);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].id, 1u);
+  EXPECT_TRUE(fs::exists(dir / "job-2.rec.corrupt"));
+  EXPECT_FALSE(fs::exists(dir / "job-2.rec"));
+  EXPECT_FALSE(fs::exists(dir / "job-9.rec.tmp"));
+  // Quarantined files do not reappear on the next scan.
+  const Journal::ScanResult again = j.scan();
+  EXPECT_EQ(again.corrupt, 0u);
+  EXPECT_EQ(again.records.size(), 1u);
+}
+
+// ---- crash/restart recovery -------------------------------------------------
+
+/// Copy every completed record file — the moral equivalent of the disk
+/// image an instant after kill -9 (per-record atomicity comes from the
+/// write-tmp-then-rename protocol, so each copied file is internally
+/// consistent even while the source manager keeps running).
+void snapshot_state_dir(const fs::path& from, const fs::path& to) {
+  fs::create_directories(to);
+  for (const auto& e : fs::directory_iterator(from))
+    if (e.path().extension() == ".rec")
+      fs::copy_file(e.path(), to / e.path().filename(),
+                    fs::copy_options::overwrite_existing);
+}
+
+class RecoveryIdentity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RecoveryIdentity, RestartServesBitIdenticalResults) {
+  const unsigned workers = GetParam();
+  const fs::path dir =
+      test_dir("recovery_" + std::to_string(workers) + "w");
+  const fs::path crash_img = dir.string() + "_crash";
+  const std::size_t max_evals = 4000;
+  const std::vector<std::string> profiles = {"s27", "s298"};
+
+  ServeConfig cfg;
+  cfg.workers = workers;
+  cfg.slice_seconds = 0.005;
+  cfg.state_dir = dir.string();
+
+  std::vector<std::uint64_t> ids;
+  {
+    JobManager jm(cfg);
+    jm.start();
+    ProtocolError err;
+    for (const std::string& profile : profiles) {
+      SubmitRequest req;
+      req.profile = profile;
+      req.config.seed = 11;
+      req.budget.max_evaluations = max_evals;
+      const std::uint64_t id = jm.submit(req, err);
+      ASSERT_NE(id, 0u) << err.message;
+      ids.push_back(id);
+    }
+    // Let a few slices land, snapshot the live dir as a crash image, then
+    // shut down mid-flight (work-preserving: queued records stay on disk).
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    snapshot_state_dir(dir, crash_img);
+    jm.shutdown();
+  }
+
+  // Both the gracefully-stopped dir and the mid-run crash image must
+  // resume to the exact bits of an uninterrupted run.
+  for (const fs::path& state : {dir, crash_img}) {
+    ServeConfig rcfg = cfg;
+    rcfg.state_dir = state.string();
+    JobManager jm(rcfg);
+    jm.start();
+    ASSERT_EQ(jm.snapshot_all().size(), ids.size())
+        << "recovery from " << state << " lost a job";
+    wait_all_terminal(jm, ids.size());
+    ProtocolError err;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      JobSnapshot snap;
+      std::vector<std::string> vectors;
+      ASSERT_TRUE(jm.result(ids[i], snap, vectors, err)) << err.message;
+      EXPECT_EQ(snap.state, JobState::Done);
+      EXPECT_EQ(vectors, direct_run(profiles[i], 11, max_evals))
+          << profiles[i] << " recovered from " << state << " with "
+          << workers << " workers";
+    }
+    jm.shutdown();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, RecoveryIdentity, ::testing::Values(1u, 4u));
+
+TEST(Recovery, TerminalResultsSurviveRestart) {
+  const fs::path dir = test_dir("recovery_terminal");
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.slice_seconds = 0.0;
+  cfg.state_dir = dir.string();
+
+  std::uint64_t id = 0;
+  std::vector<std::string> first;
+  {
+    JobManager jm(cfg);
+    jm.start();
+    ProtocolError err;
+    SubmitRequest req;
+    req.profile = "s27";
+    req.config.seed = 3;
+    req.budget.max_evaluations = 300;
+    id = jm.submit(req, err);
+    ASSERT_NE(id, 0u);
+    wait_all_terminal(jm, 1);
+    JobSnapshot snap;
+    ASSERT_TRUE(jm.result(id, snap, first, err));
+    jm.shutdown();
+  }
+  {
+    JobManager jm(cfg);
+    jm.start();
+    // The job is already terminal on disk: no re-run, result immediately
+    // available, and the id space continues after it.
+    JobSnapshot snap;
+    std::vector<std::string> again;
+    ProtocolError err;
+    ASSERT_TRUE(jm.result(id, snap, again, err)) << err.message;
+    EXPECT_EQ(snap.state, JobState::Done);
+    EXPECT_EQ(again, first);
+    SubmitRequest req;
+    req.profile = "s27";
+    req.budget.max_evaluations = 100;
+    EXPECT_GT(jm.submit(req, err), id);
+    jm.shutdown();
+  }
+}
+
+TEST(Recovery, CorruptCheckpointRequeuesFromScratch) {
+  const fs::path dir = test_dir("recovery_badcp");
+  SubmitRequest req;
+  req.profile = "s27";
+  req.config.seed = 9;
+  req.budget.max_evaluations = 600;
+
+  // Handcraft queued records whose embedded checkpoints are garbage and
+  // version-skewed: recovery must discard the checkpoint with a diagnostic
+  // and rerun from scratch — never fail the job, never crash.
+  Journal j;
+  j.open(dir.string());
+  JournalRecord r1;
+  r1.id = 1;
+  r1.submit_line = submit_json(req);
+  r1.checkpoint_text = "complete garbage\n";
+  j.write(r1);
+  JournalRecord r2 = r1;
+  r2.id = 2;
+  r2.checkpoint_text = "gatest-checkpoint v999\ncircuit s27\n";
+  j.write(r2);
+
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.slice_seconds = 0.0;
+  cfg.state_dir = dir.string();
+  JobManager jm(cfg);
+  jm.start();
+  wait_all_terminal(jm, 2);
+  const std::vector<std::string> expected = direct_run("s27", 9, 600);
+  ProtocolError err;
+  for (std::uint64_t id : {1u, 2u}) {
+    JobSnapshot snap;
+    std::vector<std::string> vectors;
+    ASSERT_TRUE(jm.result(id, snap, vectors, err)) << err.message;
+    EXPECT_EQ(snap.state, JobState::Done);
+    EXPECT_EQ(vectors, expected);
+  }
+  const telemetry::JsonValue m = telemetry::parse_json(jm.metrics_json());
+  EXPECT_EQ(m.find("counters")->number_or("serve.checkpoints_discarded", 0),
+            2.0);
+  jm.shutdown();
+}
+
+TEST(Recovery, JournalWriteFailureRejectsSubmitDurably) {
+  const fs::path dir = test_dir("recovery_joufail");
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.state_dir = dir.string();
+  JobManager jm(cfg);
+  jm.start();
+
+  FaultInjector inj;
+  std::string ferr;
+  ASSERT_TRUE(FaultInjector::parse("journal_write:every=1", 1, inj, ferr))
+      << ferr;
+  FaultInjector::set_global(&inj);
+
+  SubmitRequest req;
+  req.profile = "s27";
+  req.budget.max_evaluations = 100;
+  ProtocolError err;
+  // Durable ack: if the record cannot be fsynced the submit is refused with
+  // a retryable error — the server never acknowledges a job it could lose.
+  EXPECT_EQ(jm.submit(req, err), 0u);
+  EXPECT_EQ(err.code, "journal-error");
+  EXPECT_GT(err.retry_after_ms, 0u);
+  EXPECT_GE(inj.injected(), 1u);
+
+  FaultInjector::set_global(nullptr);
+  EXPECT_NE(jm.submit(req, err), 0u) << err.message;
+  wait_all_terminal(jm, 1);
+  jm.shutdown();
+  EXPECT_EQ(jm.metrics().counter("serve.journal_write_failures").value(), 1u);
+}
+
+// ---- torture: crash/restart cycles under fault injection --------------------
+
+TEST(Torture, CrashRestartCyclesLoseNoJobsAndServeExactBits) {
+  constexpr int kCycles = 25;
+  constexpr std::size_t kJobs = 6;
+  constexpr std::size_t kMaxEvals = 1500;
+  const fs::path base = test_dir("torture");
+
+  // Deterministic write-side fault injection: journal writes, fsyncs, and
+  // renames all fail intermittently.  Submit-time failures surface as
+  // retryable rejections; slice-time failures silently degrade to an older
+  // checkpoint — neither may ever lose an acknowledged job or change bits.
+  FaultInjector inj;
+  std::string ferr;
+  ASSERT_TRUE(FaultInjector::parse(
+      "journal_write:p=0.10,journal_fsync:p=0.08,journal_rename:p=0.08", 42,
+      inj, ferr))
+      << ferr;
+  FaultInjector::set_global(&inj);
+
+  ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.slice_seconds = 0.005;
+
+  fs::path cur = base / "d0";
+  fs::create_directories(cur);
+  std::vector<std::uint64_t> ids;
+  std::size_t submitted = 0;
+
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    cfg.state_dir = cur.string();
+    JobManager jm(cfg);
+    jm.start();
+    ProtocolError err;
+    while (submitted < kJobs &&
+           submitted < 2 * (static_cast<std::size_t>(cycle) + 1)) {
+      SubmitRequest req;
+      req.profile = "s27";
+      req.name = "t";
+      req.name += std::to_string(submitted);
+      req.config.seed = 100 + submitted;
+      req.budget.max_evaluations = kMaxEvals;
+      std::uint64_t id = 0;
+      for (int attempt = 0; attempt < 200 && id == 0; ++attempt) {
+        id = jm.submit(req, err);
+        if (id == 0) {
+          ASSERT_EQ(err.code, "journal-error") << err.message;
+        }
+      }
+      ASSERT_NE(id, 0u) << "submit never accepted under fault injection";
+      ids.push_back(id);
+      ++submitted;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    // "Crash": snapshot the live state dir mid-run and abandon this
+    // manager; the next cycle boots from the frozen image.
+    const fs::path next = base / ("d" + std::to_string(cycle + 1));
+    snapshot_state_dir(cur, next);
+    jm.shutdown();
+    cur = next;
+  }
+  FaultInjector::set_global(nullptr);
+
+  cfg.state_dir = cur.string();
+  JobManager jm(cfg);
+  jm.start();
+  ASSERT_EQ(jm.snapshot_all().size(), kJobs)
+      << "a job was lost across " << kCycles << " crash/restart cycles";
+  wait_all_terminal(jm, kJobs);
+  ProtocolError err;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    JobSnapshot snap;
+    std::vector<std::string> vectors;
+    ASSERT_TRUE(jm.result(ids[i], snap, vectors, err)) << err.message;
+    EXPECT_EQ(snap.state, JobState::Done) << "job " << ids[i];
+    EXPECT_EQ(vectors, direct_run("s27", 100 + i, kMaxEvals))
+        << "job " << ids[i] << " served the wrong bits";
+  }
+  jm.shutdown();
+}
+
+// ---- overload protection ----------------------------------------------------
+
+TEST(Overload, BoundedQueueShedsWatchersThenRejectsSubmits) {
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.slice_seconds = 0.1;
+  cfg.max_queued_jobs = 1;
+  cfg.retry_after_ms = 250;
+  JobManager jm(cfg);
+  jm.start();
+  ProtocolError err;
+
+  SubmitRequest big;
+  big.profile = "s298";
+  big.budget.max_evaluations = 100000000;
+
+  const std::uint64_t running = jm.submit(big, err);
+  ASSERT_NE(running, 0u);
+  // Wait until the single worker picks it up so the queue is empty again.
+  for (int i = 0; i < 1000; ++i) {
+    JobSnapshot s;
+    ASSERT_TRUE(jm.snapshot(running, s, err));
+    if (s.state == JobState::Running) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Subscribe while there is still room; once the queue saturates this
+  // stream becomes shedding fodder.
+  auto watcher = jm.watch(false, 0, err);
+  ASSERT_TRUE(watcher) << err.message;
+
+  const std::uint64_t queued = jm.submit(big, err);
+  ASSERT_NE(queued, 0u);
+
+  // Queue is now at its cap: the next submit sheds the watcher, then is
+  // refused with a structured, retryable error.
+  EXPECT_EQ(jm.submit(big, err), 0u);
+  EXPECT_EQ(err.code, "overloaded");
+  EXPECT_EQ(err.retry_after_ms, 250u);
+  std::string drained;
+  while (watcher->pop(drained, 0.0)) {
+  }
+  EXPECT_TRUE(watcher->closed_and_drained());
+  // New watch streams are refused while saturated.
+  EXPECT_FALSE(jm.watch(false, 0, err));
+  EXPECT_EQ(err.code, "overloaded");
+
+  const telemetry::JsonValue m = telemetry::parse_json(jm.metrics_json());
+  EXPECT_GE(m.find("counters")->number_or("serve.overload_rejections", 0),
+            1.0);
+  EXPECT_GE(m.find("counters")->number_or("serve.watchers_shed", 0), 1.0);
+
+  // Draining the queue lifts the rejection.
+  ASSERT_TRUE(jm.cancel(queued, err));
+  EXPECT_NE(jm.submit(big, err), 0u) << err.message;
+  jm.cancel(running, err);
+  jm.shutdown();
+}
+
+TEST(Overload, PerClientQuotaBoundsUnfinishedJobs) {
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.slice_seconds = 0.1;
+  cfg.max_jobs_per_client = 2;
+  JobManager jm(cfg);
+  jm.start();
+  ProtocolError err;
+
+  SubmitRequest big;
+  big.profile = "s298";
+  big.budget.max_evaluations = 100000000;
+
+  const std::uint64_t a1 = jm.submit(big, err, /*client=*/7);
+  const std::uint64_t a2 = jm.submit(big, err, 7);
+  ASSERT_NE(a1, 0u);
+  ASSERT_NE(a2, 0u);
+  EXPECT_EQ(jm.submit(big, err, 7), 0u);
+  EXPECT_EQ(err.code, "quota-exceeded");
+  EXPECT_GT(err.retry_after_ms, 0u);
+  // Other clients are unaffected, and client 0 (in-process) is exempt.
+  EXPECT_NE(jm.submit(big, err, 8), 0u) << err.message;
+  EXPECT_NE(jm.submit(big, err, 0), 0u) << err.message;
+
+  // Finishing a job releases quota.
+  ASSERT_TRUE(jm.cancel(a2, err));
+  EXPECT_NE(jm.submit(big, err, 7), 0u) << err.message;
+
+  for (const JobSnapshot& s : jm.snapshot_all()) jm.cancel(s.id, err);
+  jm.shutdown();
+}
+
+// ---- client backoff ---------------------------------------------------------
+
+TEST(Backoff, FullJitterHonorsHintAndCap) {
+  BackoffPolicy p;
+  p.base_ms = 100;
+  p.cap_ms = 400;
+  p.max_attempts = 5;
+  Backoff b(p, /*seed=*/3);
+  unsigned prev_window = 0;
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_TRUE(b.can_retry());
+    const unsigned d = b.next_delay_ms(/*server_hint_ms=*/1000);
+    EXPECT_GE(d, 1000u);  // the server's floor is always honored
+    EXPECT_LE(d, 1000u + 400u);  // and the jitter window is capped
+    prev_window = d;
+  }
+  (void)prev_window;
+  EXPECT_FALSE(b.can_retry());
+  b.reset();
+  EXPECT_TRUE(b.can_retry());
+
+  // Same policy + seed = same schedule (torture runs are replayable).
+  Backoff b1(p, 9), b2(p, 9);
+  for (int k = 0; k < 5; ++k)
+    EXPECT_EQ(b1.next_delay_ms(50), b2.next_delay_ms(50));
+}
+
+TEST(Backoff, RetryableErrorRecognizesBackpressureCodes) {
+  unsigned hint = 123;
+  EXPECT_TRUE(retryable_error(error_line({"overloaded", "full", 250}), hint));
+  EXPECT_EQ(hint, 250u);
+  EXPECT_TRUE(retryable_error(error_line({"quota-exceeded", "cap", 0}), hint));
+  EXPECT_EQ(hint, 0u);
+  EXPECT_TRUE(retryable_error(error_line({"journal-error", "disk", 80}), hint));
+  EXPECT_FALSE(retryable_error(error_line({"bad-json", "oops"}), hint));
+  EXPECT_FALSE(retryable_error(ok_line(), hint));
+  EXPECT_FALSE(retryable_error("not json at all", hint));
+  EXPECT_FALSE(retryable_error("", hint));
+}
+
+// ---- connection robustness --------------------------------------------------
+
+TEST(Server, MidFrameDisconnectNeverKillsAWorker) {
+  ServerConfig cfg;
+  cfg.serve.workers = 1;
+  cfg.serve.slice_seconds = 0.02;
+  Server server(cfg);
+  server.start();
+  std::thread runner([&server] { server.run(); });
+
+  // Client 1 dies mid-frame (bytes sent, no newline, abrupt close).
+  {
+    TcpConnection c1 = tcp_connect("127.0.0.1", server.port());
+    ASSERT_TRUE(c1.write_all("{\"cmd\":\"sta"));
+  }
+  // Client 2 submits a job and watches it, then vanishes while the server
+  // is streaming events at it — the resulting dead-socket writes must hit
+  // the error path (EPIPE), not raise SIGPIPE and kill the process.
+  std::uint64_t id = 0;
+  {
+    TcpConnection c2 = tcp_connect("127.0.0.1", server.port());
+    ASSERT_TRUE(c2.write_all(
+        "{\"cmd\":\"submit\",\"profile\":\"s298\","
+        "\"budget\":{\"max_evals\":20000}}\n"));
+    std::string line;
+    ASSERT_EQ(c2.read_line(line, kMaxRequestBytes),
+              TcpConnection::ReadStatus::Ok);
+    id = static_cast<std::uint64_t>(
+        telemetry::parse_json(line).number_or("id", 0));
+    ASSERT_GT(id, 0u);
+    ASSERT_TRUE(c2.write_all("{\"cmd\":\"watch\"}\n"));
+    ASSERT_EQ(c2.read_line(line, kMaxRequestBytes),
+              TcpConnection::ReadStatus::Ok);  // watch ack, then walk away
+  }
+
+  // A fresh client still gets full service: the job runs to completion.
+  TcpConnection c3 = tcp_connect("127.0.0.1", server.port());
+  ASSERT_TRUE(c3.valid());
+  std::string state;
+  for (int i = 0; i < 2000 && state != "done"; ++i) {
+    ASSERT_TRUE(c3.write_all("{\"cmd\":\"status\",\"id\":" +
+                             std::to_string(id) + "}\n"));
+    std::string line;
+    ASSERT_EQ(c3.read_line(line, kMaxRequestBytes),
+              TcpConnection::ReadStatus::Ok);
+    const telemetry::JsonValue st = telemetry::parse_json(line);
+    state = st.find("job") ? st.find("job")->string_or("state", "") : "";
+    if (state != "done")
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(state, "done");
+  ASSERT_TRUE(c3.write_all("{\"cmd\":\"shutdown\"}\n"));
+  runner.join();
+}
+
+TEST(Server, IdleConnectionsAreTimedOutWithDiagnostic) {
+  ServerConfig cfg;
+  cfg.serve.workers = 1;
+  cfg.idle_timeout_seconds = 0.1;
+  Server server(cfg);
+  server.start();
+  std::thread runner([&server] { server.run(); });
+
+  TcpConnection conn = tcp_connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.valid());
+  // Send nothing; the server must write an idle-timeout error and close.
+  std::string line;
+  ASSERT_EQ(conn.read_line(line, kMaxRequestBytes),
+            TcpConnection::ReadStatus::Ok);
+  const telemetry::JsonValue v = telemetry::parse_json(line);
+  ASSERT_TRUE(v.find("error"));
+  EXPECT_EQ(v.find("error")->string_or("code", ""), "idle-timeout");
+  EXPECT_EQ(conn.read_line(line, kMaxRequestBytes),
+            TcpConnection::ReadStatus::Eof);
+
+  // An active connection is unaffected as long as it keeps talking.
+  TcpConnection live = tcp_connect("127.0.0.1", server.port());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(live.write_all("{\"cmd\":\"status\"}\n"));
+    ASSERT_EQ(live.read_line(line, kMaxRequestBytes),
+              TcpConnection::ReadStatus::Ok);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  ASSERT_TRUE(live.write_all("{\"cmd\":\"shutdown\"}\n"));
   runner.join();
 }
 

@@ -216,6 +216,31 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(telemetry::parse_json(""), std::runtime_error);
 }
 
+TEST(Json, DeepNestingHitsTheCapNotTheStack) {
+  // Without a depth cap 200k open brackets would overflow the recursive
+  // parser's call stack; with it the input fails like any other bad JSON.
+  EXPECT_THROW(telemetry::parse_json(std::string(200000, '[')),
+               std::runtime_error);
+  EXPECT_THROW(telemetry::parse_json(std::string(200, '[')),
+               std::runtime_error);
+  try {
+    telemetry::parse_json(std::string(200, '['));
+    FAIL() << "unterminated deep nesting was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nest"), std::string::npos)
+        << e.what();
+  }
+
+  // Balanced nesting comfortably below the cap still parses.
+  std::string ok = std::string(60, '[') + "1" + std::string(60, ']');
+  EXPECT_NO_THROW(telemetry::parse_json(ok));
+  std::string objs;
+  for (int i = 0; i < 60; ++i) objs += "{\"k\":";
+  objs += "null";
+  objs.append(60, '}');
+  EXPECT_NO_THROW(telemetry::parse_json(objs));
+}
+
 // The acceptance bar for the whole layer: telemetry is observation-only.
 // A run with trace + metrics + progress attached must produce the same test
 // set, detection count, and evaluation count as a bare run — at one thread

@@ -1,0 +1,288 @@
+// gatest_client: one-shot command-line client for the gatest_serve daemon.
+//
+// Three modes, all built on the shared retry helper (serve/client.h), so
+// overload rejections (overloaded / quota-exceeded / journal-error) are
+// retried with jittered exponential backoff honoring retry_after_ms:
+//
+//   --req JSON      send one raw request line, print the response line
+//   --submit ...    build and send a submit from flags, print the job id
+//   --wait ID       poll status until the job is terminal, print the state
+//   --result ID     print the job's final test vectors, one per line
+//
+// Exit codes: 0 success; 1 request failed / job not done / daemon
+// unreachable after retries; 2 bad flags.  Crash-recovery scripts use
+// submit/wait/result to compare a restarted daemon's served bits against an
+// uninterrupted gatest_atpg run.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "telemetry/json.h"
+
+using namespace gatest;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port N [options] (--req JSON | --submit | --wait ID | "
+      "--result ID)\n"
+      "\n"
+      "  --host ADDR        daemon address (default 127.0.0.1)\n"
+      "  --port N           daemon port (required)\n"
+      "  --req JSON         send one raw request line, print the response\n"
+      "  --submit           submit a job from the flags below, print its id\n"
+      "    --profile NAME     benchmark profile (required with --submit)\n"
+      "    --name S           optional job label\n"
+      "    --seed N           config seed (default 1)\n"
+      "    --max-evals N      evaluation budget (default 0 = unlimited)\n"
+      "    --max-vectors N    vector budget (default 0 = unlimited)\n"
+      "  --wait ID          poll until the job is terminal; print the state\n"
+      "                     (exit 0 only for state done)\n"
+      "    --timeout-s T      give up after T seconds (default 120)\n"
+      "  --result ID        print the final test set, one vector per line\n"
+      "  --retries N        backoff retry budget (default 8)\n"
+      "  --quiet            suppress progress messages\n",
+      argv0);
+}
+
+[[noreturn]] void flag_error(const char* flag, const char* expected,
+                             const std::string& got) {
+  std::fprintf(stderr, "gatest_client: %s expects %s, got '%s'\n", flag,
+               expected, got.c_str());
+  std::exit(2);
+}
+
+std::string arg_value(int argc, char** argv, int& i, const char* argv0) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "gatest_client: %s needs a value\n", argv[i]);
+    usage(argv0);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+unsigned long parse_uint(const char* flag, const std::string& v,
+                         const char* expected) {
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+  if (v.empty() || *end != '\0' || v[0] == '-') flag_error(flag, expected, v);
+  return n;
+}
+
+/// request_with_retry + parse; exits 1 on exhausted retries or bad JSON.
+telemetry::JsonValue rpc(const std::string& host, unsigned short port,
+                         const std::string& req, serve::Backoff& backoff) {
+  std::string response, err;
+  if (!serve::request_with_retry(host, port, req, response, backoff, err)) {
+    std::fprintf(stderr, "gatest_client: request failed: %s\n", err.c_str());
+    std::exit(1);
+  }
+  try {
+    return telemetry::parse_json(response);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gatest_client: bad response '%s': %s\n",
+                 response.c_str(), e.what());
+    std::exit(1);
+  }
+}
+
+bool is_ok(const telemetry::JsonValue& resp) {
+  const telemetry::JsonValue* ok = resp.find("ok");
+  return ok && ok->type == telemetry::JsonValue::Type::Bool && ok->boolean;
+}
+
+std::string error_message(const telemetry::JsonValue& resp) {
+  const telemetry::JsonValue* err = resp.find("error");
+  if (!err || !err->is_object()) return "unknown error";
+  return err->string_or("code", "?") + ": " + err->string_or("message", "?");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  unsigned short port = 0;
+  enum class Mode { None, Req, Submit, Wait, Result } mode = Mode::None;
+  std::string raw_req, profile, name;
+  std::uint64_t job_id = 0, seed = 1, max_evals = 0, max_vectors = 0;
+  double timeout_s = 120.0;
+  unsigned retries = 8;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host") {
+      host = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--port") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      const unsigned long p = parse_uint("--port", v, "a port number 1-65535");
+      if (p < 1 || p > 65535) flag_error("--port", "a port number 1-65535", v);
+      port = static_cast<unsigned short>(p);
+    } else if (a == "--req") {
+      mode = Mode::Req;
+      raw_req = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--submit") {
+      mode = Mode::Submit;
+    } else if (a == "--wait") {
+      mode = Mode::Wait;
+      job_id = parse_uint("--wait", arg_value(argc, argv, i, argv[0]),
+                          "a job id");
+    } else if (a == "--result") {
+      mode = Mode::Result;
+      job_id = parse_uint("--result", arg_value(argc, argv, i, argv[0]),
+                          "a job id");
+    } else if (a == "--profile") {
+      profile = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--name") {
+      name = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--seed") {
+      seed = parse_uint("--seed", arg_value(argc, argv, i, argv[0]),
+                        "a non-negative seed");
+    } else if (a == "--max-evals") {
+      max_evals = parse_uint("--max-evals", arg_value(argc, argv, i, argv[0]),
+                             "a non-negative count");
+    } else if (a == "--max-vectors") {
+      max_vectors = parse_uint("--max-vectors",
+                               arg_value(argc, argv, i, argv[0]),
+                               "a non-negative count");
+    } else if (a == "--timeout-s") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      char* end = nullptr;
+      timeout_s = std::strtod(v.c_str(), &end);
+      if (v.empty() || *end != '\0' || timeout_s <= 0.0)
+        flag_error("--timeout-s", "a positive second count", v);
+    } else if (a == "--retries") {
+      retries = static_cast<unsigned>(parse_uint(
+          "--retries", arg_value(argc, argv, i, argv[0]), "a retry count"));
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "gatest_client: unknown flag '%s'\n", a.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port == 0 || mode == Mode::None) {
+    std::fprintf(stderr, "gatest_client: --port and a mode are required\n");
+    usage(argv[0]);
+    return 2;
+  }
+
+  serve::BackoffPolicy policy;
+  policy.max_attempts = retries;
+  serve::Backoff backoff(policy, seed);
+
+  switch (mode) {
+    case Mode::Req: {
+      std::string response, err;
+      if (!serve::request_with_retry(host, port, raw_req, response, backoff,
+                                     err)) {
+        std::fprintf(stderr, "gatest_client: request failed: %s\n",
+                     err.c_str());
+        return 1;
+      }
+      std::printf("%s\n", response.c_str());
+      unsigned hint = 0;
+      return serve::retryable_error(response, hint) ? 1 : 0;
+    }
+
+    case Mode::Submit: {
+      if (profile.empty()) {
+        std::fprintf(stderr, "gatest_client: --submit requires --profile\n");
+        return 2;
+      }
+      serve::JsonWriter w;
+      w.begin_object().key("cmd").value("submit");
+      if (!name.empty()) w.key("name").value(name);
+      w.key("profile").value(profile);
+      w.key("config").begin_object().key("seed").value(seed).end_object();
+      if (max_evals > 0 || max_vectors > 0) {
+        w.key("budget").begin_object();
+        if (max_evals > 0) w.key("max_evals").value(max_evals);
+        if (max_vectors > 0) w.key("max_vectors").value(max_vectors);
+        w.end_object();
+      }
+      w.end_object();
+      const telemetry::JsonValue resp = rpc(host, port, w.take(), backoff);
+      if (!is_ok(resp)) {
+        std::fprintf(stderr, "gatest_client: submit rejected: %s\n",
+                     error_message(resp).c_str());
+        return 1;
+      }
+      std::printf("%llu\n", static_cast<unsigned long long>(
+                                resp.number_or("id", 0.0)));
+      return 0;
+    }
+
+    case Mode::Wait: {
+      serve::JsonWriter w;
+      w.begin_object().key("cmd").value("status").key("id").value(job_id)
+          .end_object();
+      const std::string req = w.take();
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_s));
+      for (;;) {
+        backoff.reset();
+        const telemetry::JsonValue resp = rpc(host, port, req, backoff);
+        if (!is_ok(resp)) {
+          std::fprintf(stderr, "gatest_client: status failed: %s\n",
+                       error_message(resp).c_str());
+          return 1;
+        }
+        const telemetry::JsonValue* job = resp.find("job");
+        const std::string state = job ? job->string_or("state", "") : "";
+        if (state == "done" || state == "cancelled" || state == "failed") {
+          std::printf("%s\n", state.c_str());
+          return state == "done" ? 0 : 1;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+          std::fprintf(stderr,
+                       "gatest_client: job %llu still '%s' after %.0fs\n",
+                       static_cast<unsigned long long>(job_id), state.c_str(),
+                       timeout_s);
+          return 1;
+        }
+        if (!quiet)
+          std::fprintf(stderr, "gatest_client: job %llu is %s...\n",
+                       static_cast<unsigned long long>(job_id), state.c_str());
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+
+    case Mode::Result: {
+      serve::JsonWriter w;
+      w.begin_object().key("cmd").value("result").key("id").value(job_id)
+          .end_object();
+      const telemetry::JsonValue resp = rpc(host, port, w.take(), backoff);
+      if (!is_ok(resp)) {
+        std::fprintf(stderr, "gatest_client: result failed: %s\n",
+                     error_message(resp).c_str());
+        return 1;
+      }
+      const telemetry::JsonValue* vectors = resp.find("vectors");
+      if (!vectors) {
+        std::fprintf(stderr, "gatest_client: response has no vectors\n");
+        return 1;
+      }
+      for (const telemetry::JsonValue& v : vectors->array)
+        std::printf("%s\n", v.str.c_str());
+      return 0;
+    }
+
+    case Mode::None:
+      break;
+  }
+  return 2;
+}

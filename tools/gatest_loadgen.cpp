@@ -19,6 +19,7 @@
 
 #include "circuitgen/circuitgen.h"
 #include "netlist/bench_io.h"
+#include "serve/client.h"
 #include "serve/protocol.h"
 #include "telemetry/json.h"
 #include "util/net.h"
@@ -229,7 +230,45 @@ int main(int argc, char** argv) {
       w.key("max_vectors").value(static_cast<std::uint64_t>(max_vectors));
     w.end_object().end_object();
 
-    const telemetry::JsonValue resp = roundtrip(conn, w.take());
+    // Overload rejections (overloaded / quota-exceeded / journal-error) are
+    // retried with jittered exponential backoff honoring the server's
+    // retry_after_ms hint; everything else is a hard failure.
+    const std::string submit_req = w.take();
+    serve::Backoff backoff({}, seed + i);
+    telemetry::JsonValue resp;
+    for (;;) {
+      std::string raw;
+      if (!serve::roundtrip(conn, submit_req, raw)) {
+        std::fprintf(stderr, "gatest_loadgen: connection lost on submit\n");
+        return 1;
+      }
+      unsigned hint = 0;
+      if (serve::retryable_error(raw, hint)) {
+        if (!backoff.can_retry()) {
+          std::fprintf(stderr,
+                       "gatest_loadgen: submit %zu still rejected after %u "
+                       "retries: %s\n",
+                       i, backoff.attempts(), raw.c_str());
+          return 1;
+        }
+        const unsigned delay = backoff.next_delay_ms(hint);
+        if (!quiet)
+          std::fprintf(stderr,
+                       "gatest_loadgen: submit %zu backpressured; retrying "
+                       "in %u ms\n",
+                       i, delay);
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        continue;
+      }
+      try {
+        resp = telemetry::parse_json(raw);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "gatest_loadgen: bad response '%s': %s\n",
+                     raw.c_str(), e.what());
+        return 1;
+      }
+      break;
+    }
     const telemetry::JsonValue* okv = resp.find("ok");
     if (!okv || okv->type != telemetry::JsonValue::Type::Bool ||
         !okv->boolean) {

@@ -13,6 +13,7 @@
 
 #include "serve/server.h"
 #include "telemetry/log.h"
+#include "util/fault_inject.h"
 #include "util/run_control.h"
 
 using namespace gatest;
@@ -36,6 +37,25 @@ void usage(const char* argv0) {
       "  --trace-out FILE   server-level JSONL trace (job_submit/job_start/\n"
       "                     slice_stop/job_done events)\n"
       "  --metrics-out FILE write a metrics snapshot as JSON on shutdown\n"
+      "  --state-dir DIR    persistent job journal: every accepted job is\n"
+      "                     recorded crash-atomically and recovered (resumed\n"
+      "                     from its last checkpoint) on the next start\n"
+      "  --max-queue N      reject submits with 'overloaded' once N jobs are\n"
+      "                     queued; 0 = unbounded (default 0)\n"
+      "  --max-jobs-per-client N\n"
+      "                     per-connection cap on unfinished jobs; exceeding\n"
+      "                     it rejects with 'quota-exceeded' (default 0 = "
+      "off)\n"
+      "  --idle-timeout-ms N\n"
+      "                     drop connections idle longer than N ms "
+      "(default 0 = never)\n"
+      "  --retry-after-ms N backoff hint attached to overload rejections\n"
+      "                     (default 500)\n"
+      "  --fault-inject SPEC\n"
+      "                     deterministic fault injection for robustness\n"
+      "                     testing, e.g. journal_write:p=0.05 (see\n"
+      "                     util/fault_inject.h for the grammar)\n"
+      "  --fault-seed N     seed for --fault-inject streams (default 1)\n"
       "  --quiet            suppress informational stderr messages\n"
       "  --verbose          debug-level stderr messages\n",
       argv0);
@@ -70,6 +90,8 @@ unsigned long parse_uint(const char* flag, const std::string& v,
 int main(int argc, char** argv) {
   serve::ServerConfig cfg;
   std::string port_file, metrics_file;
+  std::string fault_spec;
+  std::uint64_t fault_seed = 1;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +119,32 @@ int main(int argc, char** argv) {
       cfg.serve.trace_path = arg_value(argc, argv, i, argv[0]);
     } else if (a == "--metrics-out") {
       metrics_file = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--state-dir") {
+      cfg.serve.state_dir = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--max-queue") {
+      cfg.serve.max_queued_jobs = parse_uint(
+          "--max-queue", arg_value(argc, argv, i, argv[0]),
+          "a non-negative count");
+    } else if (a == "--max-jobs-per-client") {
+      cfg.serve.max_jobs_per_client = parse_uint(
+          "--max-jobs-per-client", arg_value(argc, argv, i, argv[0]),
+          "a non-negative count");
+    } else if (a == "--idle-timeout-ms") {
+      cfg.idle_timeout_seconds =
+          static_cast<double>(parse_uint("--idle-timeout-ms",
+                                         arg_value(argc, argv, i, argv[0]),
+                                         "a non-negative millisecond count")) /
+          1000.0;
+    } else if (a == "--retry-after-ms") {
+      cfg.serve.retry_after_ms = static_cast<unsigned>(
+          parse_uint("--retry-after-ms", arg_value(argc, argv, i, argv[0]),
+                     "a non-negative millisecond count"));
+    } else if (a == "--fault-inject") {
+      fault_spec = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--fault-seed") {
+      fault_seed = parse_uint("--fault-seed",
+                              arg_value(argc, argv, i, argv[0]),
+                              "a non-negative seed");
     } else if (a == "--quiet") {
       quiet = true;
       telemetry::global_logger().set_level(telemetry::LogLevel::Quiet);
@@ -110,6 +158,19 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+  }
+
+  static FaultInjector injector;  // outlives every thread that consults it
+  if (!fault_spec.empty()) {
+    std::string ferr;
+    if (!FaultInjector::parse(fault_spec, fault_seed, injector, ferr)) {
+      std::fprintf(stderr, "gatest_serve: --fault-inject: %s\n", ferr.c_str());
+      return 2;
+    }
+    FaultInjector::set_global(&injector);
+    if (!quiet)
+      std::fprintf(stderr, "gatest_serve: fault injection armed: %s\n",
+                   fault_spec.c_str());
   }
 
   serve::Server server(cfg);
