@@ -1,0 +1,207 @@
+// micro_implication — measures (and with --check, enforces) the fsim work
+// saved by --prune-proven on a circuit with injected redundancy.
+//
+// An ISCAS89 benchmark circuit is cloned and M provably-redundant cones are
+// grafted onto its primary outputs:
+//
+//     k  = CONST0
+//     s  = XOR(a, k)        // s == a, but only an implication engine knows
+//     ns = NOT(a)
+//     g  = AND(s, ns)       // == a AND NOT a == 0
+//     po' = OR(po, g)       // g never flips the wrapped output
+//
+// with `a` a primary input (so S(a) = {0,1} and the proofs qualify as inert).
+// The fault `s s-a-0` is then rule-5 provably untestable — under activation
+// (s=1) the closure pins the AND's side input ns to its controlling value 0 —
+// yet in an unpruned run it occupies a packed fault-simulation lane in every
+// frame where a = 1.  The fault `s s-a-1` stays testable, keeping the cone
+// itself exercised.
+//
+// The same deterministic vector stream is committed against a pruned and an
+// unpruned fault list.  --check asserts:
+//   1. the prover finds at least M inert faults;
+//   2. every per-frame observable (detections, fault effects at flip-flops,
+//      good/faulty event counts, faults_simulated) is bit-identical;
+//   3. the final detected-fault sets and detecting-vector indices match, and
+//      no proven fault was ever detected (soundness);
+//   4. the pruned run settled strictly fewer packed fault-group lanes.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/untestable.h"
+#include "circuitgen/circuitgen.h"
+#include "fault/fault.h"
+#include "fsim/fault_sim.h"
+#include "netlist/circuit.h"
+#include "sim/logic.h"
+
+using namespace gatest;
+
+namespace {
+
+constexpr std::size_t kRedundantCones = 8;
+constexpr std::size_t kFrames = 256;
+
+/// Clone `base` and graft `cones` redundant cones onto its outputs.
+Circuit inject_redundancy(const Circuit& base, std::size_t cones) {
+  Circuit c(base.name() + "_redundant");
+  std::vector<GateId> map(base.num_gates(), kNoGate);
+
+  // topo_order lists sources first and every gate after its fanins, so a
+  // single pass re-creates the combinational structure; flip-flop data inputs
+  // (the only legal back edges) are bound afterwards.
+  for (GateId id : base.topo_order()) {
+    const Gate& g = base.gate(id);
+    switch (g.type) {
+      case GateType::Input: map[id] = c.add_input(g.name); break;
+      case GateType::Dff:   map[id] = c.add_dff(g.name); break;
+      default: {
+        std::vector<GateId> fanins;
+        fanins.reserve(g.fanins.size());
+        for (GateId fi : g.fanins) fanins.push_back(map[fi]);
+        map[id] = c.add_gate(g.type, g.name, std::move(fanins));
+      }
+    }
+  }
+  for (GateId id : base.dffs())
+    c.set_dff_input(map[id], map[base.gate(id).fanins[0]]);
+
+  const GateId k = c.add_gate(GateType::Const0, "redk", {});
+  std::vector<GateId> observed;
+  observed.reserve(base.outputs().size());
+  for (GateId id : base.outputs()) observed.push_back(map[id]);
+
+  for (std::size_t i = 0; i < cones; ++i) {
+    const std::string tag = std::to_string(i);
+    const GateId a = map[base.inputs()[i % base.num_inputs()]];
+    const GateId s = c.add_gate(GateType::Xor, "red_s" + tag, {a, k});
+    const GateId ns = c.add_gate(GateType::Not, "red_ns" + tag, {a});
+    const GateId g = c.add_gate(GateType::And, "red_g" + tag, {s, ns});
+    GateId& po = observed[i % observed.size()];
+    po = c.add_gate(GateType::Or, "red_po" + tag, {po, g});
+  }
+  for (GateId id : observed) c.add_output(id);
+  c.finalize();
+  return c;
+}
+
+/// Deterministic binary vector stream (xorshift64*; no libc rand()).
+TestSequence make_vectors(std::size_t num_inputs, std::size_t frames) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  };
+  TestSequence seq;
+  seq.reserve(frames);
+  for (std::size_t f = 0; f < frames; ++f) {
+    TestVector v(num_inputs);
+    std::uint64_t bits = 0;
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      if (i % 64 == 0) bits = next();
+      v[i] = (bits >> (i % 64)) & 1 ? Logic::One : Logic::Zero;
+    }
+    seq.push_back(std::move(v));
+  }
+  return seq;
+}
+
+int fail(const char* what) {
+  std::fprintf(stderr, "micro_implication: CHECK FAILED: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string profile = "s298";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--check")) check = true;
+    else if (!std::strcmp(argv[i], "--profile") && i + 1 < argc)
+      profile = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--check] [--profile NAME]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const Circuit c = inject_redundancy(benchmark_circuit(profile),
+                                      kRedundantCones);
+
+  FaultList plain(c), pruned(c);
+  const auto proofs = analysis::prove_untestable(c, plain.faults());
+  const analysis::ProvenSummary ps = analysis::summarize_proofs(proofs);
+  analysis::apply_proven_pruning(pruned, proofs);
+
+  SequentialFaultSimulator sim_plain(c, plain), sim_pruned(c, pruned);
+  const TestSequence vectors = make_vectors(c.num_inputs(), kFrames);
+
+  bool frames_identical = true;
+  for (std::size_t f = 0; f < vectors.size(); ++f) {
+    const FaultSimStats a =
+        sim_plain.apply_vector(vectors[f], static_cast<std::int64_t>(f));
+    const FaultSimStats b =
+        sim_pruned.apply_vector(vectors[f], static_cast<std::int64_t>(f));
+    if (a.detected != b.detected ||
+        a.fault_effects_at_ffs != b.fault_effects_at_ffs ||
+        a.good_events != b.good_events || a.faulty_events != b.faulty_events ||
+        a.ffs_set != b.ffs_set || a.ffs_changed != b.ffs_changed ||
+        a.faults_simulated != b.faults_simulated) {
+      frames_identical = false;
+      std::fprintf(stderr,
+                   "frame %zu diverged: det %u/%u ffx %u/%u gev %llu/%llu "
+                   "fev %llu/%llu sim %u/%u\n",
+                   f, a.detected, b.detected, a.fault_effects_at_ffs,
+                   b.fault_effects_at_ffs,
+                   static_cast<unsigned long long>(a.good_events),
+                   static_cast<unsigned long long>(b.good_events),
+                   static_cast<unsigned long long>(a.faulty_events),
+                   static_cast<unsigned long long>(b.faulty_events),
+                   a.faults_simulated, b.faults_simulated);
+    }
+  }
+
+  bool detected_identical = true, soundness = true;
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    const bool da = plain.status(i) == FaultStatus::Detected;
+    const bool db = pruned.status(i) == FaultStatus::Detected;
+    if (da != db || (da && plain.detected_by(i) != pruned.detected_by(i)))
+      detected_identical = false;
+    if (da && proofs[i].proven()) {
+      soundness = false;
+      std::fprintf(stderr, "proven fault %s detected by vector %lld\n",
+                   fault_name(c, plain.fault(i)).c_str(),
+                   static_cast<long long>(plain.detected_by(i)));
+    }
+  }
+
+  const std::uint64_t lanes_plain = sim_plain.counters().fault_group_lanes;
+  const std::uint64_t lanes_pruned = sim_pruned.counters().fault_group_lanes;
+
+  std::printf(
+      "%s: %zu faults, %zu proven untestable (%zu inert), %zu pruned\n"
+      "detected %zu/%zu, fault-group lanes %llu (plain) vs %llu (pruned): "
+      "%.1f%% less fsim work\n",
+      c.name().c_str(), ps.total_faults, ps.proven, ps.inert,
+      pruned.num_pruned(), plain.num_detected(), plain.size(),
+      static_cast<unsigned long long>(lanes_plain),
+      static_cast<unsigned long long>(lanes_pruned),
+      lanes_plain ? 100.0 * (1.0 - static_cast<double>(lanes_pruned) /
+                                       static_cast<double>(lanes_plain))
+                  : 0.0);
+
+  if (!check) return 0;
+  if (ps.inert < kRedundantCones) return fail("fewer inert proofs than injected cones");
+  if (pruned.num_pruned() < kRedundantCones) return fail("pruning did not remove the injected faults");
+  if (!frames_identical) return fail("per-frame observables diverged");
+  if (!detected_identical) return fail("detected-fault sets differ");
+  if (!soundness) return fail("a proven-untestable fault was detected");
+  if (lanes_pruned >= lanes_plain) return fail("pruning did not reduce fault-group lanes");
+  std::puts("micro_implication: all checks passed");
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "analysis/untestable.h"
 #include "atpg/hitec_lite.h"
 #include "experiments/harness.h"
 #include "fault/fault.h"
@@ -32,9 +33,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> headers = {"Circuit", "PIs",    "Depth",  "Faults",
                                       "HT-Det",  "HT-Vec", "HT-Time", "GA-Det",
                                       "GA-Vec",  "GA-Time"};
-  if (args.prune_untestable) {
+  if (args.prune_untestable || args.prune_proven) {
     headers.push_back("Pruned");
     headers.push_back("GA-Eff");
+  }
+  if (args.prune_proven) {
+    headers.push_back("Proven");
+    headers.push_back("Inert");
   }
   AsciiTable table(headers);
 
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
     // GATEST, averaged over runs with fresh seeds.
     TestGenConfig cfg = paper_config_for(name);
     cfg.prune_untestable = args.prune_untestable;
+    cfg.prune_proven = args.prune_proven;
     const RunSummary ga = run_gatest_repeated(name, cfg, args.runs, args.seed);
 
     std::vector<std::string> row = {
@@ -64,9 +70,20 @@ int main(int argc, char** argv) {
         strprintf("%.0f(%.0f)", ga.vectors.mean(), ga.vectors.stddev()),
         format_duration_quantiles(ga.seconds),
     };
-    if (args.prune_untestable) {
+    if (args.prune_untestable || args.prune_proven) {
       row.push_back(strprintf("%zu", ga.faults_pruned));
       row.push_back(strprintf("%.1f%%", 100.0 * ga.efficiency.mean()));
+    }
+    if (args.prune_proven) {
+      // Deterministic per-circuit proof counts (independent of runs/seeds):
+      // Proven = implication-engine untestability proofs over the collapsed
+      // universe, Inert = the zero-footprint subset actually removed from
+      // the simulated universe by --prune-proven.
+      FaultList pf(c);
+      const analysis::ProvenSummary ps = analysis::summarize_proofs(
+          analysis::prove_untestable(c, pf.faults()));
+      row.push_back(strprintf("%zu", ps.proven));
+      row.push_back(strprintf("%zu", ps.inert));
     }
     table.add_row(row);
   }

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Determinism lint for src/: the whole pipeline is contractually reproducible
+# (same circuit + seed + thread count => bit-identical test sets, enforced by
+# the cli_*_identity and golden ctest gates), so nondeterminism sources are
+# banned at the source level:
+#
+#   * libc rand()/srand() and wall-clock seeding (time(NULL)/time(nullptr))
+#   * std::random_device (hardware entropy) outside the seeding allowlist
+#   * range-for iteration over std::unordered_map/unordered_set members —
+#     iteration order is implementation-defined and must never feed committed
+#     state; unordered containers in src/ are lookup-only (.find()/operator[])
+#
+# Allowlist: src/util/rng.h (the single seeding utility) may mention
+# std::random_device in documentation or optional entropy plumbing; nothing
+# else may.
+#
+# Usage: check_determinism.sh [SRC_DIR]   (default: <repo>/src)
+# Exits 0 when clean, 1 with file:line diagnostics otherwise.
+
+set -u
+
+src_dir=${1:-"$(dirname "$0")/../src"}
+[ -d "$src_dir" ] || { echo "check_determinism: no such directory: $src_dir" >&2; exit 2; }
+
+# POSIX sh: a function fed by a pipe runs in a subshell, so failures are
+# accumulated in a marker file instead of a shell variable.
+failmark=$(mktemp)
+trap 'rm -f "$failmark"' EXIT
+: > "$failmark"
+report() {
+    # $1 = label, stdin = offending file:line matches (possibly empty)
+    matches=$(cat)
+    if [ -n "$matches" ]; then
+        echo "check_determinism: $1:" >&2
+        echo "$matches" | sed 's/^/  /' >&2
+        echo fail >> "$failmark"
+    fi
+}
+
+files=$(find "$src_dir" -name '*.cpp' -o -name '*.h' | sort)
+
+# 1. libc rand()/srand(): never legitimate; the project RNG is util/rng.h.
+#    \brand( also catches srand( via its own pattern; word boundary keeps
+#    operator[](i) % grand_total etc. out.
+grep -nE '(^|[^_[:alnum:]])s?rand[[:space:]]*\(' $files /dev/null \
+    | grep -v 'check_determinism' \
+    | report "libc rand()/srand() (use util/rng.h)"
+
+# 2. Wall-clock seeding.
+grep -nE 'time[[:space:]]*\([[:space:]]*(NULL|nullptr)[[:space:]]*\)' \
+    $files /dev/null \
+    | report "wall-clock seeding via time(NULL)"
+
+# 3. Hardware entropy outside the seeding utility.
+grep -n 'std::random_device' $files /dev/null \
+    | grep -v '/util/rng\.h' \
+    | report "std::random_device outside src/util/rng.h"
+
+# 4. Range-for over unordered containers.  Two passes: collect identifiers
+#    declared with an unordered type anywhere in src/, then flag range-for
+#    loops whose range expression ends in one of those identifiers.  This is
+#    a heuristic (no C++ parser here), deliberately biased toward false
+#    positives: a flagged loop is either a real hazard or worth a rename.
+idents=$(grep -hoE 'std::unordered_(map|set)<[^;]*>[[:space:]]+[A-Za-z_][A-Za-z_0-9]*' $files \
+    | sed -E 's/.*>[[:space:]]+([A-Za-z_][A-Za-z_0-9]*)$/\1/' | sort -u)
+if [ -n "$idents" ]; then
+    pattern=$(printf '%s|' $idents | sed 's/|$//')
+    grep -nE "for[[:space:]]*\([^)]*:[[:space:]&]*($pattern)[[:space:]]*\)" \
+        $files /dev/null \
+        | report "range-for over an unordered container (order is implementation-defined)"
+fi
+
+if [ -s "$failmark" ]; then
+    exit 1
+fi
+echo "check_determinism: OK ($(echo "$files" | wc -l | tr -d ' ') files clean)"

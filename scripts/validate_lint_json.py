@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a gatest_lint --format json report against the versioned schema.
+
+Checks (the analysis layer's JSON schema contract, see
+src/analysis/diagnostic.h):
+  * the report is one JSON object tagged tool == "gatest-lint"
+  * schema_version matches the expected value (pinned here; bump both
+    together when the schema changes)
+  * circuit is a non-empty string
+  * diagnostics is an array of {severity, code, location, message} with
+    severity in {info, warning, error} and non-empty code strings
+  * stats carries the full non-negative-integer structural summary
+  * errors/warnings/infos match the per-severity counts over diagnostics
+  * when --prove output is present, every proven-untestable-* diagnostic
+    carries a witness message and the prove-summary diagnostic exists
+
+Usage:
+  validate_lint_json.py REPORT.json
+
+Exits 0 when the report is valid, 1 with a diagnostic otherwise.
+"""
+
+import json
+import sys
+
+EXPECTED_SCHEMA_VERSION = 2
+SEVERITIES = ("info", "warning", "error")
+STAT_FIELDS = (
+    "nodes", "logic_gates", "inputs", "outputs", "dffs", "levels",
+    "sequential_depth", "ffrs", "max_ffr_size", "max_fanout",
+    "dead_gates", "uninitializable_dffs",
+)
+
+
+def fail(msg):
+    print(f"validate_lint_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_lint_json.py REPORT.json")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(report, dict):
+        fail("report is not a JSON object")
+    if report.get("tool") != "gatest-lint":
+        fail(f"tool tag is {report.get('tool')!r}, expected 'gatest-lint'")
+    if report.get("schema_version") != EXPECTED_SCHEMA_VERSION:
+        fail(f"schema_version is {report.get('schema_version')!r}, "
+             f"expected {EXPECTED_SCHEMA_VERSION}")
+    if not isinstance(report.get("circuit"), str) or not report["circuit"]:
+        fail("circuit is missing or empty")
+
+    diags = report.get("diagnostics")
+    if not isinstance(diags, list):
+        fail("diagnostics is not an array")
+    counts = dict.fromkeys(SEVERITIES, 0)
+    prove_diags = 0
+    has_prove_summary = False
+    for i, d in enumerate(diags):
+        if not isinstance(d, dict):
+            fail(f"diagnostics[{i}] is not an object")
+        sev = d.get("severity")
+        if sev not in SEVERITIES:
+            fail(f"diagnostics[{i}].severity is {sev!r}")
+        counts[sev] += 1
+        for key in ("code", "location", "message"):
+            if not isinstance(d.get(key), str):
+                fail(f"diagnostics[{i}].{key} is missing or not a string")
+        if not d["code"]:
+            fail(f"diagnostics[{i}].code is empty")
+        if d["code"].startswith("proven-untestable-"):
+            prove_diags += 1
+            if not d["message"]:
+                fail(f"diagnostics[{i}] proven-untestable without a witness")
+        if d["code"] == "prove-summary":
+            has_prove_summary = True
+
+    if prove_diags and not has_prove_summary:
+        fail("proven-untestable diagnostics present but no prove-summary")
+
+    stats = report.get("stats")
+    if not isinstance(stats, dict):
+        fail("stats is not an object")
+    for key in STAT_FIELDS:
+        v = stats.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(f"stats.{key} is {v!r}, expected a non-negative integer")
+
+    for sev, key in (("error", "errors"), ("warning", "warnings"),
+                     ("info", "infos")):
+        if report.get(key) != counts[sev]:
+            fail(f"{key} is {report.get(key)!r} but diagnostics contain "
+                 f"{counts[sev]}")
+
+    print(f"validate_lint_json: OK ({report['circuit']}: {len(diags)} "
+          f"diagnostics, {prove_diags} proven-untestable)")
+
+
+if __name__ == "__main__":
+    main()

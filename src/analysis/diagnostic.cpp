@@ -74,7 +74,8 @@ void write_escaped(std::ostream& out, const std::string& s) {
 }  // namespace
 
 void write_json(const AnalysisReport& report, std::ostream& out) {
-  out << "{\"circuit\":";
+  out << "{\"tool\":\"gatest-lint\",\"schema_version\":"
+      << kLintJsonSchemaVersion << ",\"circuit\":";
   write_escaped(out, report.circuit_name);
   out << ",\"diagnostics\":[";
   for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {

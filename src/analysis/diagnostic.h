@@ -72,9 +72,15 @@ int exit_code(const AnalysisReport& report);
 /// Human-readable rendering, one diagnostic per line, stats footer.
 void write_text(const AnalysisReport& report, std::ostream& out);
 
-/// Machine-readable rendering: a single JSON object with "circuit",
-/// "diagnostics" (array of {severity, code, location, message}), "stats",
-/// and per-severity counts.  Strings are JSON-escaped.
+/// Version of the JSON report schema below.  Bump whenever a field is
+/// added, removed, or changes meaning; scripts/validate_lint_json.py pins
+/// the expected value.
+inline constexpr int kLintJsonSchemaVersion = 2;
+
+/// Machine-readable rendering: a single JSON object with "tool",
+/// "schema_version", "circuit", "diagnostics" (array of {severity, code,
+/// location, message}), "stats", and per-severity counts.  Strings are
+/// JSON-escaped.
 void write_json(const AnalysisReport& report, std::ostream& out);
 
 }  // namespace gatest::analysis

@@ -1,0 +1,303 @@
+#include "analysis/implication.h"
+
+#include <algorithm>
+
+namespace gatest::analysis {
+namespace {
+
+/// Abstract Kleene evaluation of a binary op over value sets: the union of
+/// op(a, b) over every a ∈ A, b ∈ B.  Folding an n-ary gate pairwise only
+/// over-approximates the exact set (correlations between picks are dropped),
+/// which is the sound direction.
+template <typename Op>
+ValueSet abstract_fold(Op op, ValueSet a, ValueSet b) {
+  static constexpr Logic kAll[3] = {Logic::Zero, Logic::One, Logic::X};
+  std::uint8_t bits = 0;
+  for (Logic x : kAll) {
+    if (!a.can(x)) continue;
+    for (Logic y : kAll) {
+      if (!b.can(y)) continue;
+      bits |= ValueSet::of(op(x, y)).bits();
+    }
+  }
+  return ValueSet(bits);
+}
+
+ValueSet abstract_invert(ValueSet s) {
+  std::uint8_t bits = 0;
+  if (s.can(Logic::Zero)) bits |= ValueSet::kOne;
+  if (s.can(Logic::One)) bits |= ValueSet::kZero;
+  if (s.can(Logic::X)) bits |= ValueSet::kX;
+  return ValueSet(bits);
+}
+
+ValueSet abstract_gate(const Circuit& c, GateId id,
+                       const std::vector<ValueSet>& s) {
+  const Gate& g = c.gate(id);
+  ValueSet out;
+  switch (g.type) {
+    case GateType::Input:  return ValueSet(ValueSet::kZero | ValueSet::kOne);
+    case GateType::Const0: return ValueSet::of(Logic::Zero);
+    case GateType::Const1: return ValueSet::of(Logic::One);
+    case GateType::Dff:    return s[id];  // handled by the caller's FF rule
+    case GateType::Buf:    return s[g.fanins[0]];
+    case GateType::Not:    return abstract_invert(s[g.fanins[0]]);
+    case GateType::And:
+    case GateType::Nand:
+      out = s[g.fanins[0]];
+      for (std::size_t p = 1; p < g.fanins.size(); ++p)
+        out = abstract_fold(logic_and, out, s[g.fanins[p]]);
+      break;
+    case GateType::Or:
+    case GateType::Nor:
+      out = s[g.fanins[0]];
+      for (std::size_t p = 1; p < g.fanins.size(); ++p)
+        out = abstract_fold(logic_or, out, s[g.fanins[p]]);
+      break;
+    case GateType::Xor:
+    case GateType::Xnor:
+      out = s[g.fanins[0]];
+      for (std::size_t p = 1; p < g.fanins.size(); ++p)
+        out = abstract_fold(logic_xor, out, s[g.fanins[p]]);
+      break;
+  }
+  if (is_inverting(g.type)) out = abstract_invert(out);
+  return out;
+}
+
+/// Kleene evaluation of gate g from a partial assignment (X = unassigned).
+Logic eval_gate(const Circuit& c, GateId id, const std::vector<Logic>& val) {
+  const Gate& g = c.gate(id);
+  Logic out = Logic::X;
+  switch (g.type) {
+    case GateType::Input:
+    case GateType::Dff:
+    case GateType::Const0:
+    case GateType::Const1:
+      return Logic::X;  // frame sources: nothing to derive from fanins
+    case GateType::Buf: out = val[g.fanins[0]]; break;
+    case GateType::Not: out = val[g.fanins[0]]; break;
+    case GateType::And:
+    case GateType::Nand:
+      out = Logic::One;
+      for (GateId in : g.fanins) out = logic_and(out, val[in]);
+      break;
+    case GateType::Or:
+    case GateType::Nor:
+      out = Logic::Zero;
+      for (GateId in : g.fanins) out = logic_or(out, val[in]);
+      break;
+    case GateType::Xor:
+    case GateType::Xnor:
+      out = Logic::Zero;
+      for (GateId in : g.fanins) out = logic_xor(out, val[in]);
+      break;
+  }
+  if (is_inverting(g.type)) out = logic_not(out);
+  return out;
+}
+
+}  // namespace
+
+std::string ValueSet::to_string() const {
+  std::string s = "{";
+  if (can(Logic::Zero)) s += "0,";
+  if (can(Logic::One)) s += "1,";
+  if (can(Logic::X)) s += "x,";
+  if (s.size() > 1) s.pop_back();
+  s += "}";
+  return s;
+}
+
+std::vector<ValueSet> compute_value_sets(const Circuit& c) {
+  std::vector<ValueSet> s(c.num_gates());
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    switch (c.gate(id).type) {
+      case GateType::Input:
+        s[id] = ValueSet(ValueSet::kZero | ValueSet::kOne);
+        break;
+      case GateType::Const0: s[id] = ValueSet::of(Logic::Zero); break;
+      case GateType::Const1: s[id] = ValueSet::of(Logic::One); break;
+      case GateType::Dff:    s[id] = ValueSet::of(Logic::X); break;
+      default: break;  // logic gates start empty, filled below
+    }
+  }
+  // Inner pass in topological order settles the combinational network; the
+  // outer loop feeds flip-flop outputs from their data inputs until nothing
+  // grows (bits only accumulate, so this terminates in O(#nets) passes).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GateId id : c.topo_order()) {
+      const Gate& g = c.gate(id);
+      ValueSet next = s[id];
+      if (g.type == GateType::Dff) {
+        next = next | s[g.fanins[0]];
+      } else if (!is_combinational_source(g.type)) {
+        next = next | abstract_gate(c, id, s);
+      }
+      if (next != s[id]) {
+        s[id] = next;
+        changed = true;
+      }
+    }
+  }
+  return s;
+}
+
+ImplicationEngine::ImplicationEngine(const Circuit& c,
+                                     const std::vector<ValueSet>& sets)
+    : circuit_(&c), sets_(&sets), base_(c.num_gates(), Logic::X) {
+  // Constant nets (explicit constants and anything the value-set fixpoint
+  // pinned to one binary value) seed every closure.
+  for (GateId id = 0; id < c.num_gates(); ++id)
+    if (sets[id].singleton_binary()) base_[id] = sets[id].singleton_value();
+  assigned_ = base_;
+}
+
+bool ImplicationEngine::set(GateId net, Logic v) {
+  const Logic cur = assigned_[net];
+  if (cur == v) return true;
+  if (cur != Logic::X) {
+    conflict_ = ConflictKind::DoubleAssignment;
+    conflict_net_ = net;
+    conflict_want_ = v;
+    conflict_have_ = cur;
+    return false;
+  }
+  if (!(*sets_)[net].can(v)) {
+    conflict_ = ConflictKind::ValueSetConflict;
+    conflict_net_ = net;
+    conflict_want_ = v;
+    conflict_have_ = Logic::X;
+    return false;
+  }
+  assigned_[net] = v;
+  trail_.push_back(net);
+  queue_.push_back(net);
+  for (GateId r : circuit_->gate(net).fanouts) queue_.push_back(r);
+  return true;
+}
+
+bool ImplicationEngine::imply_forward(GateId g) {
+  const Logic out = eval_gate(*circuit_, g, assigned_);
+  if (out == Logic::X) return true;
+  // set() is a no-op when g already holds `out` and reports the
+  // contradiction when the inputs force the opposite of an assigned output.
+  return set(g, out);
+}
+
+bool ImplicationEngine::imply_backward(GateId g) {
+  const Logic out = assigned_[g];
+  if (out == Logic::X) return true;
+  const Gate& gate = circuit_->gate(g);
+  switch (gate.type) {
+    case GateType::Input:
+    case GateType::Dff:  // frame boundary: state implies nothing about D-in
+    case GateType::Const0:
+    case GateType::Const1:
+      return true;
+    case GateType::Buf:
+      return set(gate.fanins[0], out);
+    case GateType::Not:
+      return set(gate.fanins[0], logic_not(out));
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor: {
+      const auto cv = static_cast<Logic>(controlling_value(gate.type));
+      const Logic ncv = logic_not(cv);
+      const Logic forced = is_inverting(gate.type) ? logic_not(cv) : cv;
+      if (out != forced) {
+        // Output at the non-controlled value: every input must be at the
+        // non-controlling value (AND=1 ⇒ all 1, NOR=0 ⇒ ... all handled).
+        for (GateId in : gate.fanins)
+          if (!set(in, ncv)) return false;
+        return true;
+      }
+      // Output at the controlled value: if every input but one is already
+      // pinned non-controlling, the remaining input must be controlling.
+      GateId remaining = kNoGate;
+      for (GateId in : gate.fanins) {
+        if (assigned_[in] == cv) return true;  // already justified
+        if (assigned_[in] == ncv) continue;
+        if (remaining != kNoGate && remaining != in) return true;  // ≥2 free
+        remaining = in;
+      }
+      if (remaining == kNoGate) {
+        // All inputs non-controlling yet the output claims the controlled
+        // value: contradiction at the gate's own net.
+        conflict_ = ConflictKind::DoubleAssignment;
+        conflict_net_ = g;
+        conflict_want_ = out;
+        conflict_have_ = logic_not(out);
+        return false;
+      }
+      return set(remaining, cv);
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      // With all inputs but one assigned, parity fixes the remaining one.
+      GateId remaining = kNoGate;
+      Logic parity = is_inverting(gate.type) ? logic_not(out) : out;
+      for (GateId in : gate.fanins) {
+        if (assigned_[in] == Logic::X) {
+          if (remaining != kNoGate && remaining != in) return true;
+          remaining = in;
+        }
+      }
+      if (remaining == kNoGate) return true;  // forward already checked it
+      for (GateId in : gate.fanins)
+        if (in != remaining) parity = logic_xor(parity, assigned_[in]);
+      // Duplicate free pins (XOR(a,a)) cancel; the single-free-pin case is
+      // the only one reaching here with a binary parity.
+      std::size_t free_pins = 0;
+      for (GateId in : gate.fanins)
+        if (in == remaining) ++free_pins;
+      if (free_pins != 1) return true;
+      return set(remaining, parity);
+    }
+  }
+  return true;
+}
+
+bool ImplicationEngine::propagate() {
+  while (!queue_.empty()) {
+    const GateId g = queue_.back();
+    queue_.pop_back();
+    if (!imply_forward(g)) return false;
+    if (!imply_backward(g)) return false;
+  }
+  return true;
+}
+
+bool ImplicationEngine::assume(GateId net, Logic v) {
+  // Roll back the previous closure instead of re-copying the whole base.
+  for (GateId n : trail_) assigned_[n] = base_[n];
+  trail_.clear();
+  queue_.clear();
+  conflict_ = ConflictKind::None;
+  conflict_net_ = kNoGate;
+  if (base_[net] != Logic::X && base_[net] != v) {
+    conflict_ = ConflictKind::ValueSetConflict;
+    conflict_net_ = net;
+    conflict_want_ = v;
+    conflict_have_ = base_[net];
+    return false;
+  }
+  if (!set(net, v)) return false;
+  return propagate();
+}
+
+std::string ImplicationEngine::conflict_reason() const {
+  if (conflict_ == ConflictKind::None) return "";
+  const std::string name = circuit_->gate(conflict_net_).name;
+  if (conflict_ == ConflictKind::DoubleAssignment)
+    return name + " must be both " + std::string(1, logic_char(conflict_want_)) +
+           " and " + std::string(1, logic_char(conflict_have_));
+  return name + " must be " + std::string(1, logic_char(conflict_want_)) +
+         " but its reachable values are " +
+         (*sets_)[conflict_net_].to_string();
+}
+
+}  // namespace gatest::analysis

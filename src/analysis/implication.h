@@ -1,0 +1,147 @@
+// Static implication engine over the netlist.
+//
+// Two layers, both *sound over-approximations* of what the three-valued
+// sequential simulator can ever make a net do:
+//
+//  1. Possible-value sets.  S(n) ⊆ {0, 1, X} over-approximates the values
+//     net n can hold in any settled time frame, starting from the all-X
+//     reset state, under any fully-specified primary-input sequence:
+//       S(PI) = {0,1}, S(CONST-c) = {c}, S(FF) = {X} ∪ S(data-in),
+//       gates via abstract Kleene evaluation, iterated to a fixpoint
+//     (sets only grow and are 3 bits wide, so the fixpoint is cheap).
+//     "v ∉ S(n)" is a proof that n never settles to the definite value v.
+//
+//  2. Literal implication closure.  Given an assumption "net = v" (v binary),
+//     the engine derives every literal that must also hold in any settled
+//     frame satisfying the assumption, using gate truth tables in both
+//     directions:
+//       forward:  a gate whose assigned inputs already determine its output
+//                 (controlling value seen, or all inputs assigned);
+//       backward: an assigned output forces its inputs (AND=1 ⇒ inputs 1,
+//                 OR=0 ⇒ inputs 0, NOT/BUF always, XOR/XNOR parity, and the
+//                 last-remaining-input rule: AND=0 with all other inputs 1
+//                 forces the remaining input to 0).
+//     Constant nets from layer 1 (singleton S) seed the closure.  Flip-flops
+//     are frame boundaries: no implication crosses a DFF in either direction
+//     (its output is prior state, independent of its data input this frame).
+//     Every rule is sound in Kleene logic — a definite consequence of
+//     definite premises — so a contradiction (one net required to hold two
+//     values, or a derived literal outside its possible-value set) proves the
+//     assumption can never hold in any settled frame.
+//
+// The untestability prover (analysis/untestable) builds on both layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "sim/logic.h"
+
+namespace gatest::analysis {
+
+/// Subset of {0, 1, X}: the values a net may hold in a settled frame.
+class ValueSet {
+ public:
+  static constexpr std::uint8_t kZero = 1u;
+  static constexpr std::uint8_t kOne = 2u;
+  static constexpr std::uint8_t kX = 4u;
+
+  constexpr ValueSet() = default;
+  constexpr explicit ValueSet(std::uint8_t bits) : bits_(bits) {}
+
+  static constexpr ValueSet of(Logic v) {
+    switch (v) {
+      case Logic::Zero: return ValueSet(kZero);
+      case Logic::One:  return ValueSet(kOne);
+      case Logic::X:    return ValueSet(kX);
+    }
+    return ValueSet();
+  }
+
+  constexpr bool can(Logic v) const {
+    switch (v) {
+      case Logic::Zero: return (bits_ & kZero) != 0;
+      case Logic::One:  return (bits_ & kOne) != 0;
+      case Logic::X:    return (bits_ & kX) != 0;
+    }
+    return false;
+  }
+  constexpr bool can_binary() const { return (bits_ & (kZero | kOne)) != 0; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr std::uint8_t bits() const { return bits_; }
+
+  /// True when the set pins the net to one definite value (no X either).
+  constexpr bool singleton_binary() const {
+    return bits_ == kZero || bits_ == kOne;
+  }
+  /// The pinned value; only meaningful when singleton_binary().
+  constexpr Logic singleton_value() const {
+    return bits_ == kOne ? Logic::One : Logic::Zero;
+  }
+
+  constexpr ValueSet operator|(ValueSet o) const {
+    return ValueSet(static_cast<std::uint8_t>(bits_ | o.bits_));
+  }
+  constexpr bool operator==(const ValueSet&) const = default;
+
+  /// "{0,x}"-style rendering for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+/// Fixpoint possible-value sets for every net of a finalized circuit.
+std::vector<ValueSet> compute_value_sets(const Circuit& c);
+
+/// Why an implication closure failed.
+enum class ConflictKind : std::uint8_t {
+  None = 0,
+  DoubleAssignment,  ///< one net required to hold both 0 and 1
+  ValueSetConflict,  ///< a derived literal lies outside the net's value set
+};
+
+class ImplicationEngine {
+ public:
+  /// `sets` must come from compute_value_sets on the same circuit and must
+  /// outlive the engine.
+  ImplicationEngine(const Circuit& c, const std::vector<ValueSet>& sets);
+
+  /// Reset to the base state (constant nets assigned, everything else free)
+  /// and compute the closure of the single assumption `net = v` (v binary).
+  /// Returns false when the closure derives a contradiction — a sound proof
+  /// that no settled frame can have net = v.
+  bool assume(GateId net, Logic v);
+
+  /// Derived value of a net after assume(): Zero/One when implied, X when
+  /// unconstrained.  Meaningful only when the last assume() returned true.
+  Logic value(GateId net) const { return assigned_[net]; }
+
+  ConflictKind conflict() const { return conflict_; }
+  /// Net where the contradiction surfaced (kNoGate when none).
+  GateId conflict_net() const { return conflict_net_; }
+  /// Human-readable contradiction, e.g. "G7 must be both 0 and 1" or
+  /// "G7 must be 1 but its reachable values are {0,x}".
+  std::string conflict_reason() const;
+
+ private:
+  bool set(GateId net, Logic v);       // assign + enqueue; false on conflict
+  bool propagate();                    // drain the worklist
+  bool imply_forward(GateId g);        // inputs → output of gate g
+  bool imply_backward(GateId g);       // output of g → its inputs
+
+  const Circuit* circuit_;
+  const std::vector<ValueSet>* sets_;
+  std::vector<Logic> base_;            // constant-net seed assignments
+  std::vector<Logic> assigned_;
+  std::vector<GateId> trail_;          // nets assigned past base_ (for reset)
+  std::vector<GateId> queue_;
+  ConflictKind conflict_ = ConflictKind::None;
+  GateId conflict_net_ = kNoGate;
+  Logic conflict_want_ = Logic::X;
+  Logic conflict_have_ = Logic::X;
+};
+
+}  // namespace gatest::analysis

@@ -24,10 +24,9 @@ void fill_stats(const Circuit& c, CircuitStats& s) {
 
   const std::vector<GateId> heads = c.ffr_heads();
   std::unordered_map<GateId, std::size_t> ffr_size;
-  for (GateId h : heads) ++ffr_size[h];
+  for (GateId h : heads)
+    s.max_ffr_size = std::max(s.max_ffr_size, ++ffr_size[h]);
   s.num_ffrs = ffr_size.size();
-  for (const auto& [head, size] : ffr_size)
-    s.max_ffr_size = std::max(s.max_ffr_size, size);
 }
 
 }  // namespace

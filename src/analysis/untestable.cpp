@@ -1,0 +1,291 @@
+#include "analysis/untestable.h"
+
+#include <deque>
+
+namespace gatest::analysis {
+namespace {
+
+Logic activation_value(const Fault& f) {
+  return f.stuck ? Logic::Zero : Logic::One;
+}
+
+/// The enabling value a side input must be able to take for gate `t` to
+/// pass a definite difference from another input to its output; X for gate
+/// kinds that always pass (BUF/NOT) or never pass sideways (DFF captures).
+Logic enabling_value(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand: return Logic::One;
+    case GateType::Or:
+    case GateType::Nor:  return Logic::Zero;
+    default:             return Logic::X;
+  }
+}
+
+}  // namespace
+
+std::string_view proof_kind_name(ProofKind k) {
+  switch (k) {
+    case ProofKind::None:               return "none";
+    case ProofKind::ConstantSite:       return "constant-site";
+    case ProofKind::UnreachableValue:   return "unreachable-value";
+    case ProofKind::ActivationConflict: return "activation-conflict";
+    case ProofKind::BlockedPropagation: return "blocked-propagation";
+  }
+  return "?";
+}
+
+UntestabilityProver::UntestabilityProver(const Circuit& c)
+    : circuit_(&c),
+      sets_(compute_value_sets(c)),
+      engine_(c, sets_),
+      is_output_(c.num_gates(), false) {
+  for (GateId po : c.outputs()) is_output_[po] = true;
+}
+
+std::vector<bool> UntestabilityProver::reach_cone(GateId origin) const {
+  const Circuit& c = *circuit_;
+  std::vector<bool> cone(c.num_gates(), false);
+  std::deque<GateId> work;
+  cone[origin] = true;
+  work.push_back(origin);
+  while (!work.empty()) {
+    const GateId n = work.front();
+    work.pop_front();
+    for (GateId r : c.gate(n).fanouts) {
+      if (cone[r]) continue;
+      cone[r] = true;  // flip-flop readers capture: their output (next
+      work.push_back(r);  // frame's state) is reachable too, so keep going
+    }
+  }
+  return cone;
+}
+
+bool UntestabilityProver::gate_blocked(GateId r, int excluded_pin,
+                                       const std::vector<bool>& cone) const {
+  const Gate& g = circuit_->gate(r);
+  switch (g.type) {
+    case GateType::Buf:
+    case GateType::Not:
+    case GateType::Dff:  // captures the difference into state — never blocked
+      return false;
+    case GateType::Xor:
+    case GateType::Xnor:
+      // A definite difference passes an XOR only if every other input is
+      // binary in both machines; a side that is never binary blocks forever.
+      for (std::size_t p = 0; p < g.fanins.size(); ++p) {
+        if (static_cast<int>(p) == excluded_pin) continue;
+        const GateId q = g.fanins[p];
+        if (!cone[q] && !sets_[q].can_binary()) return true;
+      }
+      return false;
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor: {
+      const Logic en = enabling_value(g.type);
+      for (std::size_t p = 0; p < g.fanins.size(); ++p) {
+        if (static_cast<int>(p) == excluded_pin) continue;
+        const GateId q = g.fanins[p];
+        // q outside the fault's cone always holds its fault-free value; if
+        // that value can never be the enabling value, no definite
+        // difference ever crosses this gate.
+        if (!cone[q] && !sets_[q].can(en)) return true;
+      }
+      return false;
+    }
+    default:
+      return false;  // sources have no inputs to pass anything through
+  }
+}
+
+FaultProof UntestabilityProver::prove(const Fault& f) {
+  FaultProof proof;
+  if (f.model != FaultModel::StuckAt) return proof;
+  const Circuit& c = *circuit_;
+  const bool stem = f.pin == Fault::kOutputPin;
+  const GateId site =
+      stem ? f.gate : c.gate(f.gate).fanins[static_cast<std::size_t>(f.pin)];
+  const Logic act = activation_value(f);
+  const std::string site_name = c.gate(site).name;
+  // Inert needs the site binary in every settled frame: frames where the
+  // good line floats at X would otherwise create weak (X-vs-binary)
+  // deviations that feed the activity observables.
+  const bool site_binary = !sets_[site].can(Logic::X);
+
+  // ---- activation ----------------------------------------------------------
+  if (!sets_[site].can(act)) {
+    proof.kind = ProofKind::ConstantSite;
+    proof.inert = site_binary;
+    proof.witness = site_name + " never settles to " +
+                    std::string(1, logic_char(act)) + " (reachable values " +
+                    sets_[site].to_string() + "); activation impossible";
+    return proof;
+  }
+  if (!engine_.assume(site, act)) {
+    proof.kind = engine_.conflict() == ConflictKind::ValueSetConflict
+                     ? ProofKind::UnreachableValue
+                     : ProofKind::ActivationConflict;
+    proof.inert = site_binary;
+    proof.witness = "activation requires " + site_name + "=" +
+                    std::string(1, logic_char(act)) + ", but then " +
+                    engine_.conflict_reason();
+    return proof;
+  }
+
+  // ---- propagation ---------------------------------------------------------
+  // The cone of nets whose faulty value can ever deviate: downstream of the
+  // site for stem faults, downstream of the faulted gate for pin faults
+  // (the branch is read by that one gate only).
+  const GateId dev_origin = stem ? site : f.gate;
+  const std::vector<bool> cone = reach_cone(dev_origin);
+  const int faulted_pin = stem ? -1 : static_cast<int>(f.pin);
+
+  // Strong form (inert): every gate the injected deviation first reaches is
+  // an AND/NAND/OR/NOR with a side input — outside the cone, so reliably at
+  // its fault-free value — that the activation closure pins at the gate's
+  // controlling value.  The deviation then never leaves the site at all.
+  if (site_binary) {
+    bool blocked_everywhere = true;
+    std::string how;
+    auto first_gate_blocked = [&](GateId r, int skip_pin) {
+      const Gate& rg = c.gate(r);
+      const int cv = controlling_value(rg.type);
+      if (cv < 0) return false;  // only AND/NAND/OR/NOR have one
+      for (std::size_t p = 0; p < rg.fanins.size(); ++p) {
+        if (static_cast<int>(p) == skip_pin) continue;
+        const GateId q = rg.fanins[p];
+        if (q == site || cone[q]) continue;
+        if (engine_.value(q) == static_cast<Logic>(cv)) {
+          if (!how.empty()) how += ", ";
+          how += rg.name + " side " + c.gate(q).name + "=" +
+                 std::string(1, logic_char(engine_.value(q)));
+          return true;
+        }
+      }
+      return false;
+    };
+    if (stem) {
+      if (is_output_[site]) {
+        blocked_everywhere = false;
+      } else {
+        for (GateId r : c.gate(site).fanouts)
+          if (!first_gate_blocked(r, -1)) {
+            blocked_everywhere = false;
+            break;
+          }
+      }
+    } else {
+      blocked_everywhere = first_gate_blocked(f.gate, faulted_pin);
+    }
+    if (blocked_everywhere) {
+      proof.kind = ProofKind::BlockedPropagation;
+      proof.inert = true;
+      proof.witness =
+          "activation (" + site_name + "=" + std::string(1, logic_char(act)) +
+          ") pins every reader's side input at its controlling value" +
+          (how.empty() ? std::string(" (no readers)") : " (" + how + ")") +
+          "; the fault effect never leaves the site";
+      return proof;
+    }
+  }
+
+  // Weak form: mark every net that could ever carry a definite difference;
+  // if no primary output with a binary-capable good value is marked, the
+  // fault can never be detected (it may still create X-vs-binary activity,
+  // so it is not inert).
+  std::vector<bool> definite(c.num_gates(), false);
+  std::deque<GateId> work;
+  auto mark = [&](GateId n) {
+    if (!definite[n]) {
+      definite[n] = true;
+      work.push_back(n);
+    }
+  };
+  if (stem) {
+    mark(site);
+  } else if (!gate_blocked(f.gate, faulted_pin, cone)) {
+    mark(f.gate);
+  }
+  bool observable = false;
+  while (!work.empty() && !observable) {
+    const GateId n = work.front();
+    work.pop_front();
+    if (is_output_[n] && sets_[n].can_binary()) {
+      observable = true;
+      break;
+    }
+    for (GateId r : c.gate(n).fanouts) {
+      if (definite[r]) continue;
+      const int skip = (!stem && r == f.gate) ? faulted_pin : -1;
+      if (!gate_blocked(r, skip, cone)) mark(r);
+    }
+  }
+  if (!observable) {
+    proof.kind = ProofKind::BlockedPropagation;
+    proof.inert = false;
+    proof.witness = "a definite difference at " + site_name +
+                    " can never reach a primary output (every path crosses a "
+                    "gate whose side input never takes its enabling value)";
+  }
+  return proof;
+}
+
+std::vector<FaultProof> prove_untestable(const Circuit& c,
+                                         const std::vector<Fault>& faults) {
+  UntestabilityProver prover(c);
+  std::vector<FaultProof> proofs;
+  proofs.reserve(faults.size());
+  for (const Fault& f : faults) proofs.push_back(prover.prove(f));
+  return proofs;
+}
+
+ProvenSummary summarize_proofs(const std::vector<FaultProof>& proofs) {
+  ProvenSummary s;
+  s.total_faults = proofs.size();
+  for (const FaultProof& p : proofs) {
+    if (!p.proven()) continue;
+    ++s.proven;
+    if (p.inert) ++s.inert;
+    switch (p.kind) {
+      case ProofKind::ConstantSite:       ++s.constant_site; break;
+      case ProofKind::UnreachableValue:   ++s.unreachable_value; break;
+      case ProofKind::ActivationConflict: ++s.activation_conflict; break;
+      case ProofKind::BlockedPropagation: ++s.blocked_propagation; break;
+      case ProofKind::None: break;
+    }
+  }
+  return s;
+}
+
+ProvenSummary apply_proven_pruning(FaultList& faults,
+                                   const std::vector<FaultProof>& proofs) {
+  ProvenSummary s = summarize_proofs(proofs);
+  for (std::size_t i = 0; i < faults.size() && i < proofs.size(); ++i) {
+    if (!proofs[i].proven()) continue;
+    if (faults.status(i) == FaultStatus::Detected) {
+      ++s.already_detected;
+      continue;
+    }
+    faults.set_tag(i, UntestableTag::Proven);
+    if (proofs[i].inert) faults.set_pruned(i);
+  }
+  return s;
+}
+
+ProvenSummary mark_proven_faults(FaultList& faults,
+                                 const std::vector<FaultProof>& proofs) {
+  ProvenSummary s = summarize_proofs(proofs);
+  for (std::size_t i = 0; i < faults.size() && i < proofs.size(); ++i) {
+    if (!proofs[i].proven()) continue;
+    if (faults.status(i) == FaultStatus::Detected) {
+      ++s.already_detected;
+      continue;
+    }
+    faults.set_tag(i, UntestableTag::Proven);
+    faults.set_status(i, FaultStatus::Untestable);
+  }
+  return s;
+}
+
+}  // namespace gatest::analysis

@@ -1,0 +1,136 @@
+// Sound untestability proofs for single stuck-at faults, built on the
+// static implication engine (analysis/implication).
+//
+// A stuck-at-v fault on line d is detected only when the good and faulty
+// machines settle to *definite, different* binary values at a primary
+// output.  Three-valued monotonicity gives the key lemma (per gate type:
+// AND/OR/NAND/NOR/XOR/XNOR/NOT/BUF): if every input pair of a gate is equal
+// or involves an X, its outputs cannot be binary-and-different — a definite
+// difference at a gate output requires a definite difference at some input.
+// So a detectable fault needs an unbroken definite-difference path from the
+// fault site to an output, and a definite activation (good value = v̄ at the
+// site) to start it.  The prover refutes one of these requirements:
+//
+//   ConstantSite        v̄ ∉ S(site): the site never settles to the
+//                       activation value (S = possible-value sets).
+//   UnreachableValue    assuming site = v̄, the implication closure derives
+//                       a literal outside some net's possible-value set
+//                       (e.g. a flip-flop state that is never reachable).
+//   ActivationConflict  the closure requires one net to hold both values.
+//   BlockedPropagation  no definite difference can travel from the site to
+//                       any primary output: every path crosses a gate with a
+//                       side input (outside the fault's sequential fanout
+//                       cone, hence always at its fault-free value) that can
+//                       never take the gate's enabling value.
+//
+// Every proof is per-fault and sound for the three-valued simulator: a
+// `Proven` fault can never be marked Detected by any vector sequence (the
+// 50-circuit differential fuzz asserts exactly this).
+//
+// A proof is additionally flagged *inert* when the fault is guaranteed to
+// have zero simulation footprint: the site's good value is always binary
+// (X ∉ S(site)), and either the fault is never activated (good value always
+// equals the stuck value) or every first reader gate is blocked by a side
+// input the implication closure pins at its controlling value.  An inert
+// fault never occupies a packed lane that produces events, never deposits a
+// fault effect at a flip-flop, and is never detected — so removing it from
+// the simulated universe (`--prune-proven`) leaves every fitness observable
+// and therefore the whole GA trajectory bit-identical, provided the removed
+// faults are still counted in the per-frame `faults_simulated` denominator
+// (see SequentialFaultSimulator).  Non-inert proven faults stay in the
+// universe: they can create X-vs-binary activity that feeds the event-count
+// fitness terms even though they can never be detected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/implication.h"
+#include "fault/fault.h"
+
+namespace gatest::analysis {
+
+enum class ProofKind : std::uint8_t {
+  None = 0,
+  ConstantSite,
+  UnreachableValue,
+  ActivationConflict,
+  BlockedPropagation,
+};
+
+std::string_view proof_kind_name(ProofKind k);
+
+/// Outcome of attempting to prove one fault untestable.
+struct FaultProof {
+  ProofKind kind = ProofKind::None;
+  bool inert = false;   ///< zero simulation footprint: safe to prune
+  std::string witness;  ///< human-readable argument (empty when unproven)
+
+  bool proven() const { return kind != ProofKind::None; }
+};
+
+/// Counts over one universe's proofs.
+struct ProvenSummary {
+  std::size_t total_faults = 0;
+  std::size_t proven = 0;
+  std::size_t inert = 0;  ///< subset eligible for universe pruning
+  std::size_t constant_site = 0;
+  std::size_t unreachable_value = 0;
+  std::size_t activation_conflict = 0;
+  std::size_t blocked_propagation = 0;
+  std::size_t already_detected = 0;  ///< proven but simulator-detected
+                                     ///< (soundness violation if nonzero)
+};
+
+/// Proves faults untestable one at a time, sharing the value-set fixpoint
+/// and implication engine across queries.
+class UntestabilityProver {
+ public:
+  explicit UntestabilityProver(const Circuit& c);
+
+  /// Attempt a proof for one fault.  Transition faults are never proven
+  /// (their activation needs an edge, which the engine does not model).
+  FaultProof prove(const Fault& f);
+
+  const std::vector<ValueSet>& value_sets() const { return sets_; }
+
+ private:
+  /// Nets reachable from `origin` through fanouts, crossing flip-flops —
+  /// the only nets whose faulty value can ever deviate from the good value.
+  std::vector<bool> reach_cone(GateId origin) const;
+
+  /// True when gate `r` can never pass a definite difference: some pin
+  /// (other than `excluded_pin`) reads a net outside the cone whose
+  /// possible values never include the gate's enabling value.
+  bool gate_blocked(GateId r, int excluded_pin,
+                    const std::vector<bool>& cone) const;
+
+  const Circuit* circuit_;
+  std::vector<ValueSet> sets_;
+  ImplicationEngine engine_;
+  std::vector<bool> is_output_;
+};
+
+/// Prove every fault of a universe (indices align with `faults`).
+std::vector<FaultProof> prove_untestable(const Circuit& c,
+                                         const std::vector<Fault>& faults);
+
+ProvenSummary summarize_proofs(const std::vector<FaultProof>& proofs);
+
+/// Pre-run pruning pass: tag every proven fault `Proven` and remove the
+/// inert subset from the simulated universe (FaultList::set_pruned — status
+/// Untestable, surviving reset()/replay).  Non-inert proven faults keep
+/// status Undetected so the event-count fitness observables are unchanged.
+/// Detected faults are never downgraded (counted in already_detected).
+ProvenSummary apply_proven_pruning(FaultList& faults,
+                                   const std::vector<FaultProof>& proofs);
+
+/// Post-run accounting pass (mirror of mark_untestable_faults): tag proven
+/// faults and mark every proven, still-undetected fault Untestable so
+/// reports show fault efficiency over the provably-testable universe.
+ProvenSummary mark_proven_faults(FaultList& faults,
+                                 const std::vector<FaultProof>& proofs);
+
+}  // namespace gatest::analysis

@@ -93,6 +93,15 @@ void TimeFramePodem::resimulate(const Fault& f, std::uint32_t from_frame) {
         v.faulty = f.stuck ? Logic::One : Logic::Zero;
       val_[idx(t, pi)] = v;
     }
+    for (GateId g = 0; g < c.num_gates(); ++g) {
+      const GateType ty = c.gate(g).type;
+      if (ty != GateType::Const0 && ty != GateType::Const1) continue;
+      const Logic cv = ty == GateType::Const0 ? Logic::Zero : Logic::One;
+      DVal v{cv, cv};
+      if (f.pin == Fault::kOutputPin && f.gate == g)
+        v.faulty = f.stuck ? Logic::One : Logic::Zero;
+      val_[idx(t, g)] = v;
+    }
     for (GateId ff : c.dffs()) {
       DVal v;
       if (t == 0) {

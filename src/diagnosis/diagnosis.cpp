@@ -47,6 +47,17 @@ Logic eval_gate_scalar(const Circuit& c, GateId id,
                         [&](std::size_t i) { return val[g.fanins[i]]; });
 }
 
+/// Constant nets hold their value from the start: the settle loops skip
+/// combinational sources, so an all-X frame would otherwise leave CONST0 /
+/// CONST1 nodes at X forever.
+void seed_const_nets(const Circuit& c, std::vector<Logic>& val) {
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const GateType t = c.gate(id).type;
+    if (t == GateType::Const0) val[id] = Logic::Zero;
+    else if (t == GateType::Const1) val[id] = Logic::One;
+  }
+}
+
 }  // namespace
 
 FaultDictionary::FaultDictionary(const Circuit& c, std::vector<Fault> faults,
@@ -55,6 +66,7 @@ FaultDictionary::FaultDictionary(const Circuit& c, std::vector<Fault> faults,
   // Fault-free reference: full net values per frame (kept for observe()).
   good_pos_.reserve(tests_.size());
   std::vector<Logic> gval(c.num_gates(), Logic::X);
+  seed_const_nets(c, gval);
   good_vals_frames_.reserve(tests_.size());
   for (const TestVector& v : tests_) {
     for (std::size_t i = 0; i < c.num_inputs(); ++i) gval[c.inputs()[i]] = v[i];
@@ -82,6 +94,7 @@ Signature FaultDictionary::observe(const Fault& f) const {
   const Circuit& c = *circuit_;
   Signature sig;
   std::vector<Logic> val(c.num_gates(), Logic::X);
+  seed_const_nets(c, val);
 
   // Value readers see on a net (output faults force the line per frame; the
   // transition models hold the previous fault-free value through a missed

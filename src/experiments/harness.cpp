@@ -118,6 +118,8 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       }
     } else if (a == "--prune-untestable") {
       args.prune_untestable = true;
+    } else if (a == "--prune-proven") {
+      args.prune_proven = true;
     } else if (a == "--quiet") {
       telemetry::global_logger().set_level(telemetry::LogLevel::Quiet);
     } else if (a == "--verbose") {
@@ -125,7 +127,8 @@ BenchArgs parse_bench_args(int argc, char** argv) {
     } else if (a == "--help" || a == "-h") {
       std::fprintf(stderr,
                    "usage: %s [--runs=N] [--circuits=a,b,c] [--full] "
-                   "[--seed=S] [--prune-untestable] [--quiet] [--verbose]\n",
+                   "[--seed=S] [--prune-untestable] [--prune-proven] "
+                   "[--quiet] [--verbose]\n",
                    argv[0]);
       std::exit(0);
     } else {

@@ -65,6 +65,10 @@ struct BenchArgs {
   /// Enable static-analysis fault pruning (TestGenConfig::prune_untestable):
   /// results are identical, but summaries add fault-efficiency accounting.
   bool prune_untestable = false;
+  /// Enable the implication-engine prover (TestGenConfig::prune_proven):
+  /// inert proven faults leave the simulated universe; observables are
+  /// bit-identical (see DESIGN.md §4h) and tables add Proven/Inert columns.
+  bool prune_proven = false;
   std::vector<std::string> circuits;  ///< empty = bench default set
 
   /// Circuits to use given a bench's default and full sets.

@@ -188,7 +188,8 @@ FaultList::FaultList(const Circuit& c, std::vector<Fault> faults)
       faults_(std::move(faults)),
       status_(faults_.size(), FaultStatus::Undetected),
       tags_(faults_.size(), UntestableTag::None),
-      detected_by_(faults_.size(), -1) {}
+      detected_by_(faults_.size(), -1),
+      pruned_(faults_.size(), 0) {}
 
 std::size_t FaultList::num_detected() const {
   std::size_t n = 0;
@@ -225,9 +226,20 @@ double FaultList::coverage() const {
          static_cast<double>(faults_.size());
 }
 
+void FaultList::set_pruned(std::size_t i) {
+  if (pruned_[i]) return;
+  pruned_[i] = 1;
+  ++num_pruned_;
+  status_[i] = FaultStatus::Untestable;
+}
+
 void FaultList::reset() {
   status_.assign(faults_.size(), FaultStatus::Undetected);
   detected_by_.assign(faults_.size(), -1);
+  // Pruning is a property of the universe, not of one run's bookkeeping:
+  // checkpoint replay must rebuild the same (pruned) active set.
+  for (std::size_t i = 0; i < faults_.size(); ++i)
+    if (pruned_[i]) status_[i] = FaultStatus::Untestable;
 }
 
 void FaultList::export_status(std::vector<FaultStatus>& status,

@@ -55,6 +55,8 @@ enum class UntestableTag : std::uint8_t {
   None = 0,       ///< not proven untestable
   Unactivatable,  ///< site can never take the value opposite the stuck value
   Unobservable,   ///< a difference at the site can never reach an output
+  Proven,         ///< sound implication-engine proof (analysis/untestable),
+                  ///< distinct from the SCOAP heuristics above
 };
 
 /// Enumerate the full (uncollapsed) stuck-at universe: both polarities on
@@ -120,7 +122,22 @@ class FaultList {
   /// Fault coverage = detected / total, in [0,1].
   double coverage() const;
 
-  /// Reset every fault to Undetected.
+  // ---- universe pruning (analysis/untestable) ------------------------------
+
+  /// Permanently remove fault i from the simulated universe: status becomes
+  /// Untestable and — unlike a plain set_status — the mark survives reset()
+  /// and replay_committed(), so checkpoint restore and serve slices see the
+  /// same pruned universe the run started with.  Only sound for faults the
+  /// implication engine proved *inert* (zero simulation footprint).
+  void set_pruned(std::size_t i);
+  bool pruned(std::size_t i) const { return pruned_[i] != 0; }
+
+  /// Number of faults pruned from the universe.  The simulator adds this
+  /// back into each frame's faults_simulated so fitness denominators (and
+  /// hence the GA trajectory) are bit-identical with pruning on or off.
+  std::size_t num_pruned() const { return num_pruned_; }
+
+  /// Reset every fault to Undetected (pruned faults stay Untestable).
   void reset();
 
   // ---- status export/import (run-control checkpointing) -------------------
@@ -140,6 +157,8 @@ class FaultList {
   std::vector<FaultStatus> status_;
   std::vector<UntestableTag> tags_;
   std::vector<std::int64_t> detected_by_;
+  std::vector<std::uint8_t> pruned_;
+  std::size_t num_pruned_ = 0;
 };
 
 }  // namespace gatest

@@ -46,6 +46,20 @@ Logic eval_scalar_gate(const Circuit& c, GateId id,
 }
 }  // namespace
 
+namespace {
+/// Constant nets hold their value from the start: settle loops skip
+/// combinational sources, so an all-X reset would otherwise leave CONST0 /
+/// CONST1 nodes at X forever and every reader would see spurious weak
+/// (X-vs-binary) deviations.
+void seed_const_nets(const Circuit& c, std::vector<Logic>& val) {
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const GateType t = c.gate(id).type;
+    if (t == GateType::Const0) val[id] = Logic::Zero;
+    else if (t == GateType::Const1) val[id] = Logic::One;
+  }
+}
+}  // namespace
+
 SequentialFaultSimulator::SequentialFaultSimulator(const Circuit& c,
                                                    FaultList& faults)
     : circuit_(&c), faults_(&faults) {
@@ -55,7 +69,9 @@ SequentialFaultSimulator::SequentialFaultSimulator(const Circuit& c,
     throw std::runtime_error(
         "SequentialFaultSimulator: fault list belongs to another circuit");
   good_val_.assign(c.num_gates(), Logic::X);
+  seed_const_nets(c, good_val_);
   prev_val_.assign(c.num_gates(), Logic::X);
+  seed_const_nets(c, prev_val_);
   for (std::size_t i = 0; i < faults.size(); ++i)
     if (faults.fault(i).model != FaultModel::StuckAt &&
         faults.fault(i).pin != Fault::kOutputPin)
@@ -86,7 +102,9 @@ void SequentialFaultSimulator::set_lane_compaction(bool enabled,
 
 void SequentialFaultSimulator::reset() {
   good_val_.assign(circuit_->num_gates(), Logic::X);
+  seed_const_nets(*circuit_, good_val_);
   prev_val_.assign(circuit_->num_gates(), Logic::X);
+  seed_const_nets(*circuit_, prev_val_);
   for (auto& d : diffs_) d.clear();
   started_ = false;
   ++state_epoch_;
@@ -332,6 +350,7 @@ FaultSimStats SequentialFaultSimulator::evaluate_sequence(
   if (fault_subset.empty()) {
     active = default_active_set();
   } else {
+    ctx.full_universe = false;
     active.reserve(fault_subset.size());
     for (std::uint32_t fi : fault_subset)
       if (faults_->status(fi) == FaultStatus::Undetected) active.push_back(fi);
@@ -364,7 +383,12 @@ FaultSimStats SequentialFaultSimulator::simulate_frame(
   if (v.size() != circuit_->num_inputs())
     throw std::runtime_error("simulate_frame: wrong input count");
   FaultSimStats stats;
-  stats.faults_simulated = static_cast<unsigned>(active.size());
+  // Faults pruned from the universe (proven inert) contribute nothing to any
+  // observable, so counting them keeps every fitness denominator — and hence
+  // the GA trajectory — bit-identical with pruning on or off.
+  stats.faults_simulated =
+      static_cast<unsigned>(active.size()) +
+      (ctx.full_universe ? static_cast<unsigned>(faults_->num_pruned()) : 0u);
   settle_good(v, ctx, stats);
   simulate_fault_groups(active, ctx, stats);
   // Keep this frame's pre-latch values as the next frame's transition-fault

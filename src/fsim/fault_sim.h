@@ -224,6 +224,10 @@ class SequentialFaultSimulator {
     std::vector<Logic>* prev = nullptr;
     bool commit = false;
     std::int64_t test_index = -1;
+    // False only for explicit fault subsets (sampling mode).  When the full
+    // universe is simulated, pruned faults are counted back into
+    // faults_simulated so fitness denominators match an unpruned run.
+    bool full_universe = true;
   };
 
   /// Simulate one frame: good machine, then all faults in `active`

@@ -94,6 +94,14 @@ struct TestGenConfig {
   /// pools depend on it), so detected faults and test sequences are
   /// bit-identical with and without pruning.
   bool prune_untestable = false;
+  /// Prove faults untestable with the static implication engine
+  /// (analysis/untestable) and *remove* the provably-inert subset from the
+  /// simulated universe before generation.  Unlike prune_untestable this
+  /// shrinks every fault-simulation pass; the simulator counts pruned faults
+  /// back into its per-frame denominators, so detected faults and test
+  /// sequences stay bit-identical with pruning on or off (ctest-enforced on
+  /// the golden s298/s344 runs at 1 and 4 threads).
+  bool prune_proven = false;
 
   // ---- fitness hot-path acceleration (DESIGN.md) ---------------------------
   /// Memoize genome→fitness results between commits.  Overlapping

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "analysis/prune.h"
+#include "analysis/untestable.h"
 #include "util/timer.h"
 
 namespace gatest {
@@ -20,10 +21,25 @@ GaTestGenerator::GaTestGenerator(const Circuit& c, FaultList& faults,
   depth_ = std::max(1u, c.sequential_depth());
   sim_.set_lane_compaction(config_.lane_compaction);
   fitness_.set_cache(config_.fitness_cache, config_.fitness_cache_capacity);
+  std::vector<UntestableTag> heuristic_tags;
   if (config_.prune_untestable)
-    faults_pruned_ =
-        analysis::summarize_tags(analysis::classify_untestable(c, faults.faults()))
-            .pruned;
+    heuristic_tags = analysis::classify_untestable(c, faults.faults());
+  std::vector<analysis::FaultProof> proofs;
+  if (config_.prune_proven) {
+    proofs = analysis::prove_untestable(c, faults.faults());
+    // Remove the provably-inert subset from the simulated universe.  The
+    // pruned marks survive FaultList::reset(), so checkpoint replay and
+    // serve slices rebuild the same universe.
+    analysis::apply_proven_pruning(faults, proofs);
+  }
+  // Fault-efficiency accounting: a fault is "pruned" if either engine
+  // classified it (union, so running both never double-counts).
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const bool heuristic =
+        !heuristic_tags.empty() && heuristic_tags[i] != UntestableTag::None;
+    const bool proven = !proofs.empty() && proofs[i].proven();
+    if (heuristic || proven) ++faults_pruned_;
+  }
   boundary_rng_ = rng_.state();
   if (config_.num_threads > 1) {
     // One extra simulator replica per additional thread; the main simulator
@@ -31,6 +47,10 @@ GaTestGenerator::GaTestGenerator(const Circuit& c, FaultList& faults,
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
     for (unsigned t = 1; t < config_.num_threads; ++t) {
       worker_faults_.push_back(std::make_unique<FaultList>(c));
+      // Replicas need their own pruned marks (a mirrored Untestable status
+      // alone would not survive replay during checkpoint restore).
+      if (config_.prune_proven)
+        analysis::apply_proven_pruning(*worker_faults_.back(), proofs);
       // Mirror any pre-detected faults.
       for (std::size_t i = 0; i < faults.size(); ++i)
         worker_faults_.back()->set_status(i, faults.status(i));

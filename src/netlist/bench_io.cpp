@@ -209,7 +209,16 @@ Circuit parse_bench(std::istream& in, std::string circuit_name,
     for (const Stmt& st : stmts)
       for (const std::string& a : st.args) used.insert(a);
     for (const std::string& n : output_names) used.insert(n);
-    for (const auto& [name, line] : defined_at) {
+    // Deterministic iteration: snapshot the map sorted by definition line
+    // (hash order is implementation-defined; the determinism lint bans
+    // iterating it directly).
+    std::vector<std::pair<std::string, int>> defs(defined_at.begin(),
+                                                  defined_at.end());
+    std::sort(defs.begin(), defs.end(),
+              [](const auto& a, const auto& b) {
+                return std::tie(a.second, a.first) < std::tie(b.second, b.first);
+              });
+    for (const auto& [name, line] : defs) {
       if (used.count(name)) continue;
       warnings->push_back(BenchWarning{
           line, "unused-signal", name,

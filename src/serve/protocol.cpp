@@ -64,7 +64,7 @@ bool map_config(const JsonValue& cfg, TestGenConfig& out, ProtocolError& err) {
         "seed",          "sample",        "threads",
         "gap",           "selection",     "crossover",
         "coding",        "fitness_cache", "lane_compaction",
-        "prune_untestable"};
+        "prune_untestable", "prune_proven"};
     bool known = false;
     for (const char* k : kKnown) known = known || key == k;
     if (!known)
@@ -119,6 +119,7 @@ bool map_config(const JsonValue& cfg, TestGenConfig& out, ProtocolError& err) {
   if (!get_bool(cfg, "lane_compaction", out.lane_compaction, err)) return false;
   if (!get_bool(cfg, "prune_untestable", out.prune_untestable, err))
     return false;
+  if (!get_bool(cfg, "prune_proven", out.prune_proven, err)) return false;
   return true;
 }
 
@@ -270,6 +271,7 @@ std::string submit_json(const SubmitRequest& req) {
       .key("fitness_cache").value(c.fitness_cache)
       .key("lane_compaction").value(c.lane_compaction)
       .key("prune_untestable").value(c.prune_untestable)
+      .key("prune_proven").value(c.prune_proven)
   .end_object();
 
   w.key("budget").begin_object();

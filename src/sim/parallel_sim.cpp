@@ -5,10 +5,26 @@
 
 namespace gatest {
 
+namespace {
+/// Constant nets hold their value from the start: the settle loop skips
+/// combinational sources, so an all-X reset would otherwise leave CONST0 /
+/// CONST1 nodes at X forever.
+void seed_const_nets(const Circuit& c, std::vector<PackedVal>& values) {
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const GateType t = c.gate(id).type;
+    if (t == GateType::Const0)
+      values[id] = PackedVal::broadcast(Logic::Zero);
+    else if (t == GateType::Const1)
+      values[id] = PackedVal::broadcast(Logic::One);
+  }
+}
+}  // namespace
+
 ParallelLogicSim::ParallelLogicSim(const Circuit& c) : circuit_(&c) {
   if (!c.finalized())
     throw std::runtime_error("ParallelLogicSim: circuit not finalized");
   values_.assign(c.num_gates(), PackedVal{});
+  seed_const_nets(c, values_);
   level_queue_.resize(c.num_levels());
   queued_.assign(c.num_gates(), false);
   lane_events_.assign(64, 0);
@@ -16,6 +32,7 @@ ParallelLogicSim::ParallelLogicSim(const Circuit& c) : circuit_(&c) {
 
 void ParallelLogicSim::reset() {
   values_.assign(circuit_->num_gates(), PackedVal{});
+  seed_const_nets(*circuit_, values_);
   for (auto& q : level_queue_) q.clear();
   queued_.assign(circuit_->num_gates(), false);
   first_step_ = true;

@@ -10,8 +10,10 @@
 #include <sstream>
 
 #include "analysis/diagnostic.h"
+#include "analysis/implication.h"
 #include "analysis/lint.h"
 #include "analysis/prune.h"
+#include "analysis/untestable.h"
 #include "circuitgen/circuitgen.h"
 #include "fault/fault.h"
 #include "fsim/fault_sim.h"
@@ -495,6 +497,313 @@ TEST(Prune, GeneratorRunIsIdenticalWithPruningEnabled) {
   EXPECT_DOUBLE_EQ(with.fault_efficiency, expect_eff);
   // Without pruning, efficiency degenerates to coverage.
   EXPECT_DOUBLE_EQ(base.fault_efficiency, base.fault_coverage);
+}
+
+// ---- implication engine ------------------------------------------------------
+
+using analysis::ValueSet;
+
+// The classic redundancy the value-set layer cannot see: s == a and
+// ns == NOT(a) reconverge at g = AND(s, ns), so g is constant 0 even though
+// S(g) = {0,1}.  Only the literal implication closure proves it.
+Circuit redundant_cone_circuit() {
+  Circuit c("redundant");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId k = c.add_gate(GateType::Const0, "k", {});
+  const GateId s = c.add_gate(GateType::Xor, "s", {a, k});
+  const GateId ns = c.add_gate(GateType::Not, "ns", {a});
+  const GateId g = c.add_gate(GateType::And, "g", {s, ns});
+  const GateId o = c.add_gate(GateType::Or, "o", {b, g});
+  c.add_output(o);
+  c.finalize();
+  return c;
+}
+
+// Redundant cone plus an uninitializable flop feeding a live gate: m can be
+// proven stuck-at-0 untestable (m = 1 needs z = 1, unreachable) but m is not
+// always binary, so the proof is non-inert.
+Circuit mixed_proof_circuit() {
+  Circuit c("mixedproof");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId k = c.add_gate(GateType::Const0, "k", {});
+  const GateId s = c.add_gate(GateType::Xor, "s", {a, k});
+  const GateId ns = c.add_gate(GateType::Not, "ns", {a});
+  const GateId g = c.add_gate(GateType::And, "g", {s, ns});
+  const GateId o = c.add_gate(GateType::Or, "o", {b, g});
+  c.add_output(o);
+  const GateId z = c.add_dff("z");
+  const GateId z2 = c.add_dff("z2", z);
+  c.set_dff_input(z, z2);
+  const GateId m = c.add_gate(GateType::And, "m", {a, z});
+  c.add_output(m);
+  c.finalize();
+  return c;
+}
+
+TEST(Implication, ValueSetAlgebra) {
+  const ValueSet zero = ValueSet::of(Logic::Zero);
+  EXPECT_TRUE(zero.can(Logic::Zero));
+  EXPECT_FALSE(zero.can(Logic::One));
+  EXPECT_TRUE(zero.singleton_binary());
+  EXPECT_EQ(zero.singleton_value(), Logic::Zero);
+  const ValueSet both = zero | ValueSet::of(Logic::One);
+  EXPECT_TRUE(both.can_binary());
+  EXPECT_FALSE(both.singleton_binary());
+  EXPECT_FALSE(both.can(Logic::X));
+  EXPECT_TRUE(ValueSet().empty());
+  EXPECT_FALSE((both | ValueSet::of(Logic::X)).singleton_binary());
+}
+
+TEST(Implication, ValueSetsOverApproximateReachableValues) {
+  const Circuit c = redundant_cone_circuit();
+  const std::vector<ValueSet> sets = analysis::compute_value_sets(c);
+  // Constants are pinned; primary inputs are free but never X.
+  EXPECT_TRUE(sets[c.find("k")].singleton_binary());
+  EXPECT_EQ(sets[c.find("k")].singleton_value(), Logic::Zero);
+  EXPECT_TRUE(sets[c.find("a")].can(Logic::Zero));
+  EXPECT_TRUE(sets[c.find("a")].can(Logic::One));
+  EXPECT_FALSE(sets[c.find("a")].can(Logic::X));
+  // Reconvergence is invisible to the abstraction: g is constant 0 in
+  // reality, but its set still admits 1 (a sound over-approximation).
+  EXPECT_TRUE(sets[c.find("g")].can(Logic::One));
+  EXPECT_FALSE(sets[c.find("g")].can(Logic::X));
+}
+
+TEST(Implication, ValueSetsIncludeFlipFlopResetX) {
+  const Circuit c = parse_bench_string("INPUT(a)\nOUTPUT(f)\nf = DFF(a)\n");
+  const std::vector<ValueSet> sets = analysis::compute_value_sets(c);
+  // S(FF) = {X} ∪ S(data-in): the reset state never leaves the set.
+  EXPECT_TRUE(sets[c.find("f")].can(Logic::X));
+  EXPECT_TRUE(sets[c.find("f")].can(Logic::Zero));
+  EXPECT_TRUE(sets[c.find("f")].can(Logic::One));
+}
+
+TEST(Implication, ForwardAndBackwardClosure) {
+  const Circuit c =
+      parse_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = AND(a, b)\n");
+  const std::vector<ValueSet> sets = analysis::compute_value_sets(c);
+  analysis::ImplicationEngine eng(c, sets);
+  // Forward: a controlling 0 determines the AND output.
+  ASSERT_TRUE(eng.assume(c.find("a"), Logic::Zero));
+  EXPECT_EQ(eng.value(c.find("o")), Logic::Zero);
+  EXPECT_EQ(eng.value(c.find("b")), Logic::X);
+  // Backward: AND = 1 forces every input to 1.
+  ASSERT_TRUE(eng.assume(c.find("o"), Logic::One));
+  EXPECT_EQ(eng.value(c.find("a")), Logic::One);
+  EXPECT_EQ(eng.value(c.find("b")), Logic::One);
+  // A non-controlling input alone implies nothing about the output.
+  ASSERT_TRUE(eng.assume(c.find("b"), Logic::One));
+  EXPECT_EQ(eng.value(c.find("o")), Logic::X);
+}
+
+TEST(Implication, LastRemainingInputRuleUsesConstantSeeds) {
+  // o = AND(a, k1) with k1 constant 1: o = 0 forces the only free input.
+  Circuit c("lastinput");
+  const GateId a = c.add_input("a");
+  const GateId k1 = c.add_gate(GateType::Const1, "k1", {});
+  const GateId o = c.add_gate(GateType::And, "o", {a, k1});
+  c.add_output(o);
+  c.finalize();
+  const std::vector<ValueSet> sets = analysis::compute_value_sets(c);
+  analysis::ImplicationEngine eng(c, sets);
+  ASSERT_TRUE(eng.assume(o, Logic::Zero));
+  EXPECT_EQ(eng.value(k1), Logic::One);  // constant seed
+  EXPECT_EQ(eng.value(a), Logic::Zero);  // last remaining input
+}
+
+TEST(Implication, ReconvergenceConflictAndEngineReuse) {
+  const Circuit c = redundant_cone_circuit();
+  const std::vector<ValueSet> sets = analysis::compute_value_sets(c);
+  analysis::ImplicationEngine eng(c, sets);
+  // g = 1 needs s = 1 (so a = 1 via XOR parity) and ns = 1 (so a = 0).
+  EXPECT_FALSE(eng.assume(c.find("g"), Logic::One));
+  EXPECT_EQ(eng.conflict(), analysis::ConflictKind::DoubleAssignment);
+  EXPECT_NE(eng.conflict_net(), kNoGate);  // surfaces somewhere in the cone
+  EXPECT_FALSE(eng.conflict_reason().empty());
+  // The trail rolls back: the same engine answers fresh queries afterwards.
+  EXPECT_TRUE(eng.assume(c.find("g"), Logic::Zero));
+  EXPECT_EQ(eng.conflict(), analysis::ConflictKind::None);
+}
+
+TEST(Implication, ValueSetConflictOnUnreachableFlopState) {
+  const Circuit c = mixed_proof_circuit();
+  const std::vector<ValueSet> sets = analysis::compute_value_sets(c);
+  analysis::ImplicationEngine eng(c, sets);
+  // m = 1 forces z = 1, but the isolated flop pair can only ever hold X.
+  EXPECT_FALSE(eng.assume(c.find("m"), Logic::One));
+  EXPECT_EQ(eng.conflict(), analysis::ConflictKind::ValueSetConflict);
+}
+
+// ---- untestability prover ----------------------------------------------------
+
+using analysis::FaultProof;
+using analysis::ProofKind;
+
+TEST(Untestable, ProofKindsOnRedundantCone) {
+  const Circuit c = redundant_cone_circuit();
+  analysis::UntestabilityProver prover(c);
+  // g is constant 0 by reconvergence: s-a-0 can never be activated, and the
+  // site is always binary, so the proof is inert (safe to prune).
+  const FaultProof g0 = prover.prove({c.find("g"), Fault::kOutputPin, 0});
+  EXPECT_EQ(g0.kind, ProofKind::ActivationConflict);
+  EXPECT_TRUE(g0.inert);
+  EXPECT_FALSE(g0.witness.empty());
+  // g s-a-1 is testable (o flips whenever b = 0): no proof.
+  EXPECT_FALSE(prover.prove({c.find("g"), Fault::kOutputPin, 1}).proven());
+  // The Const0 node itself can never settle to 1: constant-site proof.
+  const FaultProof k0 = prover.prove({c.find("k"), Fault::kOutputPin, 0});
+  EXPECT_EQ(k0.kind, ProofKind::ConstantSite);
+  EXPECT_TRUE(k0.inert);
+  // s s-a-0: activation (s = 1) pins the single reader's side input ns to
+  // the AND's controlling value — the effect never leaves the site.
+  const FaultProof s0 = prover.prove({c.find("s"), Fault::kOutputPin, 0});
+  EXPECT_EQ(s0.kind, ProofKind::BlockedPropagation);
+  EXPECT_TRUE(s0.inert);
+}
+
+TEST(Untestable, UnreachableFlopStateProofIsNotInert) {
+  const Circuit c = mixed_proof_circuit();
+  analysis::UntestabilityProver prover(c);
+  // m = AND(a, z) with z pinned at X: S(m) = {0, X}, so m s-a-0 (activation
+  // m = 1) is refuted by the value-set layer alone.  But m is not always
+  // binary — pruning it would change the activity observables — so the
+  // proof is proven yet not inert.
+  const FaultProof m0 = prover.prove({c.find("m"), Fault::kOutputPin, 0});
+  EXPECT_EQ(m0.kind, ProofKind::ConstantSite);
+  EXPECT_FALSE(m0.inert);
+}
+
+TEST(Untestable, TransitionFaultsNeverProven) {
+  const Circuit c = mixed_proof_circuit();
+  const std::vector<FaultProof> proofs =
+      analysis::prove_untestable(c, enumerate_transition_faults(c));
+  for (const FaultProof& p : proofs) EXPECT_FALSE(p.proven());
+}
+
+TEST(Untestable, SoundAgainstSimulatorOnProofRichCircuit) {
+  const Circuit c = mixed_proof_circuit();
+  FaultList faults(c);
+  const std::vector<FaultProof> proofs =
+      analysis::prove_untestable(c, faults.faults());
+  EXPECT_GT(analysis::summarize_proofs(proofs).proven, 0u);
+  SequentialFaultSimulator sim(c, faults);
+  Rng rng(11);
+  for (int i = 0; i < 256; ++i)
+    sim.apply_vector(random_vector(c.num_inputs(), rng), i);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (faults.status(i) != FaultStatus::Detected) continue;
+    EXPECT_FALSE(proofs[i].proven())
+        << fault_name(c, faults.fault(i)) << ": " << proofs[i].witness;
+  }
+}
+
+// Collapse classes group *equivalent* faults, so a proof about a class
+// representative is a proof about every member: simulate the full
+// uncollapsed universe and check no member of a proven class is detected.
+TEST(Untestable, CollapseNeverMergesProvenClassOntoTestableFault) {
+  const Circuit c = mixed_proof_circuit();
+  std::vector<std::uint32_t> class_of;
+  std::vector<Fault> universe;
+  const std::vector<Fault> reps = collapse_faults(c, &class_of, &universe);
+  const std::vector<FaultProof> proofs = analysis::prove_untestable(c, reps);
+  ASSERT_EQ(class_of.size(), universe.size());
+
+  FaultList full(c, universe);
+  SequentialFaultSimulator sim(c, full);
+  Rng rng(23);
+  for (int i = 0; i < 256; ++i)
+    sim.apply_vector(random_vector(c.num_inputs(), rng), i);
+  std::size_t proven_members = 0;
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    const FaultProof& rep_proof = proofs[class_of[i]];
+    if (rep_proof.proven()) ++proven_members;
+    if (full.status(i) == FaultStatus::Detected) {
+      EXPECT_FALSE(rep_proof.proven())
+          << fault_name(c, universe[i]) << " detected but its representative "
+          << fault_name(c, reps[class_of[i]])
+          << " is proven: " << rep_proof.witness;
+    }
+  }
+  // The redundant cone contributes whole proven classes.
+  EXPECT_GT(proven_members, 0u);
+  EXPECT_LT(proven_members, universe.size());
+}
+
+TEST(Untestable, ApplyPruningTagsProvenAndPrunesInertOnly) {
+  const Circuit c = mixed_proof_circuit();
+  FaultList faults(c);
+  const std::vector<FaultProof> proofs =
+      analysis::prove_untestable(c, faults.faults());
+  const analysis::ProvenSummary s =
+      analysis::apply_proven_pruning(faults, proofs);
+  EXPECT_GT(s.proven, 0u);
+  EXPECT_GT(s.inert, 0u);
+  EXPECT_LT(s.inert, s.proven);  // the flop-state proof is non-inert
+  EXPECT_EQ(s.already_detected, 0u);
+  EXPECT_EQ(faults.num_pruned(), s.inert);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!proofs[i].proven()) {
+      EXPECT_NE(faults.tag(i), UntestableTag::Proven);
+      EXPECT_FALSE(faults.pruned(i));
+      continue;
+    }
+    EXPECT_EQ(faults.tag(i), UntestableTag::Proven);
+    if (proofs[i].inert) {
+      EXPECT_TRUE(faults.pruned(i));
+      EXPECT_EQ(faults.status(i), FaultStatus::Untestable);
+    } else {
+      // Non-inert proven faults stay simulated: their X-vs-binary activity
+      // feeds the event-count observables.
+      EXPECT_FALSE(faults.pruned(i));
+      EXPECT_EQ(faults.status(i), FaultStatus::Undetected);
+    }
+  }
+  // Pruning survives reset(): checkpoint restore and serve slices must see
+  // the same universe the run started with.
+  faults.reset();
+  EXPECT_EQ(faults.num_pruned(), s.inert);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (proofs[i].proven() && proofs[i].inert) {
+      EXPECT_TRUE(faults.pruned(i));
+      EXPECT_EQ(faults.status(i), FaultStatus::Untestable);
+    }
+}
+
+TEST(Untestable, ApplyPruningNeverDowngradesDetected) {
+  const Circuit c = mixed_proof_circuit();
+  FaultList faults(c);
+  const std::vector<FaultProof> proofs =
+      analysis::prove_untestable(c, faults.faults());
+  std::size_t inert_idx = faults.size();
+  for (std::size_t i = 0; i < proofs.size(); ++i)
+    if (proofs[i].proven() && proofs[i].inert) { inert_idx = i; break; }
+  ASSERT_LT(inert_idx, faults.size());
+  // A (hypothetically) detected fault must keep its detection even when a
+  // proof exists — the conflict is surfaced via already_detected instead.
+  faults.mark_detected(inert_idx, 3);
+  const analysis::ProvenSummary s =
+      analysis::apply_proven_pruning(faults, proofs);
+  EXPECT_EQ(s.already_detected, 1u);
+  EXPECT_EQ(faults.status(inert_idx), FaultStatus::Detected);
+  EXPECT_FALSE(faults.pruned(inert_idx));
+}
+
+TEST(Untestable, MarkProvenFaultsRetiresNonInertToo) {
+  const Circuit c = mixed_proof_circuit();
+  FaultList faults(c);
+  const std::vector<FaultProof> proofs =
+      analysis::prove_untestable(c, faults.faults());
+  analysis::mark_proven_faults(faults, proofs);
+  // Post-run accounting: every proven fault (inert or not) leaves the
+  // efficiency denominator, but nothing is removed from the universe.
+  EXPECT_EQ(faults.num_pruned(), 0u);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (proofs[i].proven()) {
+      EXPECT_EQ(faults.tag(i), UntestableTag::Proven);
+      EXPECT_EQ(faults.status(i), FaultStatus::Untestable);
+    }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "analysis/untestable.h"
 #include "circuitgen/circuitgen.h"
 #include "fault/fault.h"
 #include "fsim/fault_sim.h"
@@ -644,6 +645,15 @@ TEST(FsimDifferentialFuzz, RandomCircuitsMatchReference) {
     aggressive.occupancy_threshold = 1.0;
     aggressive.min_commits = 1;
     packed.set_lane_compaction(true, aggressive);
+    // Fourth machine: same universe with every implication-proven inert
+    // fault pruned.  The prover claims those faults have zero simulation
+    // footprint, so every frame observable must stay bit-identical and no
+    // vector may ever detect a proven fault (soundness).
+    const std::vector<analysis::FaultProof> proofs =
+        analysis::prove_untestable(c, ref_fl.faults());
+    FaultList pruned_fl(c);
+    analysis::apply_proven_pruning(pruned_fl, proofs);
+    SequentialFaultSimulator pruned(c, pruned_fl);
 
     const int frames = 8 + static_cast<int>(rng.below(9));
     for (int t = 0; t < frames; ++t) {
@@ -665,6 +675,20 @@ TEST(FsimDifferentialFuzz, RandomCircuitsMatchReference) {
       ASSERT_EQ(packed_s.faulty_events, plain_s.faulty_events);
       ASSERT_EQ(packed_s.ffs_set, plain_s.ffs_set);
       ASSERT_EQ(packed_s.ffs_changed, plain_s.ffs_changed);
+      // Pruning proven-inert faults must leave every observable — including
+      // the fitness denominator faults_simulated — bit-identical.
+      const FaultSimStats pruned_s = pruned.apply_vector(v, t);
+      ASSERT_EQ(pruned_s.detected, plain_s.detected)
+          << prof.name << " frame " << t << " (pruned)";
+      ASSERT_EQ(pruned_s.fault_effects_at_ffs, plain_s.fault_effects_at_ffs)
+          << prof.name << " frame " << t << " (pruned)";
+      ASSERT_EQ(pruned_s.good_events, plain_s.good_events);
+      ASSERT_EQ(pruned_s.faulty_events, plain_s.faulty_events)
+          << prof.name << " frame " << t << " (pruned)";
+      ASSERT_EQ(pruned_s.ffs_set, plain_s.ffs_set);
+      ASSERT_EQ(pruned_s.ffs_changed, plain_s.ffs_changed);
+      ASSERT_EQ(pruned_s.faults_simulated, plain_s.faults_simulated)
+          << prof.name << " frame " << t << " (pruned)";
     }
     for (std::size_t f = 0; f < plain_fl.size(); ++f) {
       ASSERT_EQ(plain_fl.status(f) == FaultStatus::Detected, ref.detected(f))
@@ -675,6 +699,21 @@ TEST(FsimDifferentialFuzz, RandomCircuitsMatchReference) {
       ASSERT_EQ(packed_fl.detected_by(f), plain_fl.detected_by(f))
           << prof.name << ": " << fault_name(c, packed_fl.fault(f))
           << " (compacted)";
+      // Soundness: no vector in any run ever detects a proven fault.
+      ASSERT_FALSE(proofs[f].proven() &&
+                   plain_fl.status(f) == FaultStatus::Detected)
+          << prof.name << ": proven-untestable "
+          << fault_name(c, plain_fl.fault(f)) << " was detected ("
+          << proofs[f].witness << ")";
+      ASSERT_EQ(pruned_fl.status(f) == FaultStatus::Detected,
+                plain_fl.status(f) == FaultStatus::Detected)
+          << prof.name << ": " << fault_name(c, pruned_fl.fault(f))
+          << " (pruned)";
+      if (pruned_fl.status(f) == FaultStatus::Detected) {
+        ASSERT_EQ(pruned_fl.detected_by(f), plain_fl.detected_by(f))
+            << prof.name << ": " << fault_name(c, pruned_fl.fault(f))
+            << " (pruned)";
+      }
     }
   }
   EXPECT_EQ(built, 50);

@@ -22,6 +22,7 @@
 
 #include "analysis/lint.h"
 #include "analysis/prune.h"
+#include "analysis/untestable.h"
 #include "atpg/cris_lite.h"
 #include "atpg/hitec_lite.h"
 #include "atpg/random_tpg.h"
@@ -80,6 +81,11 @@ namespace {
       "                      report fault efficiency next to coverage\n"
       "                      (accounting only: generated tests and detected\n"
       "                      faults are identical to an unpruned run)\n"
+      "  --prune-proven      prove faults untestable with the static\n"
+      "                      implication engine and remove the provably\n"
+      "                      inert subset from the simulated universe\n"
+      "                      (generated tests and detected faults stay\n"
+      "                      bit-identical to an unpruned run)\n"
       "  --fitness-cache     memoize genome fitness between commits (emitted\n"
       "                      tests are bit-identical with or without it)\n"
       "  --lane-compaction   re-pack the undetected-fault tail into dense\n"
@@ -224,6 +230,7 @@ int main(int argc, char** argv) {
     else if (a == "--lint") do_lint = true;
     else if (a == "--lint-only") lint_only = true;
     else if (a == "--prune-untestable") cfg.prune_untestable = true;
+    else if (a == "--prune-proven") cfg.prune_proven = true;
     else if (a == "--fitness-cache") cfg.fitness_cache = true;
     else if (a == "--lane-compaction") cfg.lane_compaction = true;
     else if (a == "--compact") do_compact = true;
@@ -424,6 +431,37 @@ int main(int argc, char** argv) {
                 "(%zu unactivatable, %zu unobservable)\n",
                 ps.pruned, faults.size(), ps.unactivatable, ps.unobservable);
     std::printf("fault efficiency: %.2f%% (%zu/%zu testable faults)\n",
+                testable == 0
+                    ? 100.0
+                    : 100.0 * static_cast<double>(faults.num_detected()) /
+                          static_cast<double>(testable),
+                faults.num_detected(), testable);
+  }
+
+  if (cfg.prune_proven) {
+    // End-of-run accounting over the implication-engine proofs: proven
+    // faults the run left undetected become Untestable (the inert subset
+    // never entered the universe; the rest could only have created
+    // undetectable activity).  A proven-but-detected fault would falsify
+    // the engine's soundness.
+    const auto proofs = analysis::prove_untestable(circuit, faults.faults());
+    const analysis::ProvenSummary ps =
+        analysis::mark_proven_faults(faults, proofs);
+    std::printf("\nimplication proofs: %zu/%zu faults proven untestable "
+                "(%zu constant-site, %zu unreachable-value, "
+                "%zu activation-conflict, %zu blocked-propagation); "
+                "%zu inert faults pruned from the simulated universe\n",
+                ps.proven, faults.size(), ps.constant_site,
+                ps.unreachable_value, ps.activation_conflict,
+                ps.blocked_propagation, faults.num_pruned());
+    if (ps.already_detected != 0)
+      std::fprintf(stderr,
+                   "ERROR: %zu proven-untestable faults were detected — "
+                   "implication engine soundness violation\n",
+                   ps.already_detected);
+    const std::size_t testable = ps.total_faults - ps.proven;
+    std::printf("fault efficiency: %.2f%% (%zu/%zu provably-testable "
+                "faults)\n",
                 testable == 0
                     ? 100.0
                     : 100.0 * static_cast<double>(faults.num_detected()) /

@@ -21,6 +21,7 @@
 
 #include "analysis/lint.h"
 #include "analysis/prune.h"
+#include "analysis/untestable.h"
 #include "circuitgen/circuitgen.h"
 #include "fault/fault.h"
 #include "netlist/bench_io.h"
@@ -39,6 +40,9 @@ namespace {
       "  --out FILE          write the report to FILE instead of stdout\n"
       "  --prune             classify the collapsed stuck-at universe and\n"
       "                      report structurally untestable fault counts\n"
+      "  --prove             run the static implication engine and report\n"
+      "                      every proven-untestable fault with its witness\n"
+      "                      contradiction (one Info diagnostic per fault)\n"
       "  --max-fanout N      fanout warning threshold (default 64)\n"
       "  --deep-cone N       SCOAP difficulty for deep-cone infos "
       "(default 200)\n"
@@ -73,7 +77,7 @@ unsigned long long parse_uint(const char* prog, const char* flag,
 
 int main(int argc, char** argv) {
   std::string circuit_file, profile, format = "text", out_file;
-  bool do_prune = false, no_info = false;
+  bool do_prune = false, do_prove = false, no_info = false;
   analysis::LintOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -86,6 +90,7 @@ int main(int argc, char** argv) {
     }
     else if (a == "--out") out_file = arg_value(argc, argv, i, argv[0]);
     else if (a == "--prune") do_prune = true;
+    else if (a == "--prove") do_prove = true;
     else if (a == "--max-fanout")
       opts.max_fanout = static_cast<std::size_t>(parse_uint(
           argv[0], "--max-fanout", arg_value(argc, argv, i, argv[0])));
@@ -141,6 +146,33 @@ int main(int argc, char** argv) {
                    " collapsed stuck-at faults structurally untestable (" +
                    std::to_string(ps.unactivatable) + " unactivatable, " +
                    std::to_string(ps.unobservable) + " unobservable)");
+  }
+
+  if (parsed && do_prove) {
+    const FaultList faults(circuit);
+    const auto proofs = analysis::prove_untestable(circuit, faults.faults());
+    const analysis::ProvenSummary ps = analysis::summarize_proofs(proofs);
+    for (std::size_t i = 0; i < proofs.size(); ++i) {
+      if (!proofs[i].proven()) continue;
+      report.add(analysis::Severity::Info,
+                 "proven-untestable-" +
+                     std::string(analysis::proof_kind_name(proofs[i].kind)),
+                 fault_name(circuit, faults.fault(i)),
+                 proofs[i].witness +
+                     (proofs[i].inert ? " [inert: prunable]" : ""));
+    }
+    report.add(analysis::Severity::Info, "prove-summary", circuit.name(),
+               std::to_string(ps.proven) + " of " +
+                   std::to_string(ps.total_faults) +
+                   " collapsed stuck-at faults proven untestable (" +
+                   std::to_string(ps.constant_site) + " constant-site, " +
+                   std::to_string(ps.unreachable_value) +
+                   " unreachable-value, " +
+                   std::to_string(ps.activation_conflict) +
+                   " activation-conflict, " +
+                   std::to_string(ps.blocked_propagation) +
+                   " blocked-propagation); " + std::to_string(ps.inert) +
+                   " inert (prunable)");
   }
 
   if (no_info) {
