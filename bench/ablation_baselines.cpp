@@ -32,6 +32,9 @@ int main(int argc, char** argv) {
   AsciiTable table({"Circuit", "Faults", "GATEST", "no-activity", "vec-only",
                     "seq-only", "random", "CRIS-like", "HITEC-like"});
 
+  bench::RecordWriter rec("ablation_baselines");
+  static const char* kVariantName[] = {"gatest", "no-activity", "vec-only",
+                                       "seq-only"};
   for (const std::string& name : circuits) {
     const Circuit& c = cached_circuit(name);
     std::vector<std::string> row{name};
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
         default: break;
       }
       const RunSummary s = run_gatest_repeated(name, cfg, args.runs, args.seed);
+      record_summary(rec, name, kVariantName[variant], s);
       if (first) {
         row.push_back(strprintf("%zu", s.faults_total));
         first = false;
@@ -69,7 +73,9 @@ int main(int argc, char** argv) {
         const TestGenResult res = run_random_tpg(c, faults, rcfg);
         s.detected.add(static_cast<double>(res.faults_detected));
         s.vectors.add(static_cast<double>(res.test_set.size()));
+        s.seconds.add(res.seconds);
       }
+      record_summary(rec, name, "random", s);
       row.push_back(fmt(s));
     }
 
@@ -83,7 +89,9 @@ int main(int argc, char** argv) {
         const TestGenResult res = run_cris_lite(c, faults, ccfg);
         s.detected.add(static_cast<double>(res.faults_detected));
         s.vectors.add(static_cast<double>(res.test_set.size()));
+        s.seconds.add(res.seconds);
       }
+      record_summary(rec, name, "cris", s);
       row.push_back(fmt(s));
     }
 
@@ -93,6 +101,10 @@ int main(int argc, char** argv) {
       HitecLiteConfig hcfg;
       hcfg.backtrack_limit = args.full ? 400 : 50;
       const HitecLiteResult res = run_hitec_lite(c, faults, hcfg);
+      rec.begin_entry(name, "hitec");
+      rec.exact("detected", static_cast<double>(res.gen.faults_detected));
+      rec.exact("vectors", static_cast<double>(res.gen.test_set.size()));
+      rec.perf("seconds", res.gen.seconds);
       row.push_back(strprintf("%zu/%zu", res.gen.faults_detected,
                               res.gen.test_set.size()));
     }
@@ -106,5 +118,6 @@ int main(int argc, char** argv) {
       "the CRIS-like\nlogic-sim fitness and undirected random vectors should "
       "trail it, with random needing\nfar more vectors for its coverage "
       "(GATEST test sets were 1/3 of CRIS's, 42%% of HITEC's).\n");
+  finish_record(args, rec);
   return 0;
 }

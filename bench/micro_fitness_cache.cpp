@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "circuitgen/circuitgen.h"
+#include "experiments/bench_record.h"
 #include "fault/fault.h"
 #include "fsim/fault_sim.h"
 #include "gatest/config.h"
@@ -104,6 +105,7 @@ int main(int argc, char** argv) {
   bool check = false;
   unsigned pairs = 3;
   double required = 1.25;
+  std::string json_out;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--check") check = true;
@@ -113,9 +115,12 @@ int main(int argc, char** argv) {
                                std::strtoul(a.c_str() + 7, nullptr, 10)));
     else if (a.rfind("--speedup=", 0) == 0)
       required = std::strtod(a.c_str() + 10, nullptr);
+    else if (a.rfind("--json=", 0) == 0)
+      json_out = a.substr(7);
     else if (a == "--help" || a == "-h") {
       std::fprintf(stderr,
-                   "usage: %s [--check] [--runs=N] [--speedup=F] [--full]\n"
+                   "usage: %s [--check] [--runs=N] [--speedup=F] [--full] "
+                   "[--json=FILE]\n"
                    "(other bench-suite flags are accepted and ignored)\n",
                    argv[0]);
       return 0;
@@ -184,6 +189,22 @@ int main(int argc, char** argv) {
       "(required %.2fx)\n",
       kCandidateStream, kUniqueCandidates, kEpochStride, sampled, plain_best,
       accel_best, speedup, required);
+
+  if (!json_out.empty()) {
+    bench::RecordWriter rec("micro_fitness_cache");
+    rec.param("pairs", static_cast<double>(pairs));
+    rec.begin_entry("s344", "phase2-stream");
+    rec.exact("sim_evals_plain", static_cast<double>(warm_plain.sim_evals));
+    rec.exact("sim_evals_accel", static_cast<double>(warm_accel.sim_evals));
+    rec.exact("cache_hits_accel", static_cast<double>(warm_accel.cache_hits));
+    rec.perf("plain_seconds", plain_best);
+    rec.perf("accel_seconds", accel_best);
+    std::string err;
+    if (!rec.write(json_out, err)) {
+      std::fprintf(stderr, "micro_fitness_cache: %s\n", err.c_str());
+      return 1;
+    }
+  }
 
   if (check && speedup < required) {
     std::fprintf(stderr,

@@ -32,6 +32,7 @@
 
 #include "analysis/untestable.h"
 #include "circuitgen/circuitgen.h"
+#include "experiments/bench_record.h"
 #include "fault/fault.h"
 #include "fsim/fault_sim.h"
 #include "netlist/circuit.h"
@@ -120,12 +121,17 @@ int fail(const char* what) {
 int main(int argc, char** argv) {
   bool check = false;
   std::string profile = "s298";
+  std::string json_out;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--check")) check = true;
     else if (!std::strcmp(argv[i], "--profile") && i + 1 < argc)
       profile = argv[++i];
+    else if (!std::strncmp(argv[i], "--json=", 7))
+      json_out = argv[i] + 7;
     else {
-      std::fprintf(stderr, "usage: %s [--check] [--profile NAME]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--check] [--profile NAME] [--json=FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -194,6 +200,25 @@ int main(int argc, char** argv) {
       lanes_plain ? 100.0 * (1.0 - static_cast<double>(lanes_pruned) /
                                        static_cast<double>(lanes_plain))
                   : 0.0);
+
+  if (!json_out.empty()) {
+    bench::RecordWriter rec("micro_implication");
+    rec.param("profile", profile);
+    rec.param("redundant_cones", static_cast<double>(kRedundantCones));
+    rec.begin_entry(c.name(), "prune-proven");
+    rec.exact("faults_total", static_cast<double>(ps.total_faults));
+    rec.exact("proven_untestable", static_cast<double>(ps.proven));
+    rec.exact("inert_proofs", static_cast<double>(ps.inert));
+    rec.exact("faults_pruned", static_cast<double>(pruned.num_pruned()));
+    rec.exact("detected", static_cast<double>(plain.num_detected()));
+    rec.exact("lanes_plain", static_cast<double>(lanes_plain));
+    rec.exact("lanes_pruned", static_cast<double>(lanes_pruned));
+    std::string err;
+    if (!rec.write(json_out, err)) {
+      std::fprintf(stderr, "micro_implication: %s\n", err.c_str());
+      return 1;
+    }
+  }
 
   if (!check) return 0;
   if (ps.inert < kRedundantCones) return fail("fewer inert proofs than injected cones");

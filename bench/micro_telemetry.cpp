@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "circuitgen/circuitgen.h"
+#include "experiments/bench_record.h"
 #include "fault/fault.h"
 #include "gatest/config.h"
 #include "gatest/test_generator.h"
@@ -69,6 +70,7 @@ int main(int argc, char** argv) {
   bool check = false;
   unsigned pairs = 3;
   double tolerance = 0.02;
+  std::string json_out;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--check") check = true;
@@ -78,9 +80,12 @@ int main(int argc, char** argv) {
                                std::strtoul(a.c_str() + 7, nullptr, 10)));
     else if (a.rfind("--tolerance=", 0) == 0)
       tolerance = std::strtod(a.c_str() + 12, nullptr);
+    else if (a.rfind("--json=", 0) == 0)
+      json_out = a.substr(7);
     else if (a == "--help" || a == "-h") {
       std::fprintf(stderr,
-                   "usage: %s [--check] [--runs=N] [--tolerance=F] [--full]\n"
+                   "usage: %s [--check] [--runs=N] [--tolerance=F] [--full] "
+                   "[--json=FILE]\n"
                    "(other bench-suite flags are accepted and ignored)\n",
                    argv[0]);
       return 0;
@@ -96,24 +101,25 @@ int main(int argc, char** argv) {
   telemetry::Histogram& hist = reg.histogram("bench.hist");
   telemetry::TraceSink disabled_sink;
 
+  const double counter_ns =
+      ns_per_op(10'000'000, [&](std::size_t) { counter.add(); });
+  const double gauge_ns =
+      ns_per_op(10'000'000, [&](std::size_t) { gauge.add(1.0); });
+  const double hist_ns = ns_per_op(1'000'000, [&](std::size_t i) {
+    hist.observe(1e-6 * static_cast<double>(i % 1000));
+  });
+  const double event_ns = ns_per_op(10'000'000, [&](std::size_t) {
+    disabled_sink.event("noop", {{"k", 1}});
+  });
+
   AsciiTable prim({"Primitive", "ns/op", "Notes"});
-  prim.add_row({"Counter::add", strprintf("%.2f", ns_per_op(10'000'000, [&](std::size_t) {
-                  counter.add();
-                })),
+  prim.add_row({"Counter::add", strprintf("%.2f", counter_ns),
                 "relaxed atomic fetch_add"});
-  prim.add_row({"Gauge::add", strprintf("%.2f", ns_per_op(10'000'000, [&](std::size_t) {
-                  gauge.add(1.0);
-                })),
+  prim.add_row({"Gauge::add", strprintf("%.2f", gauge_ns),
                 "relaxed CAS loop"});
-  prim.add_row({"Histogram::observe",
-                strprintf("%.2f", ns_per_op(1'000'000, [&](std::size_t i) {
-                  hist.observe(1e-6 * static_cast<double>(i % 1000));
-                })),
+  prim.add_row({"Histogram::observe", strprintf("%.2f", hist_ns),
                 "mutex + Welford + P2 + bucket"});
-  prim.add_row({"TraceSink::event (disabled)",
-                strprintf("%.2f", ns_per_op(10'000'000, [&](std::size_t) {
-                  disabled_sink.event("noop", {{"k", 1}});
-                })),
+  prim.add_row({"TraceSink::event (disabled)", strprintf("%.2f", event_ns),
                 "one relaxed load, no payload"});
   prim.print(std::cout);
 
@@ -158,6 +164,23 @@ int main(int argc, char** argv) {
       "disabled-path overhead: %+.2f%% (tolerance %.0f%%)\n",
       kRunsPerSample, sampled, bare_best, attached_best, 100.0 * overhead,
       100.0 * tolerance);
+
+  if (!json_out.empty()) {
+    bench::RecordWriter rec("micro_telemetry");
+    rec.param("pairs", static_cast<double>(pairs));
+    rec.begin_entry("s298", "overhead");
+    rec.perf("counter_add_ns", counter_ns);
+    rec.perf("gauge_add_ns", gauge_ns);
+    rec.perf("histogram_observe_ns", hist_ns);
+    rec.perf("trace_event_disabled_ns", event_ns);
+    rec.perf("bare_seconds", bare_best);
+    rec.perf("attached_seconds", attached_best);
+    std::string err;
+    if (!rec.write(json_out, err)) {
+      std::fprintf(stderr, "micro_telemetry: %s\n", err.c_str());
+      return 1;
+    }
+  }
 
   if (check && overhead > tolerance) {
     std::fprintf(stderr,

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
     header.push_back(strprintf("T%u-Spdup", thread_counts[i]));
   }
   AsciiTable table(header);
+  bench::RecordWriter rec("parallel_speedup");
 
   for (const std::string& name : circuits) {
     std::vector<std::string> row{name};
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
       cfg.prune_untestable = args.prune_untestable;
       cfg.num_threads = thread_counts[i];
       const RunSummary s = run_gatest_repeated(name, cfg, args.runs, args.seed);
+      record_summary(rec, name, strprintf("threads%u", thread_counts[i]), s);
       if (i == 0) {
         serial_time = s.seconds.mean();
         row.push_back(strprintf("%.1f", s.detected.mean()));
@@ -67,5 +69,6 @@ int main(int argc, char** argv) {
       "\nShape check vs paper outlook: detections identical across thread "
       "counts, speedup\ngrowing with threads (sub-linear: the GA loop and "
       "commits stay serial).\n");
+  finish_record(args, rec);
   return 0;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "circuitgen/circuitgen.h"
+#include "experiments/bench_record.h"
 #include "fault/fault.h"
 #include "gatest/test_generator.h"
 #include "netlist/bench_io.h"
@@ -163,13 +164,17 @@ PoolResult run_pool(const std::vector<JobSpec>& jobs, unsigned workers,
 int main(int argc, char** argv) {
   bool check = false;
   bool full = false;
+  std::string json_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--full") == 0) {
       full = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_out = argv[i] + 7;
     } else {
-      std::fprintf(stderr, "usage: %s [--check] [--full]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--check] [--full] [--json=FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -211,6 +216,26 @@ int main(int argc, char** argv) {
       }
     }
     results.emplace(workers, std::move(r));
+  }
+
+  if (!json_out.empty()) {
+    bench::RecordWriter rec("serve_throughput");
+    rec.param("jobs", static_cast<double>(jobs.size()));
+    rec.param("slice_seconds", slice);
+    for (const auto& [workers, r] : results) {
+      rec.begin_entry("mixed", "workers" + std::to_string(workers));
+      rec.exact("jobs_done", static_cast<double>(r.done));
+      rec.perf("wall_seconds", r.wall);
+      rec.perf("jobs_per_sec",
+               r.wall > 0 ? static_cast<double>(r.done) / r.wall : 0.0);
+      rec.perf("latency_p50_s", r.latency.p50());
+      rec.perf("latency_p95_s", r.latency.p95());
+    }
+    std::string err;
+    if (!rec.write(json_out, err)) {
+      std::fprintf(stderr, "serve_throughput: %s\n", err.c_str());
+      return 1;
+    }
   }
 
   const double t1 = results.at(1).wall, t4 = results.at(4).wall;

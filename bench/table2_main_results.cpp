@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     headers.push_back("Inert");
   }
   AsciiTable table(headers);
+  bench::RecordWriter rec("table2_main_results");
 
   for (const std::string& name : circuits) {
     const Circuit& c = cached_circuit(name);
@@ -57,6 +58,11 @@ int main(int argc, char** argv) {
     cfg.prune_untestable = args.prune_untestable;
     cfg.prune_proven = args.prune_proven;
     const RunSummary ga = run_gatest_repeated(name, cfg, args.runs, args.seed);
+
+    record_summary(rec, name, "ga", ga);
+    rec.exact("hitec_detected", static_cast<double>(hitec.gen.faults_detected));
+    rec.exact("hitec_vectors", static_cast<double>(hitec.gen.test_set.size()));
+    rec.perf("hitec_seconds", hitec.gen.seconds);
 
     std::vector<std::string> row = {
         name,
@@ -95,5 +101,6 @@ int main(int argc, char** argv) {
       "by the unrolling depth).\nShape check vs paper: GATEST reaches "
       "comparable-or-better coverage than the deterministic\nbaseline in a "
       "fraction of its time on most circuits, with compact test sets.\n");
+  finish_record(args, rec);
   return 0;
 }

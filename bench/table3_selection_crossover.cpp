@@ -7,6 +7,7 @@
 // consistently the best operator.
 #include <cstdio>
 #include <iostream>
+#include <iterator>
 
 #include "experiments/harness.h"
 #include "util/table.h"
@@ -42,18 +43,25 @@ int main(int argc, char** argv) {
     for (const char* x : {"1", "2", "U"})
       header.push_back(std::string(s) + "-" + x);
   AsciiTable table(header);
+  bench::RecordWriter rec("table3_selection_crossover");
+  static const char* kSelName[] = {"RW", "SU", "TN", "TR"};
+  static const char* kXovName[] = {"1", "2", "U"};
 
   for (const std::string& name : circuits) {
     std::vector<std::string> row{name};
     double best = -1, tn_uniform = -1;
-    for (SelectionScheme sel : kSel) {
-      for (CrossoverScheme xov : kXov) {
+    for (std::size_t si = 0; si < std::size(kSel); ++si) {
+      const SelectionScheme sel = kSel[si];
+      for (std::size_t xi = 0; xi < std::size(kXov); ++xi) {
+        const CrossoverScheme xov = kXov[xi];
         TestGenConfig cfg = paper_config_for(name);
       cfg.prune_untestable = args.prune_untestable;
         cfg.selection = sel;
         cfg.crossover = xov;
         const RunSummary s =
             run_gatest_repeated(name, cfg, args.runs, args.seed);
+        record_summary(rec, name,
+                       std::string(kSelName[si]) + "-" + kXovName[xi], s);
         row.push_back(strprintf("%.1f", s.detected.mean()));
         best = std::max(best, s.detected.mean());
         if (sel == SelectionScheme::TournamentNoReplacement &&
@@ -72,5 +80,6 @@ int main(int argc, char** argv) {
       "\nShape check vs paper: tournament columns should match or beat the "
       "proportionate\nschemes, and uniform crossover should be the strongest "
       "operator overall.\n");
+  finish_record(args, rec);
   return 0;
 }

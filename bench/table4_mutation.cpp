@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
 
   AsciiTable table({"Circuit", "1/16", "1/32", "1/64", "1/128", "1/256",
                     "spread"});
+  bench::RecordWriter rec("table4_mutation");
   for (const std::string& name : circuits) {
     std::vector<std::string> row{name};
     double lo = 1e18, hi = -1e18;
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
       cfg.prune_untestable = args.prune_untestable;
       cfg.seq_mutation = rate;
       const RunSummary s = run_gatest_repeated(name, cfg, args.runs, args.seed);
+      record_summary(rec, name, strprintf("1/%.0f", 1.0 / rate), s);
       row.push_back(strprintf("%.1f", s.detected.mean()));
       lo = std::min(lo, s.detected.mean());
       hi = std::max(hi, s.detected.mean());
@@ -46,5 +48,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check vs paper: the spread across mutation rates should be "
       "small relative to the\nselection/crossover differences of Table 3.\n");
+  finish_record(args, rec);
   return 0;
 }

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   AsciiTable table({"Circuit", "P16-Bin", "P16-Non", "P32-Bin", "P32-Non",
                     "P64-Bin", "P64-Non"});
+  bench::RecordWriter rec("table5_coding");
   for (const std::string& name : circuits) {
     std::vector<std::string> row{name};
     for (unsigned pop : {16u, 32u, 64u}) {
@@ -33,6 +34,11 @@ int main(int argc, char** argv) {
         cfg.sequence_coding = coding;
         const RunSummary s =
             run_gatest_repeated(name, cfg, args.runs, args.seed);
+        record_summary(
+            rec, name,
+            strprintf("p%u-%s", pop,
+                      coding == Coding::Binary ? "binary" : "nonbinary"),
+            s);
         row.push_back(strprintf("%.1f", s.detected.mean()));
       }
     }
@@ -43,5 +49,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check vs paper: columns should improve with population size; "
       "binary coding\nusually leads at populations 16/32.\n");
+  finish_record(args, rec);
   return 0;
 }

@@ -28,11 +28,13 @@ int main(int argc, char** argv) {
                     "S100-Spdup", "S200-Det", "S200-Vec", "S200-Spdup",
                     "S300-Det", "S300-Vec", "S300-Spdup"});
 
+  bench::RecordWriter rec("table6_fault_sampling");
   for (const std::string& name : circuits) {
     TestGenConfig base = paper_config_for(name);
     base.prune_untestable = args.prune_untestable;
     const RunSummary full =
         run_gatest_repeated(name, base, args.runs, args.seed);
+    record_summary(rec, name, "full", full);
 
     std::vector<std::string> row{
         name, strprintf("%.1f", full.detected.mean()),
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
       TestGenConfig cfg = base;
       cfg.fault_sample_size = sample;
       const RunSummary s = run_gatest_repeated(name, cfg, args.runs, args.seed);
+      record_summary(rec, name, strprintf("sample%u", sample), s);
       row.push_back(strprintf("%.1f", s.detected.mean()));
       row.push_back(strprintf("%.0f", s.vectors.mean()));
       const double spdup =
@@ -55,5 +58,6 @@ int main(int argc, char** argv) {
       "\nShape check vs paper: highest coverage with the full list; speedup "
       "> 1 for samples,\nlargest on the bigger circuits and at the smallest "
       "sample size.\n");
+  finish_record(args, rec);
   return 0;
 }

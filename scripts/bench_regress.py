@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Bench-regression registry: compare fresh bench records against baselines.
+
+Every bench/* harness emits a versioned JSON record with `--json=FILE`
+(schema v1, written by src/experiments/bench_record.{h,cpp}):
+
+    { "schema_version": 1, "harness": "...", "git_rev": "...",
+      "params": {...},
+      "entries": [ { "circuit": "...", "config": "...",
+                     "exact": {...}, "perf": {...} } ] }
+
+Baselines live in bench/baselines/BENCH_<harness>.json.  This script loads
+one or more fresh records and compares each against its baseline:
+
+  * `exact` metrics are deterministic under fixed seeds — any difference is
+    a regression (or an intentional behavior change that must update the
+    baseline alongside the code).
+  * `perf` metrics are wall-clock — compared directionally with a relative
+    tolerance (default 15%).  Keys ending in `seconds`, `_s`, or `_ns` are
+    lower-is-better; everything else (throughput-style) is higher-is-better.
+    Only regressions fail; improvements are reported but pass.
+
+`--skip-perf` restricts the comparison to exact metrics, which is what ctest
+uses: exact values are machine-independent, wall-clock is not.  The perf
+gate belongs in same-machine workflows (run_experiments.sh bench_regress
+stage, local pre-merge runs).
+
+Usage:
+  bench_regress.py FRESH.json [FRESH2.json ...] [--baseline-dir DIR]
+                   [--tolerance 0.15] [--skip-perf] [--update]
+
+  --update rewrites the baseline files from the fresh records instead of
+  comparing (use after an intentional behavior or performance change).
+
+Exits 0 when every fresh record is within tolerance of its baseline,
+1 with per-metric diagnostics otherwise, 2 on usage/IO errors.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+SCHEMA_VERSION = 1
+
+# Time-like perf keys are lower-is-better; anything else (throughput,
+# rates) is higher-is-better.  Matched by substring/suffix so both
+# "seconds_mean" and "plain_seconds" count as times while "jobs_per_sec"
+# does not.
+LOWER_IS_BETTER_SUBSTRINGS = ("seconds", "latency")
+LOWER_IS_BETTER_SUFFIXES = ("_s", "_ns", "_ms")
+
+
+def fail(msg):
+    print(f"bench_regress: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_record(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            rec = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    for key in ("schema_version", "harness", "entries"):
+        if key not in rec:
+            fail(f"{path}: missing required field '{key}'")
+    if rec["schema_version"] != SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {rec['schema_version']} "
+            f"(this tool understands {SCHEMA_VERSION})"
+        )
+    return rec
+
+
+def baseline_path(baseline_dir, harness):
+    return os.path.join(baseline_dir, f"BENCH_{harness}.json")
+
+
+def entry_key(entry):
+    return (entry.get("circuit", "?"), entry.get("config", "default"))
+
+
+def index_entries(rec, path):
+    out = {}
+    for entry in rec["entries"]:
+        key = entry_key(entry)
+        if key in out:
+            fail(f"{path}: duplicate entry for circuit={key[0]} config={key[1]}")
+        out[key] = entry
+    return out
+
+
+def lower_is_better(key):
+    return any(sub in key for sub in LOWER_IS_BETTER_SUBSTRINGS) or key.endswith(
+        LOWER_IS_BETTER_SUFFIXES
+    )
+
+
+def compare_record(fresh, base, fresh_path, tolerance, skip_perf):
+    """Return a list of failure strings for one fresh-vs-baseline pair."""
+    problems = []
+    harness = fresh["harness"]
+    if base["harness"] != harness:
+        return [f"baseline harness '{base['harness']}' != fresh '{harness}'"]
+
+    fresh_entries = index_entries(fresh, fresh_path)
+    base_entries = index_entries(base, "baseline")
+
+    for key, bentry in sorted(base_entries.items()):
+        circuit, config = key
+        where = f"{harness}/{circuit}/{config}"
+        fentry = fresh_entries.get(key)
+        if fentry is None:
+            problems.append(f"{where}: entry present in baseline, missing from fresh run")
+            continue
+
+        for mkey, bval in sorted(bentry.get("exact", {}).items()):
+            if mkey not in fentry.get("exact", {}):
+                problems.append(f"{where}: exact metric '{mkey}' missing from fresh run")
+                continue
+            fval = fentry["exact"][mkey]
+            if fval != bval:
+                problems.append(
+                    f"{where}: exact metric '{mkey}' changed: "
+                    f"baseline {bval!r} -> fresh {fval!r}"
+                )
+
+        if skip_perf:
+            continue
+        for mkey, bval in sorted(bentry.get("perf", {}).items()):
+            if mkey not in fentry.get("perf", {}):
+                problems.append(f"{where}: perf metric '{mkey}' missing from fresh run")
+                continue
+            fval = fentry["perf"][mkey]
+            if not isinstance(bval, (int, float)) or not isinstance(fval, (int, float)):
+                problems.append(f"{where}: perf metric '{mkey}' is not numeric")
+                continue
+            if bval == 0:
+                continue  # no meaningful relative comparison
+            rel = (fval - bval) / abs(bval)
+            if lower_is_better(mkey):
+                regressed = rel > tolerance
+                direction = "slower"
+            else:
+                regressed = rel < -tolerance
+                direction = "lower"
+            if regressed:
+                problems.append(
+                    f"{where}: perf metric '{mkey}' regressed "
+                    f"({abs(rel) * 100.0:.1f}% {direction}): "
+                    f"baseline {bval:g} -> fresh {fval:g} "
+                    f"(tolerance {tolerance * 100.0:.0f}%)"
+                )
+
+    for key in sorted(set(fresh_entries) - set(base_entries)):
+        print(
+            f"  note: {harness}/{key[0]}/{key[1]} is new "
+            f"(not in baseline; run --update to record it)"
+        )
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Compare fresh bench records against committed baselines."
+    )
+    ap.add_argument("fresh", nargs="+", help="fresh bench record JSON file(s)")
+    ap.add_argument(
+        "--baseline-dir",
+        default=os.path.join(os.path.dirname(__file__), "..", "bench", "baselines"),
+        help="directory holding BENCH_<harness>.json baselines",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="relative perf tolerance (default 0.15 = 15%%)",
+    )
+    ap.add_argument(
+        "--skip-perf",
+        action="store_true",
+        help="compare only exact metrics (cross-machine safe)",
+    )
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="write fresh records as new baselines instead of comparing",
+    )
+    args = ap.parse_args()
+
+    baseline_dir = os.path.normpath(args.baseline_dir)
+    failures = 0
+    compared = 0
+
+    for fresh_path in args.fresh:
+        fresh = load_record(fresh_path)
+        harness = fresh["harness"]
+        bpath = baseline_path(baseline_dir, harness)
+
+        if args.update:
+            os.makedirs(baseline_dir, exist_ok=True)
+            shutil.copyfile(fresh_path, bpath)
+            print(f"updated baseline {bpath} from {fresh_path}")
+            continue
+
+        if not os.path.exists(bpath):
+            print(
+                f"bench_regress: no baseline for harness '{harness}' "
+                f"({bpath} missing); run with --update to seed it",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+
+        base = load_record(bpath)
+        problems = compare_record(fresh, base, fresh_path, args.tolerance, args.skip_perf)
+        compared += 1
+        if problems:
+            failures += 1
+            print(f"FAIL {harness} ({fresh_path} vs {bpath}):")
+            for p in problems:
+                print(f"  {p}")
+        else:
+            nexact = sum(len(e.get("exact", {})) for e in fresh["entries"])
+            nperf = 0 if args.skip_perf else sum(
+                len(e.get("perf", {})) for e in fresh["entries"]
+            )
+            mode = "exact only" if args.skip_perf else f"perf tol {args.tolerance:.0%}"
+            print(
+                f"OK   {harness}: {len(fresh['entries'])} entries, "
+                f"{nexact} exact + {nperf} perf metrics ({mode})"
+            )
+
+    if args.update:
+        return 0
+    if failures:
+        print(f"bench_regress: {failures} record(s) regressed", file=sys.stderr)
+        return 1
+    print(f"bench_regress: {compared} record(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

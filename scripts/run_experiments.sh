@@ -103,11 +103,30 @@ scripts/run_torture.sh build-sanitize/tools/gatest_serve \
     build-sanitize/tools/gatest_client build/tools/gatest_atpg \
     "$(mktemp -d /tmp/gatest_torture_asan.XXXXXX)" 10 2
 
+# Every record-capable bench emits a versioned JSON record alongside its
+# table; with default flags the records are then held against the committed
+# baselines in bench/baselines/ (exact metrics byte-identical, perf within
+# 15%).  Custom flags (--full, --runs=...) change the protocol, so the
+# regression compare is skipped for those runs.
+rec_tmp=$(mktemp -d /tmp/gatest_bench_rec.XXXXXX)
 {
   for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
-    echo "=== $(basename "$b") ==="
-    "$b" "$@"
+    name=$(basename "$b")
+    echo "=== $name ==="
+    case "$name" in
+      micro_simulators|micro_analysis)
+        # google-benchmark harnesses: native --benchmark_out, no --json.
+        "$b" "$@" ;;
+      *)
+        "$b" "$@" "--json=$rec_tmp/BENCH_$name.json" ;;
+    esac
     echo
   done
 } 2>&1 | tee bench_output.txt
+
+if [ $# -eq 0 ] && command -v python3 >/dev/null 2>&1; then
+  echo "=== bench-regression check vs bench/baselines ==="
+  python3 scripts/bench_regress.py "$rec_tmp"/BENCH_*.json
+fi
+rm -rf "$rec_tmp"

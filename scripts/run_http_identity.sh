@@ -1,0 +1,110 @@
+#!/bin/sh
+# Observation-only acceptance: attaching the full observability plane (HTTP
+# endpoints + causal span tracing) must not change a single served bit.
+#
+# The same two jobs (s298, s344; fixed seed and budget) run through
+# gatest_serve twice — bare, and with --http-port + --trace-out — and the
+# result vectors are diffed.  The observed run must additionally survive a
+# mid-run /metrics scrape (Prometheus linter) and /healthz + /jobs probes,
+# and its server trace must pass validate_trace.py's span-tree checks.
+#
+#   run_http_identity.sh SERVE_BIN CLIENT_BIN WORKDIR WORKERS [PYTHON]
+#
+# Exercised by ctest (cli_http_spans_identity_w1 / _w4) and available for
+# manual runs at any worker count.
+set -eu
+
+SERVE=${1:?usage: run_http_identity.sh SERVE_BIN CLIENT_BIN WORKDIR WORKERS [PYTHON]}
+CLIENT=${2:?CLIENT_BIN missing}
+DIR=${3:?WORKDIR missing}
+WORKERS=${4:?WORKERS missing}
+PYTHON=${5:-python3}
+SCRIPTS=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+
+EVALS=4000
+rm -rf "$DIR"
+mkdir -p "$DIR"
+DAEMON=""
+trap '[ -n "$DAEMON" ] && kill -9 "$DAEMON" 2>/dev/null; true' EXIT
+
+wait_for_file() {
+  i=0
+  while [ ! -s "$1" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "run_http_identity: $1 never appeared" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+# run_jobs TAG [extra serve flags...]: serve the s298 + s344 jobs and leave
+# their vectors in $DIR/<tag>_<profile>.vectors.
+run_jobs() {
+  tag=$1
+  shift
+  rm -f "$DIR/port.$tag"
+  "$SERVE" --port 0 --port-file "$DIR/port.$tag" --workers "$WORKERS" \
+      --slice-ms 20 --quiet "$@" &
+  DAEMON=$!
+  wait_for_file "$DIR/port.$tag"
+  PORT=$(cat "$DIR/port.$tag")
+
+  for profile in s298 s344; do
+    id=$("$CLIENT" --port "$PORT" --submit --profile "$profile" --seed 13 \
+        --max-evals "$EVALS")
+    eval "ID_$profile=\$id"
+  done
+
+  # The observed run gets probed while jobs are in flight: the scrape must
+  # lint clean and must not perturb the served bits (checked by the diff).
+  if [ "$tag" = observed ]; then
+    wait_for_file "$DIR/http.$tag"
+    HTTP_PORT=$(cat "$DIR/http.$tag")
+    "$PYTHON" "$SCRIPTS/validate_prometheus.py" \
+        --url "http://127.0.0.1:$HTTP_PORT/metrics"
+    "$PYTHON" - "$HTTP_PORT" <<'EOF'
+import sys
+import urllib.request
+
+port = sys.argv[1]
+for path, want in (("healthz", b"ok"), ("jobs", b'{"jobs":')):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/{path}", timeout=10
+    ) as resp:
+        body = resp.read()
+    assert body.startswith(want), (path, body[:40])
+print("http quick-probe ok")
+EOF
+  fi
+
+  for profile in s298 s344; do
+    eval "id=\$ID_$profile"
+    state=$("$CLIENT" --port "$PORT" --wait "$id" --quiet)
+    if [ "$state" != done ]; then
+      echo "run_http_identity: job $id ($profile) ended '$state'" >&2
+      exit 1
+    fi
+    "$CLIENT" --port "$PORT" --result "$id" > "$DIR/${tag}_$profile.vectors"
+  done
+
+  kill -TERM "$DAEMON"
+  wait "$DAEMON" 2>/dev/null || true
+  DAEMON=""
+}
+
+run_jobs bare
+run_jobs observed --http-port 0 --http-port-file "$DIR/http.observed" \
+    --trace-out "$DIR/observed.jsonl"
+
+for profile in s298 s344; do
+  if ! diff "$DIR/bare_$profile.vectors" "$DIR/observed_$profile.vectors"; then
+    echo "run_http_identity: $profile served different bits with the" \
+         "observability plane attached" >&2
+    exit 1
+  fi
+done
+
+"$PYTHON" "$SCRIPTS/validate_trace.py" "$DIR/observed.jsonl"
+echo "run_http_identity: bit-identical at $WORKERS worker(s), trace valid"

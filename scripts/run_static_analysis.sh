@@ -73,22 +73,56 @@ build-tsan/tests/telemetry_test || fail=1
 # TSan's instrumentation surfaces differently than a plain build).
 cmake --build build-tsan --target fsim_test
 build-tsan/tests/fsim_test --gtest_filter='FsimDifferentialFuzz*' || fail=1
-# Serve daemon under TSan: 2 scheduler workers slicing 4 jobs at an
-# aggressive 20 ms quantum while loadgen polls over TCP — races between
-# worker threads, connection handlers, and the watch/metrics paths would
-# surface here.
+# Serve daemon under TSan: 4 scheduler workers slicing 4 jobs at an
+# aggressive 20 ms quantum while loadgen polls over TCP and a second
+# process scrapes the HTTP observability endpoints in a tight loop —
+# races between worker threads, connection handlers, the watch/metrics
+# paths, and the /metrics /readyz renders would surface here.
 cmake --build build-tsan --target gatest_serve_cli gatest_loadgen_cli
 tsan_serve=$(mktemp -d /tmp/gatest_tsan_serve.XXXXXX)
 build-tsan/tools/gatest_serve --port 0 --port-file "$tsan_serve/port" \
-    --workers 2 --slice-ms 20 --quiet &
+    --workers 4 --slice-ms 20 \
+    --http-port 0 --http-port-file "$tsan_serve/http" --quiet &
 tsan_serve_pid=$!
-for _ in $(seq 1 100); do [ -s "$tsan_serve/port" ] && break; sleep 0.1; done
+for _ in $(seq 1 100); do
+  [ -s "$tsan_serve/port" ] && [ -s "$tsan_serve/http" ] && break
+  sleep 0.1
+done
 if [ -s "$tsan_serve/port" ]; then
+  # Hammer the HTTP observability plane from a second process while the
+  # 4-worker pool serves jobs: the /metrics render, the readiness atomics,
+  # and the per-connection handler threads all run concurrently with the
+  # scheduler here, so any unsynchronized access trips TSan.
+  tsan_scraper_pid=""
+  if command -v python3 >/dev/null 2>&1 && [ -s "$tsan_serve/http" ]; then
+    python3 - "$(cat "$tsan_serve/http")" <<'PYEOF' &
+import sys
+import time
+import urllib.request
+
+port = sys.argv[1]
+deadline = time.monotonic() + 30.0
+while time.monotonic() < deadline:
+    for path in ("metrics", "healthz", "readyz", "jobs"):
+        try:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/{path}", timeout=5
+            ).read()
+        except OSError:
+            sys.exit(0)  # daemon shut down; scraping is done
+    time.sleep(0.01)
+PYEOF
+    tsan_scraper_pid=$!
+  fi
   build-tsan/tools/gatest_loadgen --port "$(cat "$tsan_serve/port")" \
       --jobs 4 --profiles s27,s298 --max-evals 1000 --expect-complete \
       --quiet || fail=1
-  kill -TERM "$tsan_serve_pid"
+  kill -TERM "$tsan_serve_pid" || fail=1
   wait "$tsan_serve_pid" || fail=1
+  if [ -n "$tsan_scraper_pid" ]; then
+    kill "$tsan_scraper_pid" 2>/dev/null || true
+    wait "$tsan_scraper_pid" 2>/dev/null || true
+  fi
 else
   echo "gatest_serve never published its port under TSan"
   kill "$tsan_serve_pid" 2>/dev/null || true

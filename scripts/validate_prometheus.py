@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition (format version 0.0.4), as served by
+gatest_serve's GET /metrics or written from MetricsRegistry::render_prometheus.
+
+Checks the contract a scraper relies on:
+  * every line is a comment (# TYPE / # HELP), blank, or `name[{labels}] value`
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  * every sample is preceded by a # TYPE declaration for its metric family
+    (histogram samples match their family via the _bucket/_sum/_count suffix)
+  * no duplicate TYPE declarations, no duplicate series
+  * sample values parse as floats (NaN / +Inf / -Inf spelled per the format)
+  * histograms: bucket counts are cumulative (non-decreasing by le), the last
+    bucket is le="+Inf", and <name>_count equals the +Inf bucket's value
+
+Usage:
+  validate_prometheus.py FILE            lint a captured exposition
+  validate_prometheus.py --url URL       scrape a live endpoint and lint that
+                                         (e.g. http://127.0.0.1:9464/metrics)
+
+Exits 0 when the exposition is valid, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+import urllib.request
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_RE = re.compile(r'^(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>(?:[^"\\]|\\.)*)"$')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fail(msg):
+    print(f"validate_prometheus: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(lineno, raw):
+    if raw == "NaN":
+        return math.nan
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        fail(f"line {lineno}: unparsable sample value '{raw}'")
+
+
+def family_of(name, types):
+    """Metric family a sample belongs to (histogram suffixes collapse)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("file", nargs="?", help="captured exposition to lint")
+    ap.add_argument("--url", help="scrape this endpoint instead of a file")
+    args = ap.parse_args()
+    if bool(args.file) == bool(args.url):
+        ap.error("pass exactly one of FILE or --url")
+
+    if args.url:
+        with urllib.request.urlopen(args.url, timeout=10) as r:
+            ctype = r.headers.get("Content-Type", "")
+            if not ctype.startswith("text/plain"):
+                fail(f"{args.url}: Content-Type '{ctype}' is not text/plain")
+            text = r.read().decode("utf-8")
+        source = args.url
+    else:
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+        source = args.file
+
+    types = {}  # family -> declared type
+    series = set()  # (name, labels) seen
+    histograms = {}  # family -> {"buckets": [(le, value)], "count": v, "sum": v}
+    n_samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("TYPE", "HELP"):
+                continue  # other comments are allowed and ignored
+            if parts[1] == "TYPE":
+                if len(parts) != 4:
+                    fail(f"line {lineno}: malformed TYPE line: {line!r}")
+                _, _, name, mtype = parts
+                if not NAME_RE.match(name):
+                    fail(f"line {lineno}: invalid metric name '{name}'")
+                if mtype not in VALID_TYPES:
+                    fail(f"line {lineno}: unknown metric type '{mtype}'")
+                if name in types:
+                    fail(f"line {lineno}: duplicate TYPE for '{name}'")
+                types[name] = mtype
+                if mtype == "histogram":
+                    histograms[name] = {"buckets": [], "count": None,
+                                        "sum": None}
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"line {lineno}: not a valid sample line: {line!r}")
+        name, labels_raw, value_raw = (m.group("name"), m.group("labels"),
+                                       m.group("value"))
+        value = parse_value(lineno, value_raw)
+        n_samples += 1
+
+        labels = {}
+        if labels_raw:
+            for part in labels_raw.split(","):
+                lm = LABEL_RE.match(part.strip())
+                if not lm:
+                    fail(f"line {lineno}: malformed label '{part}'")
+                if lm.group("k") in labels:
+                    fail(f"line {lineno}: duplicate label '{lm.group('k')}'")
+                labels[lm.group("k")] = lm.group("v")
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in series:
+            fail(f"line {lineno}: duplicate series {name}{labels_raw or ''}")
+        series.add(key)
+
+        family = family_of(name, types)
+        if family not in types:
+            fail(f"line {lineno}: sample '{name}' has no preceding "
+                 f"# TYPE declaration")
+
+        if types[family] == "histogram":
+            hist = histograms[family]
+            if name == family + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    fail(f"line {lineno}: histogram bucket without 'le' label")
+                le_val = math.inf if le == "+Inf" else float(le)
+                hist["buckets"].append((lineno, le_val, value))
+            elif name == family + "_count":
+                hist["count"] = (lineno, value)
+            elif name == family + "_sum":
+                hist["sum"] = (lineno, value)
+            else:
+                fail(f"line {lineno}: bare sample '{name}' inside histogram "
+                     f"family '{family}'")
+
+    if not types:
+        fail(f"{source}: no metrics found")
+
+    for family, hist in histograms.items():
+        buckets = hist["buckets"]
+        if not buckets:
+            fail(f"histogram '{family}' has no bucket samples")
+        last_le = -math.inf
+        last_v = -1.0
+        for lineno, le, v in buckets:
+            if le <= last_le:
+                fail(f"line {lineno}: histogram '{family}' buckets not in "
+                     f"increasing le order")
+            if v < last_v:
+                fail(f"line {lineno}: histogram '{family}' bucket counts "
+                     f"not cumulative (le={le}: {v} < {last_v})")
+            last_le, last_v = le, v
+        if buckets[-1][1] != math.inf:
+            fail(f"histogram '{family}' does not end with an le=\"+Inf\" "
+                 f"bucket")
+        if hist["count"] is None:
+            fail(f"histogram '{family}' missing {family}_count")
+        if hist["sum"] is None:
+            fail(f"histogram '{family}' missing {family}_sum")
+        if hist["count"][1] != buckets[-1][2]:
+            fail(f"histogram '{family}': _count {hist['count'][1]} != "
+                 f"+Inf bucket {buckets[-1][2]}")
+
+    print(f"validate_prometheus: {source}: {len(types)} metric families, "
+          f"{n_samples} samples, {len(histograms)} histogram(s) — OK")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

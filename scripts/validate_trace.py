@@ -9,16 +9,27 @@ Run-trace checks (the telemetry layer's schema contract):
   * phase_begin/phase_end events pair up and never nest
   * ga_run_begin/ga_run_end pair up per thread
 
-Server-trace checks (detected when job lifecycle events are present and no
-run_begin is — the daemon traces job scheduling, not one run):
+Server-trace checks (detected by job_submit/job_recover events — the daemon
+traces job scheduling, plus every job's forwarded generator events):
   * the per-line schema and per-thread monotonicity above
-  * every job event carries an integer job id >= 1
-  * per job id: exactly one job_submit, at most one job_start, exactly one
-    terminal job_done with state in {done, cancelled, failed}
+  * every job lifecycle event carries an integer job id >= 1 (forwarded
+    generator events carry 'trace' instead and are covered by the span tree)
+  * per job id: exactly one job_submit (or job_recover), at most one
+    job_start, exactly one terminal job_done with state in {done, cancelled,
+    failed}
   * lifecycle order: job_submit, then job_start, then slice_stop events,
     then job_done; slice_stop never appears outside start..done
   * a job_done with state "done" reports vectors/evaluations/coverage, the
     coverage in [0, 1], and at least as many slices as slice_stop events
+
+Span-tree checks (both flavours, whenever causal span fields are present):
+  * spans are keyed (trace, span); an open event carries span+parent, a
+    close carries span+span_end, an annotation carries span alone
+  * no duplicate opens, no double closes, no annotations on unknown spans
+  * every opened span closes, and closes at or after its open
+  * every trace has exactly one root span (parent 0); every non-root span's
+    parent exists in the same trace, and the child's interval nests inside
+    its parent's
 
 With --metrics METRICS.json it additionally checks that the phase spans in
 the trace sum to within --tolerance (default 5%) of the run's own
@@ -41,8 +52,69 @@ def fail(msg):
     sys.exit(1)
 
 
-JOB_EVENTS = {"job_submit", "job_start", "slice_stop", "job_done"}
+JOB_EVENTS = {"job_submit", "job_recover", "job_start", "slice_stop",
+              "job_done"}
 JOB_TERMINAL_STATES = {"done", "cancelled", "failed"}
+
+
+def check_span_tree(path, events):
+    """Validate the causal span tree; returns the number of spans seen."""
+    spans = {}  # (trace, span) -> dict(parent, open_ts, close_ts, ...)
+    roots = {}  # trace -> [root span ids]
+    for lineno, ev in events:
+        span = ev.get("span")
+        if span is None:
+            continue
+        if not isinstance(span, int) or isinstance(span, bool) or span < 1:
+            fail(f"{path}:{lineno}: 'span' is not a positive integer")
+        key = (ev.get("trace", 0), span)
+        if ev.get("span_end"):
+            st = spans.get(key)
+            if st is None:
+                fail(f"{path}:{lineno}: span_end for never-opened span "
+                     f"{span} (trace {key[0]})")
+            if st["close_ts"] is not None:
+                fail(f"{path}:{lineno}: span {span} (trace {key[0]}) "
+                     f"closed twice")
+            if ev["ts"] < st["open_ts"]:
+                fail(f"{path}:{lineno}: span {span} closes before it opens")
+            st["close_ts"] = ev["ts"]
+        elif "parent" in ev:
+            if key in spans:
+                fail(f"{path}:{lineno}: duplicate open for span {span} "
+                     f"(trace {key[0]})")
+            spans[key] = {"parent": ev["parent"], "open_ts": ev["ts"],
+                          "close_ts": None, "type": ev["type"],
+                          "lineno": lineno}
+            if ev["parent"] == 0:
+                roots.setdefault(key[0], []).append(span)
+        else:
+            if key not in spans:
+                fail(f"{path}:{lineno}: annotation on unknown span {span} "
+                     f"(trace {key[0]})")
+    if not spans:
+        return 0
+    for trace, rs in sorted(roots.items()):
+        if len(rs) != 1:
+            fail(f"{path}: trace {trace} has {len(rs)} root spans "
+                 f"(expected exactly 1): {rs}")
+    for (trace, span), st in spans.items():
+        if st["close_ts"] is None:
+            fail(f"{path}:{st['lineno']}: span {span} ('{st['type']}', "
+                 f"trace {trace}) never closed")
+        if st["parent"] != 0:
+            parent = spans.get((trace, st["parent"]))
+            if parent is None:
+                fail(f"{path}:{st['lineno']}: span {span} (trace {trace}) "
+                     f"has unknown parent {st['parent']}")
+            if (st["open_ts"] < parent["open_ts"]
+                    or (parent["close_ts"] is not None
+                        and st["close_ts"] > parent["close_ts"])):
+                fail(f"{path}:{st['lineno']}: span {span} "
+                     f"[{st['open_ts']:.6f}, {st['close_ts']:.6f}] not "
+                     f"nested inside parent {st['parent']} "
+                     f"[{parent['open_ts']:.6f}, {parent['close_ts']}]")
+    return len(spans)
 
 
 def validate_server_trace(path, events):
@@ -54,15 +126,19 @@ def validate_server_trace(path, events):
         if typ not in JOB_EVENTS:
             continue
         job = ev.get("job")
+        if job is None and "trace" in ev:
+            # A generator event forwarded from a job's own sink (e.g. the
+            # generator-side slice_stop); the span tree covers it.
+            continue
         if not isinstance(job, int) or isinstance(job, bool) or job < 1:
             fail(f"{path}:{lineno}: '{typ}' without a positive integer 'job'")
         st = jobs.setdefault(job, {"submitted": False, "started": False,
                                    "slice_stops": 0, "done_ev": None})
         if st["done_ev"] is not None:
             fail(f"{path}:{lineno}: '{typ}' for job {job} after its job_done")
-        if typ == "job_submit":
+        if typ in ("job_submit", "job_recover"):
             if st["submitted"]:
-                fail(f"{path}:{lineno}: duplicate job_submit for job {job}")
+                fail(f"{path}:{lineno}: duplicate {typ} for job {job}")
             st["submitted"] = True
         elif typ == "job_start":
             if not st["submitted"]:
@@ -109,9 +185,10 @@ def validate_server_trace(path, events):
     n_done = sum(1 for st in jobs.values()
                  if st["done_ev"].get("state") == "done")
     n_slices = sum(st["slice_stops"] for st in jobs.values())
+    n_spans = check_span_tree(path, events)
     print(f"validate_trace: server trace, {len(events)} events, "
           f"{len(jobs)} job(s) ({n_done} done), "
-          f"{n_slices} slice preemption(s)")
+          f"{n_slices} slice preemption(s), {n_spans} span(s)")
     sys.exit(0)
 
 
@@ -153,7 +230,10 @@ def main():
         last_ts[tid] = ts
 
     types = {ev["type"] for _, ev in events}
-    if types & JOB_EVENTS and "run_begin" not in types:
+    # Server traces are identified by the submit-side lifecycle roots; a run
+    # trace can never contain them, and a server trace always does (forwarded
+    # generator events mean run_begin shows up in server traces too).
+    if types & {"job_submit", "job_recover"}:
         if args.metrics:
             fail("--metrics applies to run traces, not server traces")
         validate_server_trace(args.trace, events)
@@ -201,10 +281,12 @@ def main():
     if any(open_ga_runs.values()):
         fail("unclosed ga_run span(s)")
 
+    n_spans = check_span_tree(args.trace, events)
     span_sum = sum(d for _, d in phase_spans)
     run_seconds = float(run_end_ev.get("seconds", 0.0))
     print(f"validate_trace: {len(events)} events, {len(phase_spans)} phase "
-          f"spans summing to {span_sum:.3f}s of {run_seconds:.3f}s run time")
+          f"spans summing to {span_sum:.3f}s of {run_seconds:.3f}s run time, "
+          f"{n_spans} causal span(s)")
 
     if args.metrics:
         with open(args.metrics, "r", encoding="utf-8") as f:

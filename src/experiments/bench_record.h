@@ -1,0 +1,64 @@
+// Machine-readable benchmark records for the bench-regression registry.
+//
+// Every bench/* harness can emit one versioned JSON record per invocation
+// (--json=PATH) describing what it measured; scripts/bench_regress.py
+// compares a fresh record against the committed baseline in bench/baselines/
+// and fails on deterministic drift or a throughput regression.
+//
+// Metrics are split by how they compare:
+//   * exact(): deterministic under fixed seeds (fault counts, vector counts,
+//     evaluation counts) — any difference from the baseline is a real
+//     behavior change and fails the gate byte-for-byte.
+//   * perf(): wall-clock dependent (seconds, jobs/sec) — compared with a
+//     relative tolerance, and only in same-machine workflows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gatest::bench {
+
+/// Record schema version; bump when the JSON layout changes incompatibly.
+inline constexpr int kRecordSchemaVersion = 1;
+
+/// Git revision the binary was built from ("unknown" outside a checkout).
+const char* build_git_rev();
+
+class RecordWriter {
+ public:
+  explicit RecordWriter(std::string harness);
+
+  /// Top-level run parameter (runs, seed, threads...), recorded once.
+  void param(const std::string& key, double value);
+  void param(const std::string& key, const std::string& value);
+
+  /// Start a new entry; subsequent exact()/perf() calls attach to it.
+  /// `config` distinguishes rows measuring the same circuit under different
+  /// settings (selection scheme, mutation rate, worker count, ...).
+  void begin_entry(const std::string& circuit,
+                   const std::string& config = "default");
+
+  /// Deterministic metric: must match the baseline exactly.
+  void exact(const std::string& key, double value);
+  /// Performance metric: compared with a relative tolerance.
+  void perf(const std::string& key, double value);
+
+  /// Write the record as pretty-printed JSON.  False + `err` on I/O failure.
+  bool write(const std::string& path, std::string& err) const;
+
+ private:
+  struct Entry {
+    std::string circuit;
+    std::string config;
+    std::vector<std::pair<std::string, double>> exact;
+    std::vector<std::pair<std::string, double>> perf;
+  };
+
+  std::string harness_;
+  std::vector<std::pair<std::string, std::string>> params_;  // pre-encoded
+  std::vector<Entry> entries_;
+};
+
+}  // namespace gatest::bench

@@ -92,6 +92,29 @@ std::vector<std::string> BenchArgs::pick_circuits(
   return full ? full_set : dflt;
 }
 
+void record_summary(bench::RecordWriter& rec, const std::string& circuit,
+                    const std::string& config, const RunSummary& s) {
+  rec.begin_entry(circuit, config);
+  rec.exact("faults_total", static_cast<double>(s.faults_total));
+  rec.exact("faults_pruned", static_cast<double>(s.faults_pruned));
+  rec.exact("detected_mean", s.detected.mean());
+  rec.exact("detected_stddev", s.detected.stddev());
+  rec.exact("vectors_mean", s.vectors.mean());
+  rec.exact("evaluations_mean", s.evaluations.mean());
+  rec.perf("seconds_mean", s.seconds.mean());
+}
+
+void finish_record(const BenchArgs& args, bench::RecordWriter& rec) {
+  if (args.json_out.empty()) return;
+  rec.param("runs", static_cast<double>(args.runs));
+  rec.param("seed", static_cast<double>(args.seed));
+  std::string err;
+  if (!rec.write(args.json_out, err)) {
+    std::fprintf(stderr, "bench record: %s\n", err.c_str());
+    std::exit(1);
+  }
+}
+
 BenchArgs parse_bench_args(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -116,6 +139,8 @@ BenchArgs parse_bench_args(int argc, char** argv) {
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
+    } else if (a.rfind("--json=", 0) == 0) {
+      args.json_out = a.substr(7);
     } else if (a == "--prune-untestable") {
       args.prune_untestable = true;
     } else if (a == "--prune-proven") {
@@ -128,7 +153,7 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--runs=N] [--circuits=a,b,c] [--full] "
                    "[--seed=S] [--prune-untestable] [--prune-proven] "
-                   "[--quiet] [--verbose]\n",
+                   "[--json=FILE] [--quiet] [--verbose]\n",
                    argv[0]);
       std::exit(0);
     } else {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "experiments/bench_record.h"
 #include "gatest/config.h"
 #include "gatest/test_generator.h"
 #include "netlist/circuit.h"
@@ -69,6 +70,9 @@ struct BenchArgs {
   /// inert proven faults leave the simulated universe; observables are
   /// bit-identical (see DESIGN.md §4h) and tables add Proven/Inert columns.
   bool prune_proven = false;
+  /// Write a machine-readable bench record (experiments/bench_record.h) for
+  /// the bench-regression registry; empty = don't.
+  std::string json_out;
   std::vector<std::string> circuits;  ///< empty = bench default set
 
   /// Circuits to use given a bench's default and full sets.
@@ -79,5 +83,14 @@ struct BenchArgs {
 
 /// Parse known flags; unknown flags abort with a usage message.
 BenchArgs parse_bench_args(int argc, char** argv);
+
+/// Fold one aggregated GATEST summary into a bench record entry: the
+/// seed-deterministic quantities as exact metrics, wall clock as perf.
+void record_summary(bench::RecordWriter& rec, const std::string& circuit,
+                    const std::string& config, const RunSummary& s);
+
+/// Write the record when --json=FILE was passed (no-op otherwise); exits
+/// with a diagnostic on I/O failure so CI catches a broken registry early.
+void finish_record(const BenchArgs& args, bench::RecordWriter& rec);
 
 }  // namespace gatest

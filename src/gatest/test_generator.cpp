@@ -67,8 +67,17 @@ GaTestGenerator::GaTestGenerator(const Circuit& c, FaultList& faults,
 
 FaultSimStats GaTestGenerator::commit_vector(const TestVector& v,
                                              std::int64_t index) {
+  // The fsim pass that advances committed state gets its own span, so a
+  // job's span tree resolves down to slice → phase → ga run → fsim commit.
+  std::uint64_t fsim_span = 0;
+  if (tracing())
+    fsim_span = telem_->trace.begin_span(
+        "fsim_commit_begin", {{"index", static_cast<long long>(index)}});
   const FaultSimStats stats = sim_.apply_vector(v, index);
   for (auto& wsim : worker_sims_) wsim->apply_vector(v, index);
+  if (fsim_span != 0)
+    telem_->trace.end_span(fsim_span, "fsim_commit_end",
+                           {{"detected", stats.detected}});
   return stats;
 }
 
@@ -279,8 +288,9 @@ const Individual& GaTestGenerator::run_ga(
   ga.set_stop_check([this] { return stop_now(); });
   install_ga_observer(ga);
   const double ga_t0 = tracker_.elapsed_seconds();
+  std::uint64_t ga_span = 0;
   if (tracing())
-    telem_->trace.event(
+    ga_span = telem_->trace.begin_span(
         "ga_run_begin",
         {{"phase", current_phase_name()},
          {"length", static_cast<std::uint64_t>(ga.chromosome_length())}});
@@ -340,13 +350,12 @@ const Individual& GaTestGenerator::run_ga(
     const double dur = tracker_.elapsed_seconds() - ga_t0;
     telem_->metrics.counter("ga.runs").add(1);
     telem_->metrics.histogram("ga.run_seconds").observe(dur);
-    if (telem_->trace.enabled())
-      telem_->trace.event(
-          "ga_run_end",
-          {{"phase", current_phase_name()},
-           {"dur_s", dur},
-           {"best", best->fitness},
-           {"evaluations", static_cast<std::uint64_t>(ga.evaluations())}});
+    telem_->trace.end_span(
+        ga_span, "ga_run_end",
+        {{"phase", current_phase_name()},
+         {"dur_s", dur},
+         {"best", best->fitness},
+         {"evaluations", static_cast<std::uint64_t>(ga.evaluations())}});
   }
   return *best;
 }
@@ -420,8 +429,9 @@ TestVector GaTestGenerator::evolve_vector(Phase phase) {
                                phase);
     };
     const double ga_t0 = tracker_.elapsed_seconds();
+    std::uint64_t ga_span = 0;
     if (tracing())
-      telem_->trace.event(
+      ga_span = telem_->trace.begin_span(
           "ga_run_begin",
           {{"phase", current_phase_name()},
            {"length", static_cast<std::uint64_t>(ga.chromosome_length())},
@@ -437,13 +447,12 @@ TestVector GaTestGenerator::evolve_vector(Phase phase) {
       const double dur = tracker_.elapsed_seconds() - ga_t0;
       telem_->metrics.counter("ga.runs").add(1);
       telem_->metrics.histogram("ga.run_seconds").observe(dur);
-      if (telem_->trace.enabled())
-        telem_->trace.event(
-            "ga_run_end",
-            {{"phase", current_phase_name()},
-             {"dur_s", dur},
-             {"best", ga.best().fitness},
-             {"evaluations", static_cast<std::uint64_t>(ga.evaluations())}});
+      telem_->trace.end_span(
+          ga_span, "ga_run_end",
+          {{"phase", current_phase_name()},
+           {"dur_s", dur},
+           {"best", ga.best().fitness},
+           {"evaluations", static_cast<std::uint64_t>(ga.evaluations())}});
     }
     last_best_genes_ = ga.best().genes;
     return decode_vector(ga.best().genes, circuit_->num_inputs());
@@ -479,12 +488,11 @@ void GaTestGenerator::telemetry_enter_phase(Phase phase) {
   open_phase_start_ = tracker_.elapsed_seconds();
   open_phase_detected_ = faults_->num_detected();
   open_phase_vectors_ = result_.test_set.size();
-  if (telem_->trace.enabled())
-    telem_->trace.event(
-        "phase_begin",
-        {{"phase", phase_name(phase)},
-         {"vectors", static_cast<std::uint64_t>(open_phase_vectors_)},
-         {"detected", static_cast<std::uint64_t>(open_phase_detected_)}});
+  open_phase_span_ = telem_->trace.begin_span(
+      "phase_begin",
+      {{"phase", phase_name(phase)},
+       {"vectors", static_cast<std::uint64_t>(open_phase_vectors_)},
+       {"detected", static_cast<std::uint64_t>(open_phase_detected_)}});
 }
 
 void GaTestGenerator::telemetry_close_phase() {
@@ -494,18 +502,18 @@ void GaTestGenerator::telemetry_close_phase() {
   telem_->metrics
       .histogram(std::string("phase.seconds.") + phase_name(phase))
       .observe(dur);
-  if (telem_->trace.enabled())
-    telem_->trace.event(
-        "phase_end",
-        {{"phase", phase_name(phase)},
-         {"dur_s", dur},
-         {"detected_delta",
-          static_cast<std::uint64_t>(faults_->num_detected() -
-                                     open_phase_detected_)},
-         {"vectors_delta",
-          static_cast<std::uint64_t>(result_.test_set.size() -
-                                     open_phase_vectors_)}});
+  telem_->trace.end_span(
+      open_phase_span_, "phase_end",
+      {{"phase", phase_name(phase)},
+       {"dur_s", dur},
+       {"detected_delta",
+        static_cast<std::uint64_t>(faults_->num_detected() -
+                                   open_phase_detected_)},
+       {"vectors_delta",
+        static_cast<std::uint64_t>(result_.test_set.size() -
+                                   open_phase_vectors_)}});
   open_phase_ = -1;
+  open_phase_span_ = 0;
 }
 
 void GaTestGenerator::telemetry_commit(std::size_t index,
@@ -636,8 +644,9 @@ TestGenResult GaTestGenerator::run() {
   stop_reason_ = StopReason::Completed;
   open_phase_ = -1;
   slice_requested_.store(false, std::memory_order_relaxed);
+  std::uint64_t run_span = 0;
   if (tracing())
-    telem_->trace.event(
+    run_span = telem_->trace.begin_span(
         "run_begin",
         {{"circuit", circuit_->name()},
          {"faults", static_cast<std::uint64_t>(faults_->size())},
@@ -724,8 +733,8 @@ TestGenResult GaTestGenerator::run() {
         telem_->trace.event(
             "stop", {{"reason", to_string(stop_reason_)},
                      {"error", result_.error_message}});
-      telem_->trace.event(
-          "run_end",
+      telem_->trace.end_span(
+          run_span, "run_end",
           {{"dur_s", tracker_.elapsed_seconds()},
            {"seconds", result_.seconds},
            {"vectors", static_cast<std::uint64_t>(result_.test_set.size())},

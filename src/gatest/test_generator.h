@@ -239,6 +239,7 @@ class GaTestGenerator {
   double open_phase_start_ = 0.0;        ///< trace timestamp of phase_begin
   std::size_t open_phase_detected_ = 0;  ///< faults detected at phase_begin
   std::size_t open_phase_vectors_ = 0;   ///< test-set size at phase_begin
+  std::uint64_t open_phase_span_ = 0;    ///< trace span id of the open phase
   std::vector<double> chunk_seconds_;    ///< parallel per-chunk wall times
 };
 

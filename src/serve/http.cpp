@@ -1,0 +1,263 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+
+namespace gatest::serve {
+
+namespace {
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+/// Parse "GET /path HTTP/1.1" into method + target.  False on anything that
+/// is not three space-separated tokens with an HTTP/1.x version.
+bool parse_request_line(const std::string& line, HttpServer::Request& req) {
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  const std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Drop any query string: every route here is a plain path.
+  const std::size_t q = req.target.find('?');
+  if (q != std::string::npos) req.target.resize(q);
+  return !req.target.empty() && req.target[0] == '/';
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::string HttpServer::response(int status, std::string_view content_type,
+                                 std::string_view body, bool close,
+                                 bool head) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason_phrase(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  if (close) out += "\r\nConnection: close";
+  out += "\r\n\r\n";
+  if (!head) out += body;
+  return out;
+}
+
+std::string HttpServer::handle(JobManager& jobs, const Request& req) {
+  const bool head = req.method == "HEAD";
+  if (!head && req.method != "GET") {
+    return response(405, "text/plain; charset=utf-8", "method not allowed\n",
+                    req.close, false);
+  }
+  if (req.target == "/metrics") {
+    return response(200, "text/plain; version=0.0.4; charset=utf-8",
+                    jobs.metrics_prometheus(), req.close, head);
+  }
+  if (req.target == "/healthz") {
+    return response(200, "text/plain; charset=utf-8", "ok\n", req.close, head);
+  }
+  if (req.target == "/readyz") {
+    const JobManager::Readiness r = jobs.readiness();
+    if (r.ready) {
+      return response(200, "text/plain; charset=utf-8", "ready\n", req.close,
+                      head);
+    }
+    return response(503, "text/plain; charset=utf-8",
+                    "not ready: " + r.reason + "\n", req.close, head);
+  }
+  if (req.target == "/jobs") {
+    JsonWriter w;
+    w.begin_object().key("jobs").begin_array();
+    for (const JobSnapshot& s : jobs.snapshot_all()) append_job_json(w, s);
+    w.end_array().end_object();
+    return response(200, "application/json", w.take(), req.close, head);
+  }
+  if (req.target.rfind("/jobs/", 0) == 0) {
+    const std::string tail = req.target.substr(6);
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(tail.c_str(), &end, 10);
+    JobSnapshot s;
+    ProtocolError err;
+    if (!tail.empty() && end != nullptr && *end == '\0' && id != 0 &&
+        jobs.snapshot(id, s, err)) {
+      JsonWriter w;
+      w.begin_object().key("job");
+      append_job_json(w, s);
+      w.end_object();
+      return response(200, "application/json", w.take(), req.close, head);
+    }
+    return response(404, "text/plain; charset=utf-8", "unknown job\n",
+                    req.close, head);
+  }
+  return response(404, "text/plain; charset=utf-8", "not found\n", req.close,
+                  head);
+}
+
+HttpServer::HttpServer(JobManager& jobs, std::string host, unsigned short port,
+                       double idle_timeout_seconds)
+    : jobs_(jobs),
+      host_(std::move(host)),
+      cfg_port_(port),
+      idle_timeout_seconds_(idle_timeout_seconds) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  listener_ = std::make_unique<TcpListener>(host_, cfg_port_);
+  port_ = listener_->port();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+    for (TcpConnection* c : open_conns_) c->shutdown_both();
+  }
+  // Join before closing: the accept loop polls the listener fd with a 200 ms
+  // timeout and re-checks stop_, so the join is bounded and the fd is only
+  // closed once no other thread can touch it.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listener_) listener_->close();
+  for (auto& t : handlers_)
+    if (t.joinable()) t.join();
+  handlers_.clear();
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+    }
+    TcpConnection conn = listener_->accept(0.2);
+    if (!conn.valid()) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    handlers_.emplace_back(
+        [this](TcpConnection c) { handle_connection(std::move(c)); },
+        std::move(conn));
+  }
+}
+
+void HttpServer::handle_connection(TcpConnection conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    open_conns_.push_back(&conn);
+  }
+  std::string line;
+  for (;;) {
+    const auto rs =
+        conn.read_line(line, kMaxRequestLineBytes, idle_timeout_seconds_);
+    if (rs == TcpConnection::ReadStatus::Eof) break;
+    if (rs == TcpConnection::ReadStatus::Timeout) {
+      jobs_.metrics().counter("serve.http.idle_timeouts").add();
+      conn.write_all(response(408, "text/plain; charset=utf-8",
+                              "request timeout\n", true));
+      break;
+    }
+    if (rs == TcpConnection::ReadStatus::Overflow) {
+      conn.write_all(response(414, "text/plain; charset=utf-8",
+                              "request line too long\n", true));
+      break;
+    }
+    if (line.empty()) continue;  // tolerate leading blank lines (RFC 9112 §2.2)
+
+    Request req;
+    if (!parse_request_line(line, req)) {
+      jobs_.metrics().counter("serve.http.bad_requests").add();
+      conn.write_all(response(400, "text/plain; charset=utf-8",
+                              "malformed request line\n", true));
+      break;
+    }
+
+    // Drain headers up to the empty line; we only act on Connection.
+    bool header_error = false;
+    std::size_t header_count = 0;
+    for (;;) {
+      const auto hs =
+          conn.read_line(line, kMaxHeaderBytes, idle_timeout_seconds_);
+      if (hs != TcpConnection::ReadStatus::Ok) {
+        if (hs == TcpConnection::ReadStatus::Overflow ||
+            ++header_count > kMaxHeaderCount) {
+          conn.write_all(response(431, "text/plain; charset=utf-8",
+                                  "headers too large\n", true));
+        } else if (hs == TcpConnection::ReadStatus::Timeout) {
+          jobs_.metrics().counter("serve.http.idle_timeouts").add();
+          conn.write_all(response(408, "text/plain; charset=utf-8",
+                                  "request timeout\n", true));
+        }
+        header_error = true;
+        break;
+      }
+      if (line.empty()) break;  // end of headers
+      if (++header_count > kMaxHeaderCount) {
+        conn.write_all(response(431, "text/plain; charset=utf-8",
+                                "too many headers\n", true));
+        header_error = true;
+        break;
+      }
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos || colon == 0) {
+        jobs_.metrics().counter("serve.http.bad_requests").add();
+        conn.write_all(response(400, "text/plain; charset=utf-8",
+                                "malformed header\n", true));
+        header_error = true;
+        break;
+      }
+      if (lower(line.substr(0, colon)) == "connection" &&
+          lower(trim(line.substr(colon + 1))).find("close") !=
+              std::string::npos) {
+        req.close = true;
+      }
+    }
+    if (header_error) break;
+
+    jobs_.metrics().counter("serve.http.requests").add();
+    if (!conn.write_all(handle(jobs_, req))) break;
+    if (req.close) break;
+  }
+  conn.shutdown_both();
+  std::lock_guard<std::mutex> lock(mu_);
+  open_conns_.erase(std::remove(open_conns_.begin(), open_conns_.end(), &conn),
+                    open_conns_.end());
+}
+
+}  // namespace gatest::serve

@@ -1,0 +1,94 @@
+// Embedded HTTP/1.1 observability plane for gatest_serve (DESIGN.md §5.6).
+//
+// A deliberately small, read-only server speaking just enough HTTP/1.1 for
+// Prometheus scrapers, load-balancer health probes, and `curl`:
+//
+//   GET /metrics    Prometheus text exposition (metrics_prometheus())
+//   GET /healthz    liveness: 200 as long as the process serves requests
+//   GET /readyz     readiness: 200 "ready", or 503 with the reason
+//                   (starting / journal-recovery / overloaded / shutting-down)
+//   GET /jobs       JSON array of job snapshots (same shape as the line
+//                   protocol's status response)
+//   GET /jobs/<id>  one job as JSON, or 404
+//
+// Only GET and HEAD are accepted (405 otherwise) — the control plane stays
+// on the authenticated line protocol; HTTP is observation-only and never
+// mutates server state, preserving the determinism invariant.  Connections
+// are keep-alive unless the client sends `Connection: close`; malformed
+// requests (400), oversized request lines (414), header floods (431), and
+// idle sockets (408) are answered with a status and closed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/net.h"
+#include "util/run_control.h"
+
+namespace gatest::serve {
+
+class JobManager;
+
+class HttpServer {
+ public:
+  /// `jobs` must outlive the server.  `idle_timeout_seconds` closes sockets
+  /// with no complete request for that long (0 = never).
+  HttpServer(JobManager& jobs, std::string host, unsigned short port,
+             double idle_timeout_seconds = 10.0);
+  ~HttpServer();
+
+  /// Bind the listener and launch the accept thread.  Throws on bind
+  /// failure.  Idempotent stop() / destructor.
+  void start();
+  void stop();
+
+  /// Actual bound port (meaningful after start()).
+  unsigned short port() const { return port_; }
+
+  // ---- exposed for tests --------------------------------------------------
+
+  /// One parsed request line + headers.
+  struct Request {
+    std::string method;
+    std::string target;  ///< origin-form path, query string stripped
+    bool close = false;  ///< Connection: close seen
+  };
+
+  /// Build one complete HTTP/1.1 response (status line, headers, body).
+  /// `head` elides the body but keeps Content-Length, per RFC 9110 §9.3.2.
+  static std::string response(int status, std::string_view content_type,
+                              std::string_view body, bool close,
+                              bool head = false);
+
+  /// Route a parsed request against `jobs`; returns the full response.
+  static std::string handle(JobManager& jobs, const Request& req);
+
+ private:
+  void accept_loop();
+  void handle_connection(TcpConnection conn);
+
+  // Request-parsing caps: a scrape request is tiny, so anything large is
+  // either a bug or abuse.
+  static constexpr std::size_t kMaxRequestLineBytes = 8 * 1024;
+  static constexpr std::size_t kMaxHeaderBytes = 8 * 1024;
+  static constexpr std::size_t kMaxHeaderCount = 100;
+
+  JobManager& jobs_;
+  const std::string host_;
+  const unsigned short cfg_port_;
+  const double idle_timeout_seconds_;
+
+  std::unique_ptr<TcpListener> listener_;
+  unsigned short port_ = 0;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  bool stop_ = false;
+  std::vector<std::thread> handlers_;
+  std::vector<TcpConnection*> open_conns_;
+};
+
+}  // namespace gatest::serve

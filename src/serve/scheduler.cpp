@@ -85,15 +85,25 @@ void JobManager::start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_) return;
   started_ = true;
+  start_time_ = std::chrono::steady_clock::now();
   if (!cfg_.trace_path.empty()) server_trace_.open(cfg_.trace_path);
   if (!cfg_.state_dir.empty()) {
     journal_.open(cfg_.state_dir);  // throws on an unusable directory
+    ready_recovering_.store(true, std::memory_order_relaxed);
     recover_from_journal_locked();
+    ready_recovering_.store(false, std::memory_order_relaxed);
   }
   metrics_.gauge("serve.workers").set(static_cast<double>(cfg_.workers));
   workers_.reserve(cfg_.workers);
-  for (unsigned i = 0; i < cfg_.workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    metrics_.gauge("serve.worker." + std::to_string(i) + ".busy").set(0.0);
+    workers_.emplace_back([this, i] {
+      telemetry::Gauge& busy =
+          metrics_.gauge("serve.worker." + std::to_string(i) + ".busy");
+      worker_loop(busy);
+    });
+  }
+  ready_started_.store(true, std::memory_order_relaxed);
 }
 
 void JobManager::shutdown() {
@@ -101,6 +111,7 @@ void JobManager::shutdown() {
     std::unique_lock<std::mutex> lk(mu_);
     if (stop_) return;
     stop_ = true;
+    ready_stopping_.store(true, std::memory_order_relaxed);
     // Cancel everything still in flight: queued jobs terminate here, running
     // jobs get their stop token tripped and finalize in their worker.
     queue_.clear();
@@ -174,6 +185,7 @@ std::uint64_t JobManager::submit(const SubmitRequest& req, ProtocolError& err,
     // with a backoff hint.  Shedding rearms once the queue drains.
     if (!watchers_shed_) {
       watchers_shed_ = true;
+      ready_shedding_.store(true, std::memory_order_relaxed);
       shed_watchers();
     }
     metrics_.counter("serve.overload_rejections").add();
@@ -184,6 +196,7 @@ std::uint64_t JobManager::submit(const SubmitRequest& req, ProtocolError& err,
     return 0;
   }
   watchers_shed_ = false;
+  ready_shedding_.store(false, std::memory_order_relaxed);
   const std::uint64_t id = next_id_;
   auto job = std::make_unique<Job>();
   Job& j = *job;
@@ -207,26 +220,42 @@ std::uint64_t JobManager::submit(const SubmitRequest& req, ProtocolError& err,
   }
   next_id_ = id + 1;
   if (client != 0) ++client_active_[client];
-  // Stream every trace event the generator emits for this job (and our own
-  // lifecycle events) to watch subscribers, wrapped with the job id.
-  j.telem.trace.open([this, id](const std::string& line) {
-    std::string wrapped = "{\"job\":" + std::to_string(id) + ",";
-    if (line.size() > 1) wrapped.append(line.data() + 1, line.size() - 1);
-    publish(id, wrapped);
-  });
   jobs_.emplace(id, std::move(job));
   queue_.push_back(id);
   metrics_.counter("serve.jobs_submitted").add();
   refresh_gauges_locked();
-  job_event(j, "job_submit",
-            {{"job", TraceValue(static_cast<unsigned long long>(id))},
-             {"name", TraceValue(j.spec.name)},
-             {"circuit", TraceValue(j.circuit->name())},
-             {"queue_depth",
-              TraceValue(static_cast<unsigned long long>(queue_.size()))}});
+  open_job_trace_locked(
+      j, "job_submit",
+      {{"job", TraceValue(static_cast<unsigned long long>(id))},
+       {"name", TraceValue(j.spec.name)},
+       {"circuit", TraceValue(j.circuit->name())},
+       {"queue_depth",
+        TraceValue(static_cast<unsigned long long>(queue_.size()))}});
   lk.unlock();
   cv_.notify_one();
   return id;
+}
+
+void JobManager::open_job_trace_locked(
+    Job& job, std::string_view root_type,
+    std::initializer_list<telemetry::TraceField> root_fields) {
+  // Stream every trace event the generator emits for this job (and our own
+  // lifecycle events) to watch subscribers, wrapped with the job id.
+  const std::uint64_t id = job.id;
+  job.telem.trace.open([this, id](const std::string& line) {
+    std::string wrapped = "{\"job\":" + std::to_string(id) + ",";
+    if (line.size() > 1) wrapped.append(line.data() + 1, line.size() - 1);
+    publish(id, wrapped);
+  });
+  // Causal identity: events carry "trace":<job id>, and the whole job hangs
+  // under one root span opened here — slices running on different workers
+  // parent under it via set_root_span.  When the server trace is live, the
+  // job sink tees everything there so the file holds the full span tree.
+  job.telem.trace.set_trace_id(id);
+  if (server_trace_.enabled())
+    job.telem.trace.set_forward_sink(&server_trace_);
+  job.root_span = job.telem.trace.begin_span(root_type, root_fields);
+  job.telem.trace.set_root_span(job.root_span);
 }
 
 bool JobManager::cancel(std::uint64_t id, ProtocolError& err) {
@@ -250,7 +279,7 @@ bool JobManager::cancel(std::uint64_t id, ProtocolError& err) {
 
 // ---- worker loop ------------------------------------------------------------
 
-void JobManager::worker_loop() {
+void JobManager::worker_loop(telemetry::Gauge& busy) {
   for (;;) {
     Job* job = nullptr;
     {
@@ -270,7 +299,9 @@ void JobManager::worker_loop() {
                    {"circuit", TraceValue(job->circuit->name())}});
       }
     }
+    busy.set(1.0);
     run_slice(*job);
+    busy.set(0.0);
   }
 }
 
@@ -380,17 +411,18 @@ void JobManager::finalize(Job& job, JobState state,
     default:
       break;
   }
-  job_event(job, "job_done",
-            {{"job", TraceValue(static_cast<unsigned long long>(job.id))},
-             {"state", TraceValue(to_string(state))},
-             {"vectors", TraceValue(static_cast<unsigned long long>(
-                             job.result.test_set.size()))},
-             {"coverage", TraceValue(job.result.fault_coverage)},
-             {"evaluations", TraceValue(static_cast<unsigned long long>(
-                                 job.result.fitness_evaluations))},
-             {"slices", TraceValue(static_cast<unsigned long long>(
-                            job.slices))},
-             {"seconds", TraceValue(seconds)}});
+  // job_done closes the job's root span, completing the trace's span tree.
+  job.telem.trace.end_span(
+      job.root_span, "job_done",
+      {{"job", TraceValue(static_cast<unsigned long long>(job.id))},
+       {"state", TraceValue(to_string(state))},
+       {"vectors", TraceValue(static_cast<unsigned long long>(
+                       job.result.test_set.size()))},
+       {"coverage", TraceValue(job.result.fault_coverage)},
+       {"evaluations", TraceValue(static_cast<unsigned long long>(
+                           job.result.fitness_evaluations))},
+       {"slices", TraceValue(static_cast<unsigned long long>(job.slices))},
+       {"seconds", TraceValue(seconds)}});
   job.telem.trace.close();
   // Close per-job watch streams; watch-all streams stay open.
   std::lock_guard<std::mutex> slock(subs_mu_);
@@ -403,9 +435,14 @@ void JobManager::finalize(Job& job, JobState state,
 void JobManager::job_event(
     Job& job, std::string_view type,
     std::initializer_list<telemetry::TraceField> fields) {
-  if (server_trace_.enabled()) server_trace_.event(type, fields);
-  // The job's own sink forwards to watchers through its LineCallback.
-  job.telem.trace.event(type, fields);
+  // One emission path: the job's sink publishes to watchers through its
+  // LineCallback and tees into the server trace through its forward sink —
+  // writing the server trace here as well would duplicate the line.
+  if (job.telem.trace.enabled()) {
+    job.telem.trace.event(type, fields);
+  } else if (server_trace_.enabled()) {
+    server_trace_.event(type, fields);  // job sink already closed
+  }
 }
 
 void JobManager::publish(std::uint64_t job_id, const std::string& line) {
@@ -640,12 +677,14 @@ void JobManager::recover_from_journal_locked() {
             metrics_.counter("serve.checkpoints_discarded").add();
           }
         }
-        const std::uint64_t id = j.id;
-        j.telem.trace.open([this, id](const std::string& line) {
-          std::string wrapped = "{\"job\":" + std::to_string(id) + ",";
-          if (line.size() > 1) wrapped.append(line.data() + 1, line.size() - 1);
-          publish(id, wrapped);
-        });
+        open_job_trace_locked(
+            j, "job_recover",
+            {{"job", TraceValue(static_cast<unsigned long long>(j.id))},
+             {"circuit", TraceValue(j.circuit->name())},
+             {"vectors",
+              TraceValue(static_cast<unsigned long long>(j.last_vectors))},
+             {"slices",
+              TraceValue(static_cast<unsigned long long>(j.slices))}});
         queue_.push_back(j.id);
       } else {
         // Terminal record: restore the snapshot and result so status/result
@@ -695,6 +734,11 @@ void JobManager::refresh_gauges_locked() const {
     if (job->terminal()) ++done;
   metrics_.gauge("serve.jobs_terminal").set(static_cast<double>(done));
   metrics_.gauge("serve.jobs_total").set(static_cast<double>(jobs_.size()));
+  if (started_)
+    metrics_.gauge("serve.uptime_seconds")
+        .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_time_)
+                 .count());
 }
 
 std::string JobManager::metrics_json() const {
@@ -711,6 +755,53 @@ std::string JobManager::metrics_json() const {
                            json.back() == ' '))
     json.pop_back();
   return json;
+}
+
+std::string JobManager::metrics_prometheus() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    refresh_gauges_locked();
+  }
+  std::ostringstream os;
+  metrics_.render_prometheus(os);
+  return os.str();
+}
+
+JobManager::Readiness JobManager::readiness() const {
+  Readiness r;
+  if (ready_stopping_.load(std::memory_order_relaxed)) {
+    r.reason = "shutting-down";
+    return r;
+  }
+  if (ready_recovering_.load(std::memory_order_relaxed)) {
+    r.reason = "journal-recovery";
+    return r;
+  }
+  if (!ready_started_.load(std::memory_order_relaxed)) {
+    r.reason = "starting";
+    return r;
+  }
+  if (ready_shedding_.load(std::memory_order_relaxed)) {
+    r.reason = "overloaded";
+    return r;
+  }
+  r.ready = true;
+  return r;
+}
+
+void append_job_json(JsonWriter& w, const JobSnapshot& s) {
+  w.begin_object()
+      .key("id").value(static_cast<std::uint64_t>(s.id))
+      .key("name").value(s.name)
+      .key("circuit").value(s.circuit)
+      .key("state").value(to_string(s.state))
+      .key("slices").value(static_cast<std::uint64_t>(s.slices))
+      .key("vectors").value(static_cast<std::uint64_t>(s.vectors))
+      .key("evaluations").value(static_cast<std::uint64_t>(s.evaluations))
+      .key("coverage").value(s.coverage)
+      .key("seconds").value(s.seconds);
+  if (!s.error.empty()) w.key("error").value(s.error);
+  w.end_object();
 }
 
 }  // namespace gatest::serve

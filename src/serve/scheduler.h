@@ -15,6 +15,7 @@
 // the same config — ctest enforces this at 1 and 4 workers.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -122,6 +123,10 @@ struct JobSnapshot {
   std::string error;
 };
 
+/// Serialize one snapshot as a JSON object into `w` — shared by the line
+/// protocol's status/result responses and the HTTP /jobs endpoints.
+void append_job_json(JsonWriter& w, const JobSnapshot& s);
+
 class JobManager {
  public:
   explicit JobManager(ServeConfig cfg);
@@ -179,6 +184,18 @@ class JobManager {
   /// object, for the metrics response.
   std::string metrics_json() const;
 
+  /// Same snapshot in Prometheus text exposition format, for GET /metrics.
+  std::string metrics_prometheus() const;
+
+  /// Lock-free readiness probe for GET /readyz.  Answers even while start()
+  /// holds mu_ for the journal recovery scan, which is exactly when a load
+  /// balancer most needs the "not ready yet" signal.
+  struct Readiness {
+    bool ready = false;
+    std::string reason;  ///< why not, when !ready
+  };
+  Readiness readiness() const;
+
   telemetry::MetricsRegistry& metrics() { return metrics_; }
 
  private:
@@ -201,6 +218,7 @@ class JobManager {
     double last_coverage = 0.0;
     std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point finished;
+    std::uint64_t root_span = 0;  ///< trace span the whole job hangs under
     bool started_once = false;
     bool terminal() const {
       return state == JobState::Done || state == JobState::Cancelled ||
@@ -208,15 +226,21 @@ class JobManager {
     }
   };
 
-  void worker_loop();
+  void worker_loop(telemetry::Gauge& busy);
   /// Run one slice of `job` (mu_ NOT held); requeues or finalizes it.
   void run_slice(Job& job);
   /// Mark `job` terminal and emit job_done (mu_ held by caller).
   void finalize(Job& job, JobState state, std::unique_lock<std::mutex>& lk);
 
-  /// Emit a lifecycle event to the server trace file and to watchers.
+  /// Emit a lifecycle event through the job's sink, which publishes it to
+  /// watchers and (when a server trace is configured) forwards it there too.
   void job_event(Job& job, std::string_view type,
                  std::initializer_list<telemetry::TraceField> fields);
+  /// Open a job's trace sink: watcher callback, trace id, forward sink, and
+  /// the root span (opened with a `root_type` event).  mu_ held by caller.
+  void open_job_trace_locked(Job& job, std::string_view root_type,
+                             std::initializer_list<telemetry::TraceField>
+                                 root_fields);
   /// Deliver one wrapped line to every subscription watching `job_id`.
   void publish(std::uint64_t job_id, const std::string& line);
 
@@ -242,6 +266,14 @@ class JobManager {
   unsigned active_ = 0;
   bool started_ = false;
   bool stop_ = false;
+  std::chrono::steady_clock::time_point start_time_;
+
+  // Lock-free mirrors of the lifecycle/overload state for readiness(), which
+  // must answer without touching mu_ (held across the whole recovery scan).
+  std::atomic<bool> ready_started_{false};
+  std::atomic<bool> ready_stopping_{false};
+  std::atomic<bool> ready_recovering_{false};
+  std::atomic<bool> ready_shedding_{false};
 
   Journal journal_;
   /// Non-terminal job count per client id (quota accounting).

@@ -5,25 +5,6 @@
 
 namespace gatest::serve {
 
-namespace {
-
-void append_job(JsonWriter& w, const JobSnapshot& s) {
-  w.begin_object()
-      .key("id").value(static_cast<std::uint64_t>(s.id))
-      .key("name").value(s.name)
-      .key("circuit").value(s.circuit)
-      .key("state").value(to_string(s.state))
-      .key("slices").value(static_cast<std::uint64_t>(s.slices))
-      .key("vectors").value(static_cast<std::uint64_t>(s.vectors))
-      .key("evaluations").value(static_cast<std::uint64_t>(s.evaluations))
-      .key("coverage").value(s.coverage)
-      .key("seconds").value(s.seconds);
-  if (!s.error.empty()) w.key("error").value(s.error);
-  w.end_object();
-}
-
-}  // namespace
-
 Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), jobs_(cfg_.serve) {}
 
 Server::~Server() {
@@ -36,6 +17,12 @@ Server::~Server() {
 void Server::start() {
   listener_ = std::make_unique<TcpListener>(cfg_.host, cfg_.port);
   port_ = listener_->port();
+  if (cfg_.http_enabled) {
+    // Bind the observability plane before the workers launch so /readyz can
+    // report "starting" / "journal-recovery" during a long recovery scan.
+    http_ = std::make_unique<HttpServer>(jobs_, cfg_.host, cfg_.http_port);
+    http_->start();
+  }
   jobs_.start();
 }
 
@@ -66,6 +53,7 @@ void Server::run(const StopToken* stop) {
   }
   request_stop();
   listener_->close();
+  if (http_) http_->stop();
   jobs_.shutdown();  // cancels jobs, closes watch streams
   for (auto& t : handlers_)
     if (t.joinable()) t.join();
@@ -148,12 +136,12 @@ std::string Server::dispatch(const Request& req, std::uint64_t client_id) {
         JobSnapshot s;
         if (!jobs_.snapshot(req.id, s, err)) return error_line(err);
         w.begin_object().key("ok").value(true).key("job");
-        append_job(w, s);
+        append_job_json(w, s);
         w.end_object();
         return w.take();
       }
       w.begin_object().key("ok").value(true).key("jobs").begin_array();
-      for (const JobSnapshot& s : jobs_.snapshot_all()) append_job(w, s);
+      for (const JobSnapshot& s : jobs_.snapshot_all()) append_job_json(w, s);
       w.end_array().end_object();
       return w.take();
     }
@@ -170,7 +158,7 @@ std::string Server::dispatch(const Request& req, std::uint64_t client_id) {
       std::vector<std::string> vectors;
       if (!jobs_.result(req.id, s, vectors, err)) return error_line(err);
       w.begin_object().key("ok").value(true).key("job");
-      append_job(w, s);
+      append_job_json(w, s);
       w.key("vectors").begin_array();
       for (const std::string& v : vectors) w.value(v);
       w.end_array().end_object();

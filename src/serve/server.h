@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/http.h"
 #include "serve/scheduler.h"
 #include "util/net.h"
 #include "util/run_control.h"
@@ -23,6 +24,11 @@ struct ServerConfig {
   /// "idle-timeout" error line is written first so the client knows why).
   /// 0 = never time out.
   double idle_timeout_seconds = 0.0;
+  /// Observability plane (serve/http.h): when enabled, an HTTP/1.1 server
+  /// on `http_port` (0 = OS-assigned) exposes /metrics, /healthz, /readyz,
+  /// and /jobs.  Read-only — it never mutates job or generator state.
+  bool http_enabled = false;
+  unsigned short http_port = 0;
   ServeConfig serve;
 };
 
@@ -36,6 +42,9 @@ class Server {
 
   /// Actual bound port (meaningful after start()).
   unsigned short port() const { return port_; }
+
+  /// Actual HTTP observability port (0 unless ServerConfig::http_enabled).
+  unsigned short http_port() const { return http_ ? http_->port() : 0; }
 
   /// Accept-and-serve until request_stop(), a shutdown command, or `stop`
   /// trips (poll cadence ~200 ms).  On exit: cancels in-flight jobs, closes
@@ -59,6 +68,7 @@ class Server {
   ServerConfig cfg_;
   JobManager jobs_;
   std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<HttpServer> http_;
   unsigned short port_ = 0;
 
   mutable std::mutex mu_;

@@ -83,6 +83,21 @@ std::uint64_t Histogram::bucket_count(int i) const {
   return buckets_[i];
 }
 
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.count = stats_.count();
+  s.sum = sum_;
+  s.mean = stats_.mean();
+  s.stddev = stats_.stddev();
+  s.min = stats_.min();
+  s.max = stats_.max();
+  s.p50 = stats_.p50();
+  s.p95 = stats_.p95();
+  s.buckets = buckets_;
+  return s;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
@@ -169,24 +184,105 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   for (const auto& [name, h] : histograms_) {
     if (!first) os << ',';
     first = false;
+    const Histogram::Snapshot s = h->snapshot();
     write_json_string(os, name);
-    os << ":{\"count\":" << h->count() << ",\"sum\":";
-    write_json_number(os, h->sum());
+    os << ":{\"count\":" << s.count << ",\"sum\":";
+    write_json_number(os, s.sum);
     os << ",\"mean\":";
-    write_json_number(os, h->mean());
+    write_json_number(os, s.mean);
     os << ",\"stddev\":";
-    write_json_number(os, h->stddev());
+    write_json_number(os, s.stddev);
     os << ",\"min\":";
-    write_json_number(os, h->min());
+    write_json_number(os, s.min);
     os << ",\"max\":";
-    write_json_number(os, h->max());
+    write_json_number(os, s.max);
     os << ",\"p50\":";
-    write_json_number(os, h->p50());
+    write_json_number(os, s.p50);
     os << ",\"p95\":";
-    write_json_number(os, h->p95());
-    os << '}';
+    write_json_number(os, s.p95);
+    // Non-empty buckets as [upper_bound, count] pairs; the unbounded last
+    // bucket serializes its bound as null (JSON has no Infinity).
+    os << ",\"buckets\":[";
+    bool bfirst = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (s.buckets[i] == 0) continue;
+      if (!bfirst) os << ',';
+      bfirst = false;
+      os << '[';
+      write_json_number(os, Histogram::bucket_upper_bound(i));
+      os << ',' << s.buckets[i] << ']';
+    }
+    os << "]}";
   }
   os << "}}\n";
+}
+
+namespace {
+
+/// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; everything
+/// else (the registry uses dots) maps to '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+/// Prometheus's value grammar, unlike JSON, spells out non-finite floats.
+void write_prometheus_number(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::render_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " counter\n";
+    os << n << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n";
+    os << n << ' ';
+    write_prometheus_number(os, g->value());
+    os << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prometheus_name(name);
+    const Histogram::Snapshot s = h->snapshot();
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += s.buckets[i];
+      // Empty interior buckets are elided to keep the payload small, but the
+      // mandatory +Inf bucket always closes the series at the total count.
+      if (s.buckets[i] == 0 && i != Histogram::kNumBuckets - 1) continue;
+      os << n << "_bucket{le=\"";
+      write_prometheus_number(os, Histogram::bucket_upper_bound(i));
+      os << "\"} " << cumulative << '\n';
+    }
+    os << n << "_sum ";
+    write_prometheus_number(os, s.sum);
+    os << '\n';
+    os << n << "_count " << s.count << '\n';
+  }
 }
 
 void MetricsRegistry::write_text(std::ostream& os) const {

@@ -82,6 +82,21 @@ class Histogram {
   double sum() const;
   std::uint64_t bucket_count(int i) const;
 
+  /// Consistent view of summary stats and all bucket counts taken under one
+  /// lock, so exposition formats never mix observations from two moments.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    std::array<std::uint64_t, kNumBuckets> buckets{};
+  };
+  Snapshot snapshot() const;
+
  private:
   mutable std::mutex mu_;
   RunningStats stats_;
@@ -100,11 +115,19 @@ class MetricsRegistry {
   bool empty() const;
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histograms include summary stats plus the non-empty log-scale buckets as
+  /// [upper_bound, count] pairs (the unbounded last bucket's bound is null).
   /// Names are emitted in sorted order so snapshots diff cleanly.
   void write_json(std::ostream& os) const;
 
   /// Compact aligned text table (one row per metric) for --verbose output.
   void write_text(std::ostream& os) const;
+
+  /// Prometheus text exposition format (type lines, cumulative `_bucket`
+  /// series with `le` labels ending at `+Inf`, `_sum`/`_count`).  Metric
+  /// names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* (dots become
+  /// underscores), which is what the /metrics HTTP endpoint serves.
+  void render_prometheus(std::ostream& os) const;
 
  private:
   mutable std::mutex mu_;

@@ -68,6 +68,7 @@ void TraceSink::open(const std::string& path) {
     throw std::runtime_error("trace: cannot open '" + path + "' for writing");
   epoch_ = std::chrono::steady_clock::now();
   thread_ids_.clear();
+  span_stacks_.clear();
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -77,6 +78,7 @@ void TraceSink::open(LineCallback fn) {
   callback_ = std::move(fn);
   epoch_ = std::chrono::steady_clock::now();
   thread_ids_.clear();
+  span_stacks_.clear();
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -84,10 +86,32 @@ void TraceSink::close() {
   std::lock_guard<std::mutex> lock(mu_);
   enabled_.store(false, std::memory_order_relaxed);
   callback_ = nullptr;
+  forward_ = nullptr;
+  span_stacks_.clear();
   if (out_.is_open()) {
     out_.flush();
     out_.close();
   }
+}
+
+std::uint64_t TraceSink::next_span_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceSink::set_trace_id(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_id_ = id;
+}
+
+void TraceSink::set_root_span(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  root_span_ = id;
+}
+
+void TraceSink::set_forward_sink(TraceSink* other) {
+  std::lock_guard<std::mutex> lock(mu_);
+  forward_ = other;
 }
 
 double TraceSink::now() const {
@@ -116,11 +140,25 @@ void TraceSink::event(std::string_view type,
   emit(type, fields.data(), fields.data() + fields.size());
 }
 
+std::uint64_t TraceSink::current_span_locked() {
+  const auto it = span_stacks_.find(std::this_thread::get_id());
+  if (it != span_stacks_.end() && !it->second.empty()) return it->second.back();
+  return root_span_;
+}
+
 void TraceSink::emit(std::string_view type, const TraceField* begin,
                      const TraceField* end) {
   if (!enabled()) return;
   const double ts = now();
   std::lock_guard<std::mutex> lock(mu_);
+  SpanMark mark;
+  mark.span = current_span_locked();  // annotate with the innermost open span
+  emit_locked(ts, type, begin, end, mark);
+}
+
+void TraceSink::emit_locked(double ts, std::string_view type,
+                            const TraceField* begin, const TraceField* end,
+                            const SpanMark& mark) {
   if (!out_.is_open() && !callback_) return;
   line_.clear();
   char buf[32];
@@ -132,6 +170,25 @@ void TraceSink::emit(std::string_view type, const TraceField* begin,
   line_ += buf;
   line_ += ",\"type\":";
   append_json_string(line_, type);
+  if (trace_id_ != 0) {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(trace_id_));
+    line_ += ",\"trace\":";
+    line_ += buf;
+  }
+  if (mark.span != 0) {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(mark.span));
+    line_ += ",\"span\":";
+    line_ += buf;
+    if (mark.open) {
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(mark.parent));
+      line_ += ",\"parent\":";
+      line_ += buf;
+    }
+    if (mark.close) line_ += ",\"span_end\":true";
+  }
   for (const TraceField* f = begin; f != end; ++f) {
     line_ += ',';
     append_json_string(line_, f->key);
@@ -141,6 +198,59 @@ void TraceSink::emit(std::string_view type, const TraceField* begin,
   line_ += "}\n";
   if (out_.is_open()) out_ << line_;
   if (callback_) callback_(line_);
+  // Tee into the forward sink, which re-stamps ts/tid against its own clock
+  // and thread table.  Lock order is origin → forward only (a forward sink
+  // never forwards back), so the nested lock cannot deadlock.
+  if (forward_ != nullptr && forward_->enabled())
+    forward_->forwarded(type, begin, end, mark, trace_id_);
+}
+
+void TraceSink::forwarded(std::string_view type, const TraceField* begin,
+                          const TraceField* end, const SpanMark& mark,
+                          std::uint64_t trace_id) {
+  if (!enabled()) return;
+  const double ts = now();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t saved_trace = trace_id_;
+  trace_id_ = trace_id;  // keep the origin's trace id on the merged line
+  emit_locked(ts, type, begin, end, mark);
+  trace_id_ = saved_trace;
+}
+
+std::uint64_t TraceSink::begin_span(std::string_view type,
+                                    std::initializer_list<TraceField> fields) {
+  if (!enabled()) return 0;
+  const double ts = now();
+  const std::uint64_t id = next_span_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanMark mark;
+  mark.span = id;
+  mark.parent = current_span_locked();
+  mark.open = true;
+  span_stacks_[std::this_thread::get_id()].push_back(id);
+  emit_locked(ts, type, fields.begin(), fields.end(), mark);
+  return id;
+}
+
+void TraceSink::end_span(std::uint64_t id, std::string_view type,
+                         std::initializer_list<TraceField> fields) {
+  if (id == 0 || !enabled()) return;
+  const double ts = now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = span_stacks_.find(std::this_thread::get_id());
+  if (it != span_stacks_.end()) {
+    auto& stack = it->second;
+    for (std::size_t i = stack.size(); i > 0; --i) {
+      if (stack[i - 1] == id) {
+        stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i - 1));
+        break;
+      }
+    }
+  }
+  SpanMark mark;
+  mark.span = id;
+  mark.close = true;
+  emit_locked(ts, type, fields.begin(), fields.end(), mark);
 }
 
 TraceSpan::TraceSpan(TraceSink& sink, std::string name,

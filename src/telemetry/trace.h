@@ -86,10 +86,62 @@ class TraceSink {
              std::initializer_list<TraceField> fields = {});
   void event(std::string_view type, const std::vector<TraceField>& fields);
 
+  // --- causal spans ---------------------------------------------------------
+  // Spans give every event a place in a per-trace tree: an open event carries
+  // "span" and "parent" (0 = tree root), a close event carries "span" and
+  // "span_end":true, and ordinary events between them are stamped with the
+  // innermost open span on their thread.  Span ids come from one process-wide
+  // counter, so ids stay unique when a forward sink merges several traces
+  // (each job trace plus the server trace) into one file.
+
+  /// Allocate a fresh process-wide-unique span id (never 0).
+  static std::uint64_t next_span_id();
+
+  /// Stamp every subsequent event with "trace":id (0 = no stamp).  The serve
+  /// layer sets this to the job id so merged traces stay separable.
+  void set_trace_id(std::uint64_t id);
+
+  /// Default parent for spans opened on a thread with no open span of its
+  /// own.  Cross-thread work — a job's slices run on whichever worker picks
+  /// them up — parents under the job's root span this way.
+  void set_root_span(std::uint64_t id);
+
+  /// Tee every event (with its computed trace/span fields) into `other`,
+  /// which stamps its own ts/tid.  Used by gatest_serve so per-job generator
+  /// events also land in the server trace file.  Set before events flow and
+  /// clear (nullptr) before `other` closes; `other` must not forward back.
+  void set_forward_sink(TraceSink* other);
+
+  /// Open a span: emits `type` with span/parent fields and pushes the span
+  /// on the calling thread's stack.  Returns the span id (0 when disabled).
+  std::uint64_t begin_span(std::string_view type,
+                           std::initializer_list<TraceField> fields = {});
+
+  /// Close span `id`: emits `type` with "span_end":true and pops the span
+  /// from the calling thread's stack (tolerates non-LIFO closes).  No-op for
+  /// id 0, so begin/end pairs need no disabled-path guards.
+  void end_span(std::uint64_t id, std::string_view type,
+                std::initializer_list<TraceField> fields = {});
+
  private:
+  struct SpanMark {
+    std::uint64_t span = 0;    // 0 = no span field
+    std::uint64_t parent = 0;  // meaningful only when open
+    bool open = false;
+    bool close = false;
+  };
+
   void emit(std::string_view type, const TraceField* begin,
             const TraceField* end);
-  std::uint32_t thread_ordinal();  // caller holds mu_
+  void emit_locked(double ts, std::string_view type, const TraceField* begin,
+                   const TraceField* end, const SpanMark& mark);
+  /// Receive a forwarded event from another sink: re-stamps ts/tid with this
+  /// sink's clock and thread table but keeps the origin's trace/span fields.
+  void forwarded(std::string_view type, const TraceField* begin,
+                 const TraceField* end, const SpanMark& mark,
+                 std::uint64_t trace_id);
+  std::uint32_t thread_ordinal();       // caller holds mu_
+  std::uint64_t current_span_locked();  // caller holds mu_
 
   std::atomic<bool> enabled_{false};
   std::mutex mu_;
@@ -98,6 +150,10 @@ class TraceSink {
   std::chrono::steady_clock::time_point epoch_;
   std::map<std::thread::id, std::uint32_t> thread_ids_;
   std::string line_;  // reused formatting buffer
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t root_span_ = 0;
+  TraceSink* forward_ = nullptr;
+  std::map<std::thread::id, std::vector<std::uint64_t>> span_stacks_;
 };
 
 /// RAII span: emits "<name>_begin" on construction and "<name>_end" (with

@@ -4,10 +4,15 @@
 // overload protection (bounded queue, quotas, watcher shedding), client
 // backoff, and socket-level end-to-end passes through the server.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
+#include <cctype>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <map>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +21,7 @@
 #include "fault/fault.h"
 #include "gatest/test_generator.h"
 #include "serve/client.h"
+#include "serve/http.h"
 #include "serve/journal.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
@@ -1111,6 +1117,353 @@ TEST(Server, IdleConnectionsAreTimedOutWithDiagnostic) {
   }
   ASSERT_TRUE(live.write_all("{\"cmd\":\"shutdown\"}\n"));
   runner.join();
+}
+
+
+// ---- http observability plane -----------------------------------------------
+
+struct HttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+};
+
+/// Append whatever bytes are pending on `fd` to `acc`; false on EOF/error.
+bool recv_some(int fd, std::string& acc) {
+  char buf[4096];
+  const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+  if (n <= 0) return false;
+  acc.append(buf, static_cast<std::size_t>(n));
+  return true;
+}
+
+/// Parse one complete HTTP response out of `acc` (receiving more as
+/// needed), consuming exactly the bytes it occupied so keep-alive
+/// connections can read the next response from the same buffer.
+bool read_http_response(TcpConnection& conn, std::string& acc,
+                        HttpResponse& out, bool head_request = false) {
+  std::size_t hdr_end;
+  while ((hdr_end = acc.find("\r\n\r\n")) == std::string::npos)
+    if (!recv_some(conn.fd(), acc)) return false;
+
+  const std::string head = acc.substr(0, hdr_end);
+  std::size_t pos = head.find("\r\n");
+  const std::string status_line = head.substr(0, pos);
+  if (status_line.rfind("HTTP/1.1 ", 0) != 0) return false;
+  out.status = std::atoi(status_line.c_str() + 9);
+
+  out.headers.clear();
+  while (pos != std::string::npos && pos + 2 < head.size()) {
+    const std::size_t eol = head.find("\r\n", pos + 2);
+    const std::string line = head.substr(
+        pos + 2, eol == std::string::npos ? std::string::npos : eol - pos - 2);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      std::size_t v = colon + 1;
+      while (v < line.size() && line[v] == ' ') ++v;
+      out.headers[name] = line.substr(v);
+    }
+    pos = eol;
+  }
+
+  std::size_t content_length = 0;
+  const auto it = out.headers.find("content-length");
+  if (it != out.headers.end())
+    content_length = static_cast<std::size_t>(std::atoll(it->second.c_str()));
+
+  const std::size_t body_start = hdr_end + 4;
+  if (head_request) content_length = 0;  // HEAD: Content-Length, no body
+  while (acc.size() < body_start + content_length)
+    if (!recv_some(conn.fd(), acc)) return false;
+  out.body = acc.substr(body_start, content_length);
+  acc.erase(0, body_start + content_length);
+  return true;
+}
+
+/// One request/response round trip on an established connection.
+bool http_get(TcpConnection& conn, std::string& acc, const std::string& raw,
+              HttpResponse& out) {
+  return conn.write_all(raw) &&
+         read_http_response(conn, acc, out, raw.rfind("HEAD ", 0) == 0);
+}
+
+TEST(Http, ResponseFormatting) {
+  const std::string r =
+      HttpServer::response(200, "text/plain; charset=utf-8", "ok\n", false);
+  EXPECT_EQ(r.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(r.find("Content-Type: text/plain; charset=utf-8\r\n"),
+            std::string::npos);
+  EXPECT_NE(r.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_EQ(r.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(r.substr(r.size() - 7), "\r\n\r\nok\n");
+
+  // HEAD keeps Content-Length but elides the body (RFC 9110 section 9.3.2).
+  const std::string h = HttpServer::response(
+      200, "text/plain; charset=utf-8", "ok\n", true, /*head=*/true);
+  EXPECT_NE(h.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(h.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(h.substr(h.size() - 4), "\r\n\r\n");
+
+  const std::string e =
+      HttpServer::response(404, "text/plain; charset=utf-8", "nope\n", true);
+  EXPECT_EQ(e.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u);
+}
+
+TEST(Http, HandleRoutesReadOnly) {
+  ServeConfig cfg;
+  cfg.workers = 1;
+  JobManager jm(cfg);
+  jm.start();
+
+  auto get = [&jm](const std::string& target, const char* method = "GET") {
+    HttpServer::Request req;
+    req.method = method;
+    req.target = target;
+    return HttpServer::handle(jm, req);
+  };
+
+  EXPECT_NE(get("/healthz").find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(get("/healthz").find("ok\n"), std::string::npos);
+  EXPECT_NE(get("/metrics").find("# TYPE"), std::string::npos);
+  EXPECT_NE(get("/jobs").find("{\"jobs\":[]}"), std::string::npos);
+  EXPECT_EQ(get("/jobs/999").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(get("/jobs/0").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(get("/jobs/12abc").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(get("/nope").rfind("HTTP/1.1 404", 0), 0u);
+  // The control plane stays on the line protocol: writes are rejected.
+  EXPECT_EQ(get("/metrics", "POST").rfind("HTTP/1.1 405", 0), 0u);
+  EXPECT_EQ(get("/jobs", "DELETE").rfind("HTTP/1.1 405", 0), 0u);
+
+  jm.shutdown();
+}
+
+TEST(Http, EndToEndScrapeJobsAndKeepAlive) {
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.slice_seconds = 0.02;
+  JobManager jm(cfg);
+  jm.start();
+  HttpServer http(jm, "127.0.0.1", 0);
+  http.start();
+  ASSERT_GT(http.port(), 0);
+
+  SubmitRequest req;
+  req.profile = "s27";
+  req.name = "s27";
+  req.config.seed = 3;
+  req.budget.max_evaluations = 300;
+  ProtocolError err;
+  const std::uint64_t id = jm.submit(req, err);
+  ASSERT_NE(id, 0u) << err.message;
+  wait_all_terminal(jm, 1);
+
+  TcpConnection conn = tcp_connect("127.0.0.1", http.port());
+  ASSERT_TRUE(conn.valid());
+  std::string acc;
+  HttpResponse r;
+
+  // Several requests on one keep-alive connection.
+  ASSERT_TRUE(http_get(conn, acc, "GET /metrics HTTP/1.1\r\n\r\n", r));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.headers["content-type"],
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(r.body.find("# TYPE serve_jobs_submitted counter"),
+            std::string::npos);
+
+  ASSERT_TRUE(http_get(
+      conn, acc,
+      "GET /jobs/" + std::to_string(id) + " HTTP/1.1\r\n\r\n", r));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.headers["content-type"], "application/json");
+  EXPECT_NE(r.body.find("\"state\":\"done\""), std::string::npos);
+
+  // HEAD: headers identical to GET, zero body bytes on the wire.
+  ASSERT_TRUE(http_get(conn, acc, "HEAD /healthz HTTP/1.1\r\n\r\n", r));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.headers["content-length"], "3");
+  EXPECT_TRUE(r.body.empty());
+  EXPECT_TRUE(acc.empty());  // nothing left over: the body really was elided
+
+  // Connection: close is honored — response, then EOF.
+  ASSERT_TRUE(http_get(conn, acc,
+                       "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+                       r));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.headers["connection"], "close");
+  EXPECT_FALSE(recv_some(conn.fd(), acc));
+
+  http.stop();
+  jm.shutdown();
+}
+
+TEST(Http, RejectsAbusiveRequests) {
+  ServeConfig cfg;
+  cfg.workers = 1;
+  JobManager jm(cfg);
+  jm.start();
+  HttpServer http(jm, "127.0.0.1", 0);
+  http.start();
+
+  auto one_shot = [&http](const std::string& raw) {
+    TcpConnection conn = tcp_connect("127.0.0.1", http.port());
+    EXPECT_TRUE(conn.valid());
+    std::string acc;
+    HttpResponse r;
+    EXPECT_TRUE(http_get(conn, acc, raw, r)) << raw.substr(0, 60);
+    // Every rejection closes the connection after the response.
+    EXPECT_FALSE(recv_some(conn.fd(), acc));
+    return r.status;
+  };
+
+  // 405 is a well-formed exchange, so the connection stays usable.
+  {
+    TcpConnection conn = tcp_connect("127.0.0.1", http.port());
+    ASSERT_TRUE(conn.valid());
+    std::string acc;
+    HttpResponse r;
+    ASSERT_TRUE(http_get(conn, acc, "POST /metrics HTTP/1.1\r\n\r\n", r));
+    EXPECT_EQ(r.status, 405);
+    ASSERT_TRUE(http_get(conn, acc, "GET /healthz HTTP/1.1\r\n\r\n", r));
+    EXPECT_EQ(r.status, 200);
+  }
+
+  // Malformed input: answered with a status, then the socket is dropped.
+  EXPECT_EQ(one_shot("complete garbage\r\n\r\n"), 400);
+  EXPECT_EQ(one_shot("GET\r\n\r\n"), 400);
+  EXPECT_EQ(one_shot("GET /metrics SPDY/99\r\n\r\n"), 400);
+  EXPECT_EQ(one_shot("GET relative-no-slash HTTP/1.1\r\n\r\n"), 400);
+  EXPECT_EQ(one_shot("GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            400);
+  EXPECT_EQ(one_shot("GET /healthz HTTP/1.1\r\n: empty-name\r\n\r\n"),
+            400);
+
+  // Oversized request line: 414, connection dropped.
+  EXPECT_EQ(one_shot("GET /" + std::string(10 * 1024, 'a') +
+                     " HTTP/1.1\r\n\r\n"),
+            414);
+
+  // Header flood: 431.
+  std::string flood = "GET /healthz HTTP/1.1\r\n";
+  for (int i = 0; i < 200; ++i)
+    flood += "X-Flood-" + std::to_string(i) + ": y\r\n";
+  flood += "\r\n";
+  EXPECT_EQ(one_shot(flood), 431);
+
+  http.stop();
+  jm.shutdown();
+}
+
+TEST(Http, IdleSocketsGetRequestTimeout) {
+  ServeConfig cfg;
+  cfg.workers = 1;
+  JobManager jm(cfg);
+  jm.start();
+  HttpServer http(jm, "127.0.0.1", 0, /*idle_timeout_seconds=*/0.1);
+  http.start();
+
+  TcpConnection conn = tcp_connect("127.0.0.1", http.port());
+  ASSERT_TRUE(conn.valid());
+  std::string acc;
+  HttpResponse r;
+  // Send nothing: the server must answer 408 and close, not hold the slot.
+  ASSERT_TRUE(read_http_response(conn, acc, r));
+  EXPECT_EQ(r.status, 408);
+  EXPECT_FALSE(recv_some(conn.fd(), acc));
+
+  // Slowloris: trickle partial request-line bytes.  The idle deadline spans
+  // partial reads, so a never-completing line still times out at 408.
+  TcpConnection slow = tcp_connect("127.0.0.1", http.port());
+  ASSERT_TRUE(slow.valid());
+  std::string slow_acc;
+  std::thread dripper([&slow] {
+    for (const char* piece : {"GET", " /he", "alth"}) {
+      if (!slow.write_all(piece)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    }
+    // Never send the terminating CRLF.
+  });
+  ASSERT_TRUE(read_http_response(slow, slow_acc, r));
+  EXPECT_EQ(r.status, 408);
+  EXPECT_FALSE(recv_some(slow.fd(), slow_acc));
+  dripper.join();
+
+  http.stop();
+  jm.shutdown();
+}
+
+TEST(Http, FuzzedRequestBytesNeverCrashTheServer) {
+  ServeConfig cfg;
+  cfg.workers = 1;
+  JobManager jm(cfg);
+  jm.start();
+  HttpServer http(jm, "127.0.0.1", 0, /*idle_timeout_seconds=*/2.0);
+  http.start();
+
+  // Deterministic garbage: random bytes (newline-terminated so the server
+  // sees a complete "request line"), random methods, random targets.  The
+  // server must answer every one with a well-formed HTTP status or close
+  // the connection — and keep serving afterwards.
+  std::mt19937 rng(20260808);
+  for (int round = 0; round < 60; ++round) {
+    std::string raw;
+    switch (round % 4) {
+      case 0: {  // pure noise
+        const std::size_t len = 1 + rng() % 256;
+        for (std::size_t i = 0; i < len; ++i)
+          raw += static_cast<char>(1 + rng() % 255);  // no embedded NUL
+        raw += "\r\n\r\n";
+        break;
+      }
+      case 1: {  // method fuzz
+        static const char* kMethods[] = {"OPTIONS", "TRACE", "PATCH",
+                                         "get", "G E T", ""};
+        raw = std::string(kMethods[rng() % 6]) + " /metrics HTTP/1.1\r\n\r\n";
+        break;
+      }
+      case 2: {  // target fuzz
+        std::string target = "/";
+        const std::size_t len = rng() % 64;
+        for (std::size_t i = 0; i < len; ++i)
+          target += static_cast<char>(32 + rng() % 95);
+        raw = "GET " + target + " HTTP/1.1\r\n\r\n";
+        break;
+      }
+      default: {  // header fuzz
+        raw = "GET /healthz HTTP/1.1\r\n";
+        const std::size_t n = rng() % 8;
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t len = rng() % 48;
+          for (std::size_t j = 0; j < len; ++j)
+            raw += static_cast<char>(32 + rng() % 95);
+          raw += "\r\n";
+        }
+        raw += "\r\n";
+        break;
+      }
+    }
+    TcpConnection conn = tcp_connect("127.0.0.1", http.port());
+    ASSERT_TRUE(conn.valid());
+    std::string acc;
+    HttpResponse r;
+    if (conn.write_all(raw) && read_http_response(conn, acc, r)) {
+      EXPECT_TRUE(r.status >= 200 && r.status < 600) << r.status;
+    }
+    // else: dropped connection is acceptable for hostile input
+  }
+
+  // The plane survived all of it.
+  TcpConnection conn = tcp_connect("127.0.0.1", http.port());
+  ASSERT_TRUE(conn.valid());
+  std::string acc;
+  HttpResponse r;
+  ASSERT_TRUE(http_get(conn, acc, "GET /healthz HTTP/1.1\r\n\r\n", r));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "ok\n");
+
+  http.stop();
+  jm.shutdown();
 }
 
 }  // namespace

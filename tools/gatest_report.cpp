@@ -30,10 +30,14 @@ namespace {
 
 [[noreturn]] void usage(const char* prog, int code) {
   std::fprintf(stderr,
-               "usage: %s TRACE.jsonl [--commits]\n"
+               "usage: %s TRACE.jsonl [--commits | --spans]\n"
                "\n"
                "  TRACE.jsonl   run trace written by gatest_atpg --trace-out\n"
-               "  --commits     also list every commit with its coverage\n",
+               "                (or a gatest_serve server trace, for --spans)\n"
+               "  --commits     also list every commit with its coverage\n"
+               "  --spans       reconstruct the causal span tree and print\n"
+               "                each job's critical path instead of the\n"
+               "                phase report\n",
                prog);
   std::exit(code);
 }
@@ -56,14 +60,60 @@ struct CommitRow {
   double coverage = 0.0;
 };
 
+/// One causal span reconstructed from its open/close trace events.
+struct SpanNode {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  double open_ts = 0.0;
+  double close_ts = -1.0;  ///< -1 = never closed (interrupted trace)
+  std::string type;        ///< type of the opening event
+  std::string label;       ///< phase / circuit, when the event names one
+  std::uint64_t job = 0;   ///< job id, on job root spans
+  std::vector<std::uint64_t> children;
+
+  double seconds() const { return close_ts < 0.0 ? 0.0 : close_ts - open_ts; }
+};
+
+/// Spans of one trace id (one job, or the whole run for gatest_atpg traces).
+struct SpanTrace {
+  std::map<std::uint64_t, SpanNode> spans;
+  std::uint64_t root = 0;
+};
+
+/// Walk from the root, always descending into the longest child: the chain
+/// of spans that bounds the job's wall clock.
+void print_critical_path(const SpanTrace& tr) {
+  const SpanNode* node = nullptr;
+  auto it = tr.spans.find(tr.root);
+  if (it == tr.spans.end()) return;
+  node = &it->second;
+  int depth = 0;
+  while (node != nullptr) {
+    std::string name = node->type;
+    if (!node->label.empty()) name += " [" + node->label + "]";
+    std::printf("  %*s%-*s %10.6fs\n", 2 * depth, "",
+                std::max(2, 44 - 2 * depth), name.c_str(), node->seconds());
+    const SpanNode* widest = nullptr;
+    for (std::uint64_t child_id : node->children) {
+      const auto cit = tr.spans.find(child_id);
+      if (cit == tr.spans.end()) continue;
+      if (widest == nullptr || cit->second.seconds() > widest->seconds())
+        widest = &cit->second;
+    }
+    node = widest;
+    ++depth;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_file;
-  bool list_commits = false;
+  bool list_commits = false, spans_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--commits") list_commits = true;
+    else if (a == "--spans") spans_mode = true;
     else if (a == "--help" || a == "-h") usage(argv[0], 0);
     else if (!a.empty() && a[0] == '-') usage(argv[0], 2);
     else if (trace_file.empty()) trace_file = a;
@@ -78,6 +128,7 @@ int main(int argc, char** argv) {
   }
 
   std::map<std::string, PhaseTotals> phases;
+  std::map<std::uint64_t, SpanTrace> traces;  // trace id -> span tree
   std::vector<CommitRow> commits;
   std::string circuit = "?", stop_reason;
   double run_seconds = 0.0, final_coverage = 0.0;
@@ -108,6 +159,34 @@ int main(int argc, char** argv) {
       return 1;
     }
     ++events;
+
+    // Causal span bookkeeping: an open event carries span+parent, a close
+    // carries span+span_end (annotations carry span alone — not needed for
+    // the critical path).
+    if (const JsonValue* span = ev.find("span"); span && span->is_number()) {
+      const auto span_id = static_cast<std::uint64_t>(span->number);
+      const auto trace_id =
+          static_cast<std::uint64_t>(ev.number_or("trace", 0.0));
+      SpanTrace& tr = traces[trace_id];
+      const JsonValue* end = ev.find("span_end");
+      if (end && end->boolean) {
+        auto it = tr.spans.find(span_id);
+        if (it != tr.spans.end()) it->second.close_ts = ev.number_or("ts", 0.0);
+      } else if (const JsonValue* parent = ev.find("parent")) {
+        SpanNode& node = tr.spans[span_id];
+        node.id = span_id;
+        node.parent = static_cast<std::uint64_t>(parent->number);
+        node.open_ts = ev.number_or("ts", 0.0);
+        node.type = type;
+        node.label = ev.string_or("phase", ev.string_or("circuit", ""));
+        node.job = static_cast<std::uint64_t>(ev.number_or("job", 0.0));
+        if (node.parent == 0) {
+          tr.root = span_id;
+        } else {
+          tr.spans[node.parent].children.push_back(span_id);
+        }
+      }
+    }
 
     auto phase_slot = [&](const std::string& name) -> PhaseTotals& {
       auto [it, inserted] = phases.try_emplace(name);
@@ -165,6 +244,37 @@ int main(int argc, char** argv) {
                  trace_file.c_str());
     return 1;
   }
+
+  if (spans_mode) {
+    if (traces.empty()) {
+      std::fprintf(stderr,
+                   "gatest_report: %s: no causal spans in trace (written by "
+                   "an older build?)\n",
+                   trace_file.c_str());
+      return 1;
+    }
+    for (const auto& [trace_id, tr] : traces) {
+      const auto rit = tr.spans.find(tr.root);
+      if (rit == tr.spans.end()) {
+        std::printf("trace %llu: %zu span(s), no root — truncated trace?\n",
+                    static_cast<unsigned long long>(trace_id),
+                    tr.spans.size());
+        continue;
+      }
+      const SpanNode& root = rit->second;
+      std::printf("trace %llu", static_cast<unsigned long long>(trace_id));
+      if (root.job != 0)
+        std::printf(" (job %llu%s%s)",
+                    static_cast<unsigned long long>(root.job),
+                    root.label.empty() ? "" : ", ",
+                    root.label.c_str());
+      std::printf(": %zu span(s), %.6fs — critical path:\n", tr.spans.size(),
+                  root.seconds());
+      print_critical_path(tr);
+    }
+    return 0;
+  }
+
   if (!saw_run_begin)
     std::fprintf(stderr, "gatest_report: warning: no run_begin event "
                          "(truncated trace?)\n");

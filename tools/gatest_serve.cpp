@@ -30,6 +30,11 @@ void usage(const char* argv0) {
       "(default 0)\n"
       "  --port-file FILE   write the bound port number to FILE once "
       "listening\n"
+      "  --http-port N      also serve the HTTP observability plane\n"
+      "                     (/metrics /healthz /readyz /jobs) on this port;\n"
+      "                     0 asks the OS for a free one (off by default)\n"
+      "  --http-port-file FILE\n"
+      "                     write the bound HTTP port to FILE once listening\n"
       "  --workers N        worker threads running job slices (default 2)\n"
       "  --slice-ms N       fair-share time slice in milliseconds; 0 runs\n"
       "                     every job to completion uninterrupted "
@@ -89,7 +94,7 @@ unsigned long parse_uint(const char* flag, const std::string& v,
 
 int main(int argc, char** argv) {
   serve::ServerConfig cfg;
-  std::string port_file, metrics_file;
+  std::string port_file, http_port_file, metrics_file;
   std::string fault_spec;
   std::uint64_t fault_seed = 1;
   bool quiet = false;
@@ -105,6 +110,15 @@ int main(int argc, char** argv) {
       cfg.port = static_cast<unsigned short>(p);
     } else if (a == "--port-file") {
       port_file = arg_value(argc, argv, i, argv[0]);
+    } else if (a == "--http-port") {
+      const std::string v = arg_value(argc, argv, i, argv[0]);
+      const unsigned long p =
+          parse_uint("--http-port", v, "a port number 0-65535");
+      if (p > 65535) flag_error("--http-port", "a port number 0-65535", v);
+      cfg.http_enabled = true;
+      cfg.http_port = static_cast<unsigned short>(p);
+    } else if (a == "--http-port-file") {
+      http_port_file = arg_value(argc, argv, i, argv[0]);
     } else if (a == "--workers") {
       const std::string v = arg_value(argc, argv, i, argv[0]);
       const unsigned long n = parse_uint("--workers", v, "a count 1-64");
@@ -190,12 +204,25 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (!quiet)
+  if (!http_port_file.empty()) {
+    std::ofstream pf(http_port_file, std::ios::trunc);
+    pf << server.http_port() << "\n";
+    if (!pf) {
+      std::fprintf(stderr, "gatest_serve: cannot write port file '%s'\n",
+                   http_port_file.c_str());
+      return 1;
+    }
+  }
+  if (!quiet) {
     std::fprintf(stderr,
                  "gatest_serve: listening on %s:%u (%u workers, slice %.0f "
                  "ms)\n",
                  cfg.host.c_str(), server.port(), cfg.serve.workers,
                  cfg.serve.slice_seconds * 1000.0);
+    if (cfg.http_enabled)
+      std::fprintf(stderr, "gatest_serve: http observability on %s:%u\n",
+                   cfg.host.c_str(), server.http_port());
+  }
 
   install_signal_stop_handlers();
   server.run(&global_stop_token());
