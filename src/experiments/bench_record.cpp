@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 
 namespace gatest::bench {
 
@@ -74,10 +75,14 @@ void RecordWriter::begin_entry(const std::string& circuit,
 }
 
 void RecordWriter::exact(const std::string& key, double value) {
+  if (entries_.empty())
+    throw std::logic_error("RecordWriter::exact() before begin_entry()");
   entries_.back().exact.emplace_back(key, value);
 }
 
 void RecordWriter::perf(const std::string& key, double value) {
+  if (entries_.empty())
+    throw std::logic_error("RecordWriter::perf() before begin_entry()");
   entries_.back().perf.emplace_back(key, value);
 }
 

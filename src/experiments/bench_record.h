@@ -41,8 +41,10 @@ class RecordWriter {
                    const std::string& config = "default");
 
   /// Deterministic metric: must match the baseline exactly.
+  /// Throws std::logic_error if called before begin_entry().
   void exact(const std::string& key, double value);
   /// Performance metric: compared with a relative tolerance.
+  /// Throws std::logic_error if called before begin_entry().
   void perf(const std::string& key, double value);
 
   /// Write the record as pretty-printed JSON.  False + `err` on I/O failure.

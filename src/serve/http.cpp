@@ -129,11 +129,12 @@ std::string HttpServer::handle(JobManager& jobs, const Request& req) {
 }
 
 HttpServer::HttpServer(JobManager& jobs, std::string host, unsigned short port,
-                       double idle_timeout_seconds)
+                       double idle_timeout_seconds, std::size_t max_connections)
     : jobs_(jobs),
       host_(std::move(host)),
       cfg_port_(port),
-      idle_timeout_seconds_(idle_timeout_seconds) {}
+      idle_timeout_seconds_(idle_timeout_seconds),
+      max_connections_(max_connections == 0 ? 1 : max_connections) {}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -155,9 +156,23 @@ void HttpServer::stop() {
   // closed once no other thread can touch it.
   if (accept_thread_.joinable()) accept_thread_.join();
   if (listener_) listener_->close();
-  for (auto& t : handlers_)
-    if (t.joinable()) t.join();
+  for (Handler& h : handlers_)
+    if (h.thread.joinable()) h.thread.join();
   handlers_.clear();
+}
+
+void HttpServer::reap_finished_locked() {
+  handlers_.erase(
+      std::remove_if(handlers_.begin(), handlers_.end(),
+                     [](Handler& h) {
+                       if (!h.done->load(std::memory_order_acquire))
+                         return false;
+                       // `done` is the handler's last store, so this join
+                       // completes promptly.
+                       if (h.thread.joinable()) h.thread.join();
+                       return true;
+                     }),
+      handlers_.end());
 }
 
 void HttpServer::accept_loop() {
@@ -167,12 +182,30 @@ void HttpServer::accept_loop() {
       if (stop_) return;
     }
     TcpConnection conn = listener_->accept(0.2);
-    if (!conn.valid()) continue;
+    if (!conn.valid()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+      reap_finished_locked();  // keep reaping even when traffic goes quiet
+      continue;
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) return;
-    handlers_.emplace_back(
-        [this](TcpConnection c) { handle_connection(std::move(c)); },
-        std::move(conn));
+    reap_finished_locked();
+    if (handlers_.size() >= max_connections_) {
+      jobs_.metrics().counter("serve.http.rejected_connections").add();
+      conn.write_all(response(503, "text/plain; charset=utf-8",
+                              "too many connections\n", true));
+      continue;  // conn closes on scope exit; no thread spawned
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    handlers_.push_back(Handler{
+        std::thread(
+            [this, done](TcpConnection c) {
+              handle_connection(std::move(c));
+              done->store(true, std::memory_order_release);
+            },
+            std::move(conn)),
+        done});
   }
 }
 
@@ -208,15 +241,19 @@ void HttpServer::handle_connection(TcpConnection conn) {
       break;
     }
 
-    // Drain headers up to the empty line; we only act on Connection.
+    // Drain headers up to the empty line; we act on Connection and reject
+    // anything announcing a body (we never consume one, so accepting it
+    // would leave body bytes to be misparsed as the next request).
     bool header_error = false;
+    bool has_body = false;
     std::size_t header_count = 0;
     for (;;) {
       const auto hs =
           conn.read_line(line, kMaxHeaderBytes, idle_timeout_seconds_);
       if (hs != TcpConnection::ReadStatus::Ok) {
-        if (hs == TcpConnection::ReadStatus::Overflow ||
-            ++header_count > kMaxHeaderCount) {
+        // The read status alone picks the answer: a Timeout at the header
+        // cap is still a timeout, and an Eof peer gets no response at all.
+        if (hs == TcpConnection::ReadStatus::Overflow) {
           conn.write_all(response(431, "text/plain; charset=utf-8",
                                   "headers too large\n", true));
         } else if (hs == TcpConnection::ReadStatus::Timeout) {
@@ -242,13 +279,23 @@ void HttpServer::handle_connection(TcpConnection conn) {
         header_error = true;
         break;
       }
-      if (lower(line.substr(0, colon)) == "connection" &&
+      const std::string name = lower(line.substr(0, colon));
+      if (name == "connection" &&
           lower(trim(line.substr(colon + 1))).find("close") !=
               std::string::npos) {
         req.close = true;
       }
+      if (name == "content-length" || name == "transfer-encoding") {
+        has_body = true;
+      }
     }
     if (header_error) break;
+    if (has_body) {
+      jobs_.metrics().counter("serve.http.bad_requests").add();
+      conn.write_all(response(400, "text/plain; charset=utf-8",
+                              "request bodies not supported\n", true));
+      break;
+    }
 
     jobs_.metrics().counter("serve.http.requests").add();
     if (!conn.write_all(handle(jobs_, req))) break;

@@ -15,11 +15,17 @@
 // on the authenticated line protocol; HTTP is observation-only and never
 // mutates server state, preserving the determinism invariant.  Connections
 // are keep-alive unless the client sends `Connection: close`; malformed
-// requests (400), oversized request lines (414), header floods (431), and
-// idle sockets (408) are answered with a status and closed.
+// requests (400), requests carrying a body (400 — Content-Length /
+// Transfer-Encoding are never consumed, so accepting one would desync the
+// keep-alive stream), oversized request lines (414), header floods (431),
+// and idle sockets (408) are answered with a status and closed.  At most
+// `max_connections` sockets are served at once; the rest get an immediate
+// 503, so a probe/scrape storm cannot grow threads without bound.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -35,9 +41,12 @@ class JobManager;
 class HttpServer {
  public:
   /// `jobs` must outlive the server.  `idle_timeout_seconds` closes sockets
-  /// with no complete request for that long (0 = never).
+  /// with no complete request for that long (0 = never).  `max_connections`
+  /// caps concurrently served sockets; connections past the cap are answered
+  /// 503 and closed without spawning a handler thread.
   HttpServer(JobManager& jobs, std::string host, unsigned short port,
-             double idle_timeout_seconds = 10.0);
+             double idle_timeout_seconds = 10.0,
+             std::size_t max_connections = kDefaultMaxConnections);
   ~HttpServer();
 
   /// Bind the listener and launch the accept thread.  Throws on bind
@@ -57,6 +66,11 @@ class HttpServer {
     bool close = false;  ///< Connection: close seen
   };
 
+  /// Default concurrent-connection cap: generous for the intended clients
+  /// (one scraper + a handful of probes), tiny next to what an unauthenticated
+  /// peer could otherwise allocate.
+  static constexpr std::size_t kDefaultMaxConnections = 64;
+
   /// Build one complete HTTP/1.1 response (status line, headers, body).
   /// `head` elides the body but keeps Content-Length, per RFC 9110 §9.3.2.
   static std::string response(int status, std::string_view content_type,
@@ -69,6 +83,10 @@ class HttpServer {
  private:
   void accept_loop();
   void handle_connection(TcpConnection conn);
+  /// Join handler threads whose connection has finished (mu_ must be held).
+  /// Called on every accept, so finished-but-joinable stacks never pile up
+  /// beyond the connection cap.
+  void reap_finished_locked();
 
   // Request-parsing caps: a scrape request is tiny, so anything large is
   // either a bug or abuse.
@@ -80,14 +98,23 @@ class HttpServer {
   const std::string host_;
   const unsigned short cfg_port_;
   const double idle_timeout_seconds_;
+  const std::size_t max_connections_;
 
   std::unique_ptr<TcpListener> listener_;
   unsigned short port_ = 0;
   std::thread accept_thread_;
 
+  /// One live (or finished-but-unreaped) connection handler.  `done` is set
+  /// by the handler thread as its last act so the accept loop can join it
+  /// without blocking on a connection that is still being served.
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   mutable std::mutex mu_;
   bool stop_ = false;
-  std::vector<std::thread> handlers_;
+  std::vector<Handler> handlers_;
   std::vector<TcpConnection*> open_conns_;
 };
 

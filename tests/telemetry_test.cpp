@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "circuitgen/circuitgen.h"
+#include "experiments/bench_record.h"
 #include "fault/fault.h"
 #include "gatest/config.h"
 #include "gatest/test_generator.h"
@@ -300,6 +301,17 @@ TEST(Telemetry, RunIsBitIdenticalWithTelemetryAttached) {
     EXPECT_DOUBLE_EQ(counters->number_or("gatest.detected", -1),
                      static_cast<double>(observed.faults_detected));
   }
+}
+
+// Metric calls with no open entry are a harness bug; they must fail loudly
+// instead of corrupting (or UB-ing over) an empty entry list.
+TEST(BenchRecord, MetricBeforeBeginEntryThrows) {
+  bench::RecordWriter w("guard_test");
+  EXPECT_THROW(w.exact("vectors", 1.0), std::logic_error);
+  EXPECT_THROW(w.perf("wall_seconds", 0.5), std::logic_error);
+  w.begin_entry("s27");
+  EXPECT_NO_THROW(w.exact("vectors", 1.0));
+  EXPECT_NO_THROW(w.perf("wall_seconds", 0.5));
 }
 
 }  // namespace
