@@ -30,12 +30,22 @@ echo "sanitized smoke passed (exit 0)"
 rm -f "$smoke_ckpt" "$smoke_ckpt.tmp"
 
 # ASan+UBSan differential fuzz: 50 random sequential circuits through the
-# naive reference, the packed simulator, and the packed simulator with
-# aggressive lane compaction — detection sets and FF fault-effect counts
-# must agree exactly while the sanitizers watch the packed kernels.
+# naive reference, the packed simulator (with and without aggressive lane
+# compaction and proven pruning), and the levelized wide-word engine in both
+# its native and forced-portable dispatch — detection sets and every fitness
+# observable must agree exactly while the sanitizers watch the packed
+# kernels.  The backend conformance suite then exercises the full
+# FaultSimBackend contract per registered engine under the same sanitizers.
 echo "=== sanitized differential fuzz (fsim vs reference) ==="
-cmake --build build-sanitize --target fsim_test
+cmake --build build-sanitize --target fsim_test fsim_backend_conformance_test
 build-sanitize/tests/fsim_test --gtest_filter='FsimDifferentialFuzz*'
+build-sanitize/tests/fsim_backend_conformance_test
+
+# Backend shoot-out gate: every registered fault-sim backend must produce an
+# identical workload digest, and the levelized kernel must beat the event
+# engine by >= 1.5x on the dense-activity evaluate stream.
+echo "=== fault-sim backend shoot-out gate ==="
+build/bench/micro_simulators --check
 
 # Fitness hot-path acceleration gate: the memoization cache + lane
 # compaction must deliver >= 1.25x on the s344 phase-2 evaluation stream
@@ -115,8 +125,8 @@ rec_tmp=$(mktemp -d /tmp/gatest_bench_rec.XXXXXX)
     name=$(basename "$b")
     echo "=== $name ==="
     case "$name" in
-      micro_simulators|micro_analysis)
-        # google-benchmark harnesses: native --benchmark_out, no --json.
+      micro_analysis)
+        # google-benchmark harness: native --benchmark_out, no --json.
         "$b" "$@" ;;
       *)
         "$b" "$@" "--json=$rec_tmp/BENCH_$name.json" ;;

@@ -1,0 +1,31 @@
+#include "fsim/backend.h"
+
+#include <stdexcept>
+
+#include "fsim/fault_sim.h"
+#include "fsim/levelized_sim.h"
+
+namespace gatest {
+
+const std::vector<std::string>& fault_sim_backend_names() {
+  static const std::vector<std::string> kNames = {"event", "levelized"};
+  return kNames;
+}
+
+bool fault_sim_backend_known(const std::string& name) {
+  for (const std::string& n : fault_sim_backend_names())
+    if (n == name) return true;
+  return false;
+}
+
+std::unique_ptr<FaultSimBackend> make_fault_sim_backend(const std::string& name,
+                                                        const Circuit& c,
+                                                        FaultList& faults) {
+  if (name == "event" || name.empty())
+    return std::make_unique<SequentialFaultSimulator>(c, faults);
+  if (name == "levelized")
+    return std::make_unique<LevelizedFaultSimulator>(c, faults);
+  throw std::invalid_argument("unknown fault-sim backend: " + name);
+}
+
+}  // namespace gatest

@@ -217,7 +217,8 @@ void SequentialFaultSimulator::note_commit_for_compaction(
   const double occupancy =
       groups == 0 ? 1.0
                   : static_cast<double>(lanes) /
-                        (64.0 * static_cast<double>(groups));
+                        (static_cast<double>(lane_width()) *
+                         static_cast<double>(groups));
   if (occupancy < compaction_policy_.occupancy_threshold)
     rebuild_compact_order();
 }
@@ -253,13 +254,13 @@ void SequentialFaultSimulator::rebuild_compact_order() {
   ++counters_.lane_compactions;
 }
 
-namespace {
 /// Value the faulty machine sees on the faulted line this frame, given the
 /// fault-free current and previous-frame values of that line.
 ///   stuck-at:      the stuck constant;
 ///   slow-to-rise:  the line shows 1 only if it was already 1 (AND);
 ///   slow-to-fall:  the line shows 0 only if it was already 0 (OR).
-Logic injected_value(const Fault& f, Logic cur, Logic prev) {
+Logic SequentialFaultSimulator::injected_value(const Fault& f, Logic cur,
+                                               Logic prev) {
   switch (f.model) {
     case FaultModel::StuckAt:    return f.stuck ? Logic::One : Logic::Zero;
     case FaultModel::SlowToRise: return logic_and(cur, prev);
@@ -267,7 +268,6 @@ Logic injected_value(const Fault& f, Logic cur, Logic prev) {
   }
   return Logic::X;
 }
-}  // namespace
 
 bool SequentialFaultSimulator::fault_is_active(std::uint32_t fi,
                                                const EvalContext& ctx) const {

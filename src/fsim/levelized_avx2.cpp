@@ -1,0 +1,64 @@
+// AVX2 instantiation of the levelized sweep: one __m256i register per
+// 256-lane word row.  Compiled with -mavx2 (this file only — see
+// src/fsim/CMakeLists.txt); callers dispatch at runtime via
+// avx2_sweep_compiled() + cpuid, so the rest of the binary stays generic.
+#include "fsim/levelized_kernel.h"
+
+#if defined(GATEST_FSIM_HAVE_MAVX2) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace gatest::fsim_wide {
+
+namespace {
+struct Avx2Ops {
+  using W = __m256i;
+  static W load(const WideWord& x) {
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(x.w));
+  }
+  static void store(WideWord& x, W v) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(x.w), v);
+  }
+  static W band(W a, W b) { return _mm256_and_si256(a, b); }
+  static W bor(W a, W b) { return _mm256_or_si256(a, b); }
+  static W bxor(W a, W b) { return _mm256_xor_si256(a, b); }
+  static W bandnot(W mask, W v) { return _mm256_andnot_si256(mask, v); }
+  static std::uint64_t popcount(W a) {
+    alignas(32) std::uint64_t t[kWideWords];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(t), a);
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < kWideWords; ++i)
+      n += static_cast<std::uint64_t>(std::popcount(t[i]));
+    return n;
+  }
+};
+}  // namespace
+
+std::uint64_t sweep_group_avx2(const SweepPlan& plan, const WideVal* wgood,
+                               WideVal* wval, const std::uint8_t* flags,
+                               const PinInjMap& pin_inj,
+                               const OutInjMap& out_inj) {
+  return sweep_group<Avx2Ops>(plan, wgood, wval, flags, pin_inj, out_inj);
+}
+
+bool avx2_sweep_compiled() { return true; }
+
+}  // namespace gatest::fsim_wide
+
+#else  // non-x86 target or the compiler rejected -mavx2
+
+namespace gatest::fsim_wide {
+
+std::uint64_t sweep_group_avx2(const SweepPlan& plan, const WideVal* wgood,
+                               WideVal* wval, const std::uint8_t* flags,
+                               const PinInjMap& pin_inj,
+                               const OutInjMap& out_inj) {
+  return sweep_group_portable(plan, wgood, wval, flags, pin_inj, out_inj);
+}
+
+bool avx2_sweep_compiled() { return false; }
+
+}  // namespace gatest::fsim_wide
+
+#endif

@@ -1,0 +1,343 @@
+// 256-lane wide-word tables and the levelized sweep kernel.
+//
+// The levelized engine (levelized_sim.h) packs up to 256 faulty machines
+// into one word group: a WideVal carries four 64-bit zero-words and four
+// 64-bit one-words (the 4x-wide analog of sim/packed.h's PackedVal; bit i of
+// `zero` means lane i is 0, bit i of `one` means lane i is 1, neither means
+// X).  Instead of event-driven propagation, the kernel sweeps *every*
+// non-source gate once in level (topological) order — a branch-free linear
+// pass over a precomputed SweepPlan table — which is exactly equivalent to
+// the event engine's fixpoint because a gate whose fanins did not deviate
+// recomputes its own current value.
+//
+// The sweep's word operations are instantiated twice from one template:
+//   * PortableOps (levelized_sim.cpp): plain uint64_t loops — runs anywhere.
+//   * Avx2Ops (levelized_avx2.cpp, compiled with -mavx2): __m256i intrinsics,
+//     one 256-bit register per word row.
+// Both paths compute identical bits (AND/OR/XOR/ANDNOT are exact), which the
+// GATEST_FSIM_FORCE_PORTABLE ctest gate and the differential fuzz enforce.
+// Injection handling (the rare per-gate slow path) is shared portable code so
+// it cannot diverge between paths.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.h"
+#include "sim/logic.h"
+
+namespace gatest::fsim_wide {
+
+inline constexpr unsigned kWideLanes = 256;
+inline constexpr unsigned kWideWords = kWideLanes / 64;
+
+/// One 256-bit lane mask (four 64-bit words, 32-byte aligned so the AVX2
+/// path can use full-width loads).
+struct alignas(32) WideWord {
+  std::uint64_t w[kWideWords] = {0, 0, 0, 0};
+
+  bool any() const { return (w[0] | w[1] | w[2] | w[3]) != 0; }
+  unsigned popcount() const {
+    return static_cast<unsigned>(std::popcount(w[0]) + std::popcount(w[1]) +
+                                 std::popcount(w[2]) + std::popcount(w[3]));
+  }
+  bool bit(unsigned lane) const {
+    return (w[lane >> 6] >> (lane & 63)) & 1u;
+  }
+  void set_bit(unsigned lane) { w[lane >> 6] |= 1ull << (lane & 63); }
+  WideWord operator|(const WideWord& o) const {
+    return {{w[0] | o.w[0], w[1] | o.w[1], w[2] | o.w[2], w[3] | o.w[3]}};
+  }
+  WideWord& operator|=(const WideWord& o) {
+    for (unsigned i = 0; i < kWideWords; ++i) w[i] |= o.w[i];
+    return *this;
+  }
+};
+
+/// Iterate the set lanes of a mask in ascending lane order.
+template <typename Fn>
+void for_each_lane(const WideWord& m, Fn&& fn) {
+  for (unsigned wi = 0; wi < kWideWords; ++wi) {
+    std::uint64_t word = m.w[wi];
+    while (word != 0) {
+      fn(wi * 64 + static_cast<unsigned>(std::countr_zero(word)));
+      word &= word - 1;
+    }
+  }
+}
+
+/// 256-lane packed ternary value (the wide PackedVal).
+struct WideVal {
+  WideWord zero;
+  WideWord one;
+
+  static WideVal broadcast(Logic v) {
+    WideVal r;
+    const std::uint64_t fill = ~0ull;
+    if (v == Logic::Zero)
+      for (unsigned i = 0; i < kWideWords; ++i) r.zero.w[i] = fill;
+    else if (v == Logic::One)
+      for (unsigned i = 0; i < kWideWords; ++i) r.one.w[i] = fill;
+    return r;
+  }
+
+  Logic lane(unsigned i) const {
+    if (zero.bit(i)) return Logic::Zero;
+    if (one.bit(i)) return Logic::One;
+    return Logic::X;
+  }
+
+  void set_lane(unsigned i, Logic v) {
+    const std::uint64_t m = 1ull << (i & 63);
+    zero.w[i >> 6] &= ~m;
+    one.w[i >> 6] &= ~m;
+    if (v == Logic::Zero) zero.w[i >> 6] |= m;
+    else if (v == Logic::One) one.w[i >> 6] |= m;
+  }
+
+  /// Lanes where this and o hold definitely different binary values.
+  WideWord diff(const WideVal& o) const {
+    WideWord r;
+    for (unsigned i = 0; i < kWideWords; ++i)
+      r.w[i] = (zero.w[i] & o.one.w[i]) | (one.w[i] & o.zero.w[i]);
+    return r;
+  }
+
+  /// Lanes whose ternary value differs in any way (0/1/X mismatch).
+  WideWord mismatch(const WideVal& o) const {
+    WideWord r;
+    for (unsigned i = 0; i < kWideWords; ++i)
+      r.w[i] = (zero.w[i] ^ o.zero.w[i]) | (one.w[i] ^ o.one.w[i]);
+    return r;
+  }
+};
+
+// Portable ternary ops on WideVal (seed/detect/capture paths and the
+// injection slow path; the hot sweep uses the Ops-templated versions below).
+inline WideVal wv_not(const WideVal& a) { return {a.one, a.zero}; }
+
+inline WideVal wv_and(const WideVal& a, const WideVal& b) {
+  WideVal r;
+  for (unsigned i = 0; i < kWideWords; ++i) {
+    r.zero.w[i] = a.zero.w[i] | b.zero.w[i];
+    r.one.w[i] = a.one.w[i] & b.one.w[i];
+  }
+  return r;
+}
+
+inline WideVal wv_or(const WideVal& a, const WideVal& b) {
+  WideVal r;
+  for (unsigned i = 0; i < kWideWords; ++i) {
+    r.zero.w[i] = a.zero.w[i] & b.zero.w[i];
+    r.one.w[i] = a.one.w[i] | b.one.w[i];
+  }
+  return r;
+}
+
+inline WideVal wv_xor(const WideVal& a, const WideVal& b) {
+  WideVal r;
+  for (unsigned i = 0; i < kWideWords; ++i) {
+    const std::uint64_t known =
+        (a.zero.w[i] | a.one.w[i]) & (b.zero.w[i] | b.one.w[i]);
+    const std::uint64_t ones =
+        (a.one.w[i] & b.zero.w[i]) | (a.zero.w[i] & b.one.w[i]);
+    r.zero.w[i] = known & ~ones;
+    r.one.w[i] = known & ones;
+  }
+  return r;
+}
+
+/// Table-driven sweep schedule: every non-source gate in topological order
+/// with its fanins flattened into one array.  Built once per circuit.
+struct SweepPlan {
+  struct SGate {
+    std::uint32_t id;           ///< gate id (indexes wgood/wval/flags)
+    GateType type;
+    std::uint32_t fanin_begin;  ///< offset into `fanins`
+    std::uint32_t fanin_count;
+  };
+  std::vector<SGate> gates;
+  std::vector<std::uint32_t> fanins;
+};
+
+// Per-group injection state.  `flags` is indexed by gate id; nonzero routes
+// the sweep to the shared slow path for that gate.
+inline constexpr std::uint8_t kFlagSeeded = 1;  ///< wval pre-written (base for
+                                                ///< event counting + reset)
+inline constexpr std::uint8_t kFlagPinInj = 2;  ///< input-pin injections
+inline constexpr std::uint8_t kFlagOutInj = 4;  ///< output force masks
+
+struct LanePinInj {
+  std::int16_t pin;
+  std::uint16_t lane;
+  std::uint8_t stuck;
+};
+
+struct WideForce {
+  WideWord force0, force1, forceX;
+};
+
+using PinInjMap = std::unordered_map<std::uint32_t, std::vector<LanePinInj>>;
+using OutInjMap = std::unordered_map<std::uint32_t, WideForce>;
+
+/// Evaluate one gate over WideVal fanins (portable; slow path + tests).
+/// `fanin(i)` returns the packed value of the i-th fanin, injections applied.
+template <typename FaninAccessor>
+WideVal eval_wide_gate(GateType type, std::size_t num_fanins,
+                       FaninAccessor&& fanin) {
+  switch (type) {
+    case GateType::Const0: return WideVal::broadcast(Logic::Zero);
+    case GateType::Const1: return WideVal::broadcast(Logic::One);
+    case GateType::Buf:
+    case GateType::Dff:    return fanin(0);
+    case GateType::Not:    return wv_not(fanin(0));
+    case GateType::And:
+    case GateType::Nand: {
+      WideVal acc = fanin(0);
+      for (std::size_t i = 1; i < num_fanins; ++i) acc = wv_and(acc, fanin(i));
+      return type == GateType::Nand ? wv_not(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      WideVal acc = fanin(0);
+      for (std::size_t i = 1; i < num_fanins; ++i) acc = wv_or(acc, fanin(i));
+      return type == GateType::Nor ? wv_not(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      WideVal acc = fanin(0);
+      for (std::size_t i = 1; i < num_fanins; ++i) acc = wv_xor(acc, fanin(i));
+      return type == GateType::Xnor ? wv_not(acc) : acc;
+    }
+    case GateType::Input: return {};
+  }
+  return {};
+}
+
+/// Apply output force masks to a settled value.
+inline void apply_out_force(WideVal& v, const WideForce& f) {
+  for (unsigned i = 0; i < kWideWords; ++i) {
+    v.zero.w[i] = (v.zero.w[i] & ~(f.force1.w[i] | f.forceX.w[i])) |
+                  f.force0.w[i];
+    v.one.w[i] = (v.one.w[i] & ~(f.force0.w[i] | f.forceX.w[i])) |
+                 f.force1.w[i];
+  }
+}
+
+/// Shared injection slow path for one flagged gate: evaluate with per-pin
+/// lane injections, apply output forces, count faulty events against the
+/// event-engine baseline (the pre-sweep value for seeded gates, the good
+/// broadcast otherwise), and store.  Portable on purpose: both dispatch
+/// paths run this same code, so injected gates can never diverge.
+std::uint64_t sweep_slow_gate(const SweepPlan& plan,
+                              const SweepPlan::SGate& sg, const WideVal* wgood,
+                              WideVal* wval, std::uint8_t flag,
+                              const PinInjMap& pin_inj,
+                              const OutInjMap& out_inj);
+
+// ---- the Ops-templated hot sweep --------------------------------------------
+//
+// Ops supplies the word-row register type W plus exact bitwise primitives:
+//   W load(const WideWord&);  void store(WideWord&, W);
+//   W band(W, W);  W bor(W, W);  W bxor(W, W);  W bandnot(W mask, W v) = ~mask & v;
+//   std::uint64_t popcount(W);
+
+template <typename Ops>
+struct TernaryV {
+  typename Ops::W z, o;
+};
+
+template <typename Ops>
+std::uint64_t sweep_group(const SweepPlan& plan, const WideVal* wgood,
+                          WideVal* wval, const std::uint8_t* flags,
+                          const PinInjMap& pin_inj, const OutInjMap& out_inj) {
+  using V = TernaryV<Ops>;
+  const auto load = [](const WideVal& wv) -> V {
+    return {Ops::load(wv.zero), Ops::load(wv.one)};
+  };
+  const auto v_not = [](V a) -> V { return {a.o, a.z}; };
+  const auto v_and = [](V a, V b) -> V {
+    return {Ops::bor(a.z, b.z), Ops::band(a.o, b.o)};
+  };
+  const auto v_or = [](V a, V b) -> V {
+    return {Ops::band(a.z, b.z), Ops::bor(a.o, b.o)};
+  };
+  const auto v_xor = [](V a, V b) -> V {
+    const auto known = Ops::band(Ops::bor(a.z, a.o), Ops::bor(b.z, b.o));
+    const auto ones = Ops::bor(Ops::band(a.o, b.z), Ops::band(a.z, b.o));
+    return {Ops::bandnot(ones, known), Ops::band(known, ones)};
+  };
+
+  std::uint64_t events = 0;
+  const std::uint32_t* fanins = plan.fanins.data();
+  for (const SweepPlan::SGate& sg : plan.gates) {
+    if (flags[sg.id] != 0) {
+      events += sweep_slow_gate(plan, sg, wgood, wval, flags[sg.id], pin_inj,
+                                out_inj);
+      continue;
+    }
+    const std::uint32_t* fi = fanins + sg.fanin_begin;
+    V nv;
+    switch (sg.type) {
+      case GateType::Buf:
+        nv = load(wval[fi[0]]);
+        break;
+      case GateType::Not:
+        nv = v_not(load(wval[fi[0]]));
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        V acc = load(wval[fi[0]]);
+        for (std::uint32_t i = 1; i < sg.fanin_count; ++i)
+          acc = v_and(acc, load(wval[fi[i]]));
+        nv = sg.type == GateType::Nand ? v_not(acc) : acc;
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        V acc = load(wval[fi[0]]);
+        for (std::uint32_t i = 1; i < sg.fanin_count; ++i)
+          acc = v_or(acc, load(wval[fi[i]]));
+        nv = sg.type == GateType::Nor ? v_not(acc) : acc;
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        V acc = load(wval[fi[0]]);
+        for (std::uint32_t i = 1; i < sg.fanin_count; ++i)
+          acc = v_xor(acc, load(wval[fi[i]]));
+        nv = sg.type == GateType::Xnor ? v_not(acc) : acc;
+        break;
+      }
+      default:
+        // Sources are excluded from the plan at construction.
+        continue;
+    }
+    // Faulty events: any ternary deviation created by this evaluation,
+    // measured against the good broadcast (unflagged gates were not seeded).
+    const WideVal& base = wgood[sg.id];
+    const auto mism = Ops::bor(Ops::bxor(nv.z, Ops::load(base.zero)),
+                               Ops::bxor(nv.o, Ops::load(base.one)));
+    events += Ops::popcount(mism);
+    Ops::store(wval[sg.id].zero, nv.z);
+    Ops::store(wval[sg.id].one, nv.o);
+  }
+  return events;
+}
+
+/// Runtime-dispatch entry points (one per instantiated path).
+std::uint64_t sweep_group_portable(const SweepPlan& plan, const WideVal* wgood,
+                                   WideVal* wval, const std::uint8_t* flags,
+                                   const PinInjMap& pin_inj,
+                                   const OutInjMap& out_inj);
+std::uint64_t sweep_group_avx2(const SweepPlan& plan, const WideVal* wgood,
+                               WideVal* wval, const std::uint8_t* flags,
+                               const PinInjMap& pin_inj,
+                               const OutInjMap& out_inj);
+/// True when this build carries a real AVX2 instantiation (x86 and the
+/// compiler accepted -mavx2); callers still check cpuid before using it.
+bool avx2_sweep_compiled();
+
+}  // namespace gatest::fsim_wide

@@ -1,0 +1,314 @@
+#include "fsim/levelized_sim.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gatest {
+
+namespace fsim_wide {
+
+namespace {
+/// Word ops as plain uint64_t loops; the optimizer unrolls kWideWords = 4.
+struct PortableOps {
+  struct W {
+    std::uint64_t w[kWideWords];
+  };
+  static W load(const WideWord& x) {
+    W r;
+    for (unsigned i = 0; i < kWideWords; ++i) r.w[i] = x.w[i];
+    return r;
+  }
+  static void store(WideWord& x, W v) {
+    for (unsigned i = 0; i < kWideWords; ++i) x.w[i] = v.w[i];
+  }
+  static W band(W a, W b) {
+    W r;
+    for (unsigned i = 0; i < kWideWords; ++i) r.w[i] = a.w[i] & b.w[i];
+    return r;
+  }
+  static W bor(W a, W b) {
+    W r;
+    for (unsigned i = 0; i < kWideWords; ++i) r.w[i] = a.w[i] | b.w[i];
+    return r;
+  }
+  static W bxor(W a, W b) {
+    W r;
+    for (unsigned i = 0; i < kWideWords; ++i) r.w[i] = a.w[i] ^ b.w[i];
+    return r;
+  }
+  static W bandnot(W mask, W v) {
+    W r;
+    for (unsigned i = 0; i < kWideWords; ++i) r.w[i] = ~mask.w[i] & v.w[i];
+    return r;
+  }
+  static std::uint64_t popcount(W a) {
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < kWideWords; ++i)
+      n += static_cast<std::uint64_t>(std::popcount(a.w[i]));
+    return n;
+  }
+};
+}  // namespace
+
+std::uint64_t sweep_slow_gate(const SweepPlan& plan,
+                              const SweepPlan::SGate& sg, const WideVal* wgood,
+                              WideVal* wval, std::uint8_t flag,
+                              const PinInjMap& pin_inj,
+                              const OutInjMap& out_inj) {
+  const std::uint32_t* fi = plan.fanins.data() + sg.fanin_begin;
+  const std::vector<LanePinInj>* pins = nullptr;
+  if (flag & kFlagPinInj) {
+    const auto it = pin_inj.find(sg.id);
+    if (it != pin_inj.end()) pins = &it->second;
+  }
+  WideVal nv = eval_wide_gate(sg.type, sg.fanin_count, [&](std::size_t i) {
+    WideVal v = wval[fi[i]];
+    if (pins != nullptr)
+      for (const LanePinInj& pj : *pins)
+        if (static_cast<std::size_t>(pj.pin) == i)
+          v.set_lane(pj.lane, pj.stuck ? Logic::One : Logic::Zero);
+    return v;
+  });
+  // Event-engine counting baseline: the post-seed value for seeded gates
+  // (forced lanes were written with count=false), the good broadcast
+  // otherwise.  Reconstructed from wgood + the force masks rather than read
+  // from wval: a gate swept by an earlier group of this frame still holds
+  // that group's settled lanes in wval (only its *seeded* lanes were reset),
+  // and the only seeding a sweep-plan gate can receive is an output force
+  // (state diffs seed flip-flop nodes, which are sources outside the plan).
+  WideVal base = wgood[sg.id];
+  if (flag & kFlagOutInj) {
+    const auto it = out_inj.find(sg.id);
+    if (it != out_inj.end()) {
+      apply_out_force(nv, it->second);
+      apply_out_force(base, it->second);
+    }
+  }
+  const WideWord mism = nv.mismatch(base);
+  wval[sg.id] = nv;
+  return mism.popcount();
+}
+
+std::uint64_t sweep_group_portable(const SweepPlan& plan, const WideVal* wgood,
+                                   WideVal* wval, const std::uint8_t* flags,
+                                   const PinInjMap& pin_inj,
+                                   const OutInjMap& out_inj) {
+  return sweep_group<PortableOps>(plan, wgood, wval, flags, pin_inj, out_inj);
+}
+
+}  // namespace fsim_wide
+
+namespace {
+
+bool force_portable_env() {
+  const char* v = std::getenv("GATEST_FSIM_FORCE_PORTABLE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+LevelizedFaultSimulator::LevelizedFaultSimulator(const Circuit& c,
+                                                 FaultList& faults)
+    : SequentialFaultSimulator(c, faults) {
+  counters_.lane_width = fsim_wide::kWideLanes;
+  sweep_fn_ = (fsim_wide::avx2_sweep_compiled() && cpu_has_avx2() &&
+               !force_portable_env())
+                  ? &fsim_wide::sweep_group_avx2
+                  : &fsim_wide::sweep_group_portable;
+  // Flatten the sweep schedule: every non-source gate in topological order.
+  for (GateId id : c.topo_order()) {
+    const Gate& g = c.gate(id);
+    if (is_combinational_source(g.type)) continue;
+    plan_.gates.push_back(
+        {id, g.type, static_cast<std::uint32_t>(plan_.fanins.size()),
+         static_cast<std::uint32_t>(g.fanins.size())});
+    for (GateId f : g.fanins) plan_.fanins.push_back(f);
+  }
+  inj_flags_.assign(c.num_gates(), 0);
+}
+
+void LevelizedFaultSimulator::run_wide_group(
+    const std::vector<std::uint32_t>& group, EvalContext& ctx,
+    FaultSimStats& stats, std::vector<std::uint32_t>& detected_now) {
+  using namespace fsim_wide;
+  const Circuit& c = *circuit_;
+  const std::vector<Logic>& val = *ctx.val;
+  ++counters_.fault_groups;
+  counters_.fault_group_lanes += group.size();
+
+  const auto set_flag = [&](GateId g, std::uint8_t bit) {
+    if (inj_flags_[g] == 0) flagged_gates_.push_back(g);
+    inj_flags_[g] |= bit;
+  };
+  const auto seed_gate = [&](GateId g) {
+    if (!(inj_flags_[g] & kFlagSeeded)) {
+      set_flag(g, kFlagSeeded);
+      seeded_gates_.push_back(g);
+    }
+  };
+
+  // 1. Seed faulty machines: state diffs, then injections (same order as the
+  //    event engine so per-lane seeded values are identical).
+  for (unsigned lane = 0; lane < group.size(); ++lane) {
+    const std::uint32_t fi = group[lane];
+    for (const FfDiff& d : diff_of(fi, ctx.commit)) {
+      const GateId ffnode = c.dffs()[d.first];
+      seed_gate(ffnode);
+      wval_[ffnode].set_lane(lane, d.second);
+    }
+  }
+  for (unsigned lane = 0; lane < group.size(); ++lane) {
+    const std::uint32_t fi = group[lane];
+    const Fault& f = faults_->fault(fi);
+    if (f.pin == Fault::kOutputPin) {
+      const Logic forced = injected_value(f, val[f.gate], (*ctx.prev)[f.gate]);
+      set_flag(f.gate, kFlagOutInj);
+      WideForce& wf = out_inj_[f.gate];
+      switch (forced) {
+        case Logic::Zero: wf.force0.set_bit(lane); break;
+        case Logic::One:  wf.force1.set_bit(lane); break;
+        case Logic::X:    wf.forceX.set_bit(lane); break;
+      }
+      seed_gate(f.gate);
+      wval_[f.gate].set_lane(lane, forced);
+    } else if (c.gate(f.gate).type == GateType::Dff) {
+      // Stuck data pin of a flip-flop: acts at the latch only.
+      dff_pin_inj_[f.gate].push_back(
+          LanePinInj{f.pin, static_cast<std::uint16_t>(lane), f.stuck});
+      dff_pin_ords_.push_back(ff_ordinal_[f.gate]);
+    } else {
+      set_flag(f.gate, kFlagPinInj);
+      pin_inj_[f.gate].push_back(
+          LanePinInj{f.pin, static_cast<std::uint16_t>(lane), f.stuck});
+    }
+  }
+
+  // 2. Full levelized sweep (AVX2 or portable word ops).
+  stats.faulty_events += sweep_fn_(plan_, wgood_.data(), wval_.data(),
+                                   inj_flags_.data(), pin_inj_, out_inj_);
+
+  // 3. Detection at primary outputs (definite binary differences only).
+  WideWord det;
+  for (GateId po : c.outputs()) det |= wval_[po].diff(wgood_[po]);
+  for_each_lane(det, [&](unsigned lane) {
+    const std::uint32_t fi = group[lane];
+    ++stats.detected;
+    detected_now.push_back(fi);
+    if (ctx.commit) {
+      faults_->mark_detected(fi, ctx.test_index);
+      diffs_[fi].clear();
+    } else if (!eval_detected_[fi]) {
+      eval_detected_[fi] = 1;
+      eval_detected_list_.push_back(fi);
+    }
+  });
+
+  // 4. Capture faulty next-states at every flip-flop; update diff lists and
+  //    count definite fault effects.  Flip-flops whose data cone holds no
+  //    deviation produce an all-zero mismatch and cost four word ops.
+  std::vector<std::vector<FfDiff>> new_diffs(group.size());
+  for (std::uint32_t ord = 0; ord < c.dffs().size(); ++ord) {
+    const GateId ffnode = c.dffs()[ord];
+    const GateId din = c.gate(ffnode).fanins[0];
+    WideVal next = wval_[din];
+    if (!dff_pin_inj_.empty()) {
+      const auto pit = dff_pin_inj_.find(ffnode);
+      if (pit != dff_pin_inj_.end())
+        for (const LanePinInj& pj : pit->second)
+          next.set_lane(pj.lane, pj.stuck ? Logic::One : Logic::Zero);
+    }
+    const WideVal& goodb = wgood_[din];
+    const WideWord mism = next.mismatch(goodb);
+    if (!mism.any()) continue;
+    const WideWord strong = next.diff(goodb);
+    for_each_lane(mism, [&](unsigned lane) {
+      const std::uint32_t fi = group[lane];
+      const bool detected_lane =
+          (ctx.commit && faults_->status(fi) == FaultStatus::Detected) ||
+          (!ctx.commit && eval_detected_[fi]);
+      if (detected_lane) return;  // fault dropped: state irrelevant
+      new_diffs[lane].emplace_back(ord, next.lane(lane));
+      if (strong.bit(lane)) ++stats.fault_effects_at_ffs;
+    });
+  }
+  for (unsigned lane = 0; lane < group.size(); ++lane) {
+    const std::uint32_t fi = group[lane];
+    const bool detected_lane =
+        (ctx.commit && faults_->status(fi) == FaultStatus::Detected) ||
+        (!ctx.commit && eval_detected_[fi]);
+    if (detected_lane) continue;
+    // Write even when empty: a previously-diverged machine may have
+    // re-converged to the good machine.
+    if (!diff_of(fi, ctx.commit).empty() || !new_diffs[lane].empty())
+      write_diff(fi, std::move(new_diffs[lane]), ctx.commit);
+  }
+
+  // 5. Reset for the next group.  Seeded gates (sources and force sites) go
+  //    back to the good broadcast; swept gates may stay stale, since the next
+  //    group rewrites them before any read and never uses wval as a counting
+  //    baseline.
+  for (GateId g : seeded_gates_) wval_[g] = wgood_[g];
+  for (GateId g : flagged_gates_) inj_flags_[g] = 0;
+  seeded_gates_.clear();
+  flagged_gates_.clear();
+  pin_inj_.clear();
+  out_inj_.clear();
+  dff_pin_inj_.clear();
+  dff_pin_ords_.clear();
+}
+
+void LevelizedFaultSimulator::simulate_fault_groups(
+    std::vector<std::uint32_t>& active, EvalContext& ctx,
+    FaultSimStats& stats) {
+  using namespace fsim_wide;
+  const Circuit& c = *circuit_;
+  const std::vector<Logic>& val = *ctx.val;  // settled good frame, pre-latch
+
+  std::vector<std::uint32_t> group;
+  group.reserve(kWideLanes);
+  std::vector<std::uint32_t> detected_now;
+  bool tables_ready = false;
+
+  for (std::uint32_t fi : active) {
+    if (ctx.commit && faults_->status(fi) != FaultStatus::Undetected) continue;
+    if (!ctx.commit && eval_detected_[fi]) continue;
+    if (!fault_is_active(fi, ctx)) continue;
+    if (!tables_ready) {
+      // Broadcast the settled good frame into the wide tables once per frame
+      // (lazily, so frames with no active fault pay nothing).
+      wgood_.resize(c.num_gates());
+      for (GateId g = 0; g < c.num_gates(); ++g)
+        wgood_[g] = WideVal::broadcast(val[g]);
+      wval_ = wgood_;
+      tables_ready = true;
+    }
+    group.push_back(fi);
+    if (group.size() == kWideLanes) {
+      run_wide_group(group, ctx, stats, detected_now);
+      group.clear();
+    }
+  }
+  if (!group.empty()) {
+    run_wide_group(group, ctx, stats, detected_now);
+    group.clear();
+  }
+
+  // Drop newly detected faults from the caller's active list so later frames
+  // of a sequence skip them.
+  if (!detected_now.empty()) {
+    std::sort(detected_now.begin(), detected_now.end());
+    std::erase_if(active, [&](std::uint32_t fi) {
+      return std::binary_search(detected_now.begin(), detected_now.end(), fi);
+    });
+  }
+}
+
+}  // namespace gatest

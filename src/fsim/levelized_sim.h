@@ -1,0 +1,89 @@
+// The "levelized" fault-sim backend: a table-driven, wide-word kernel.
+//
+// Shares everything with the event-driven engine (good-machine settle/latch,
+// per-fault diff lists, snapshot/epoch/compaction plumbing) and replaces only
+// the packed faulty-machine kernel: faults are packed 256 per word group
+// (4x the event engine's 64), and instead of event-driven propagation every
+// non-source gate is evaluated exactly once per group in precomputed
+// topological order — a linear, branch-predictable sweep over flat tables
+// (see levelized_kernel.h).
+//
+// Equivalence to the event engine is exact, not approximate:
+//   * a gate whose fanins hold no deviation recomputes its current value, so
+//     the full sweep reaches the same fixpoint the event queue does;
+//   * per-(gate, lane) faulty-event counting compares against the same
+//     baseline the event engine's touch_write uses (the post-seed value),
+//     so even the phase-3 activity observable is bit-identical;
+//   * detection and flip-flop capture read the same settled values.
+// Group width does not matter either: every lane evolves independently, so
+// partitioning faults 256 per group instead of 64 changes no observable.
+// All of this is enforced by the backend conformance suite, the 50-circuit
+// differential fuzz, and the CLI golden/identity ctest gates.
+//
+// Word-op dispatch is chosen once at construction: the AVX2 instantiation
+// (compiled with -mavx2 into levelized_avx2.cpp) when the CPU reports AVX2,
+// the portable 4x-uint64_t loops otherwise.  Setting
+// GATEST_FSIM_FORCE_PORTABLE=1 in the environment forces the portable path,
+// which is how CI asserts both paths produce identical test sets even on
+// AVX2 machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fsim/fault_sim.h"
+#include "fsim/levelized_kernel.h"
+
+namespace gatest {
+
+class LevelizedFaultSimulator final : public SequentialFaultSimulator {
+ public:
+  LevelizedFaultSimulator(const Circuit& c, FaultList& faults);
+
+  const char* backend_name() const override { return "levelized"; }
+  unsigned lane_width() const override { return fsim_wide::kWideLanes; }
+
+  /// True when the AVX2 word-op path is active (false on non-x86 CPUs,
+  /// CPUs without AVX2, or under GATEST_FSIM_FORCE_PORTABLE=1).
+  bool using_avx2() const { return sweep_fn_ == &fsim_wide::sweep_group_avx2; }
+
+ protected:
+  void simulate_fault_groups(std::vector<std::uint32_t>& active,
+                             EvalContext& ctx, FaultSimStats& stats) override;
+
+ private:
+  using SweepFn = std::uint64_t (*)(const fsim_wide::SweepPlan&,
+                                    const fsim_wide::WideVal*,
+                                    fsim_wide::WideVal*, const std::uint8_t*,
+                                    const fsim_wide::PinInjMap&,
+                                    const fsim_wide::OutInjMap&);
+
+  /// Settle one packed group of up to 256 faults against the good frame.
+  void run_wide_group(const std::vector<std::uint32_t>& group,
+                      EvalContext& ctx, FaultSimStats& stats,
+                      std::vector<std::uint32_t>& detected_now);
+
+  fsim_wide::SweepPlan plan_;           // per-circuit, built once
+  SweepFn sweep_fn_;                    // AVX2 or portable, chosen at ctor
+
+  // Per-frame wide tables: wgood_ broadcasts the settled good frame.  In
+  // wval_, sources (flip-flops/inputs/consts) equal wgood_ between groups
+  // (seeded ones are restored from the reset list); swept gates may keep a
+  // previous group's settled lanes, which is safe because every read of a
+  // swept gate happens after this group's sweep rewrote it, and the slow
+  // path reconstructs its counting baseline from wgood_ + the force masks.
+  std::vector<fsim_wide::WideVal> wgood_;
+  std::vector<fsim_wide::WideVal> wval_;
+
+  // Per-group injection state (cleared after every group).
+  std::vector<std::uint8_t> inj_flags_;          // per gate
+  std::vector<std::uint32_t> flagged_gates_;     // gates with nonzero flags
+  std::vector<std::uint32_t> seeded_gates_;      // gates to restore to wgood_
+  fsim_wide::PinInjMap pin_inj_;                 // non-DFF input-pin faults
+  fsim_wide::OutInjMap out_inj_;                 // stem faults (force masks)
+  fsim_wide::PinInjMap dff_pin_inj_;             // DFF data-pin faults, by FF
+                                                 // node (applied at capture)
+  std::vector<std::uint32_t> dff_pin_ords_;      // their FF ordinals
+};
+
+}  // namespace gatest

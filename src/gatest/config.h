@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ga/ga.h"
@@ -102,6 +103,14 @@ struct TestGenConfig {
   /// sequences stay bit-identical with pruning on or off (ctest-enforced on
   /// the golden s298/s344 runs at 1 and 4 threads).
   bool prune_proven = false;
+
+  // ---- fault-simulation backend (fsim/backend.h registry) ------------------
+  /// Engine settling the faulty machines: "event" (PROOFS-style event-driven,
+  /// 64-lane words) or "levelized" (table-driven full sweep, 256-lane words,
+  /// AVX2 when available).  Every backend produces bit-identical test sets,
+  /// coverage, and fitness observables (conformance-suite and ctest
+  /// enforced); the choice only moves wall-clock time.
+  std::string fsim_backend = "event";
 
   // ---- fitness hot-path acceleration (DESIGN.md) ---------------------------
   /// Memoize genome→fitness results between commits.  Overlapping

@@ -15,11 +15,11 @@ GaTestGenerator::GaTestGenerator(const Circuit& c, FaultList& faults,
     : circuit_(&c),
       faults_(&faults),
       config_(config),
-      sim_(c, faults),
-      fitness_(sim_, config_),
+      sim_(make_fault_sim_backend(config_.fsim_backend, c, faults)),
+      fitness_(*sim_, config_),
       rng_(config.seed) {
   depth_ = std::max(1u, c.sequential_depth());
-  sim_.set_lane_compaction(config_.lane_compaction);
+  sim_->set_lane_compaction(config_.lane_compaction);
   fitness_.set_cache(config_.fitness_cache, config_.fitness_cache_capacity);
   std::vector<UntestableTag> heuristic_tags;
   if (config_.prune_untestable)
@@ -54,8 +54,8 @@ GaTestGenerator::GaTestGenerator(const Circuit& c, FaultList& faults,
       // Mirror any pre-detected faults.
       for (std::size_t i = 0; i < faults.size(); ++i)
         worker_faults_.back()->set_status(i, faults.status(i));
-      worker_sims_.push_back(std::make_unique<SequentialFaultSimulator>(
-          c, *worker_faults_.back()));
+      worker_sims_.push_back(make_fault_sim_backend(
+          config_.fsim_backend, c, *worker_faults_.back()));
       worker_sims_.back()->set_lane_compaction(config_.lane_compaction);
       worker_fitness_.push_back(
           std::make_unique<FitnessEvaluator>(*worker_sims_.back(), config_));
@@ -73,7 +73,7 @@ FaultSimStats GaTestGenerator::commit_vector(const TestVector& v,
   if (tracing())
     fsim_span = telem_->trace.begin_span(
         "fsim_commit_begin", {{"index", static_cast<long long>(index)}});
-  const FaultSimStats stats = sim_.apply_vector(v, index);
+  const FaultSimStats stats = sim_->apply_vector(v, index);
   for (auto& wsim : worker_sims_) wsim->apply_vector(v, index);
   if (fsim_span != 0)
     telem_->trace.end_span(fsim_span, "fsim_commit_end",
@@ -182,7 +182,7 @@ void GaTestGenerator::restore_from_checkpoint(const Checkpoint& cp) {
   // further checkpoints of this run stay self-consistent.
   config_.seed = cp.seed;
 
-  sim_.replay_committed(cp.test_set);
+  sim_->replay_committed(cp.test_set);
   for (auto& wsim : worker_sims_) wsim->replay_committed(cp.test_set);
 
   // Replay rebuilds every Detected mark; Untestable marks came from outside
@@ -565,7 +565,7 @@ void GaTestGenerator::generate_vectors() {
     telemetry_commit(result_.test_set.size() - 1, committed.detected);
 
     if (state_.phase == Phase::InitializeFfs) {
-      const unsigned set_now = sim_.good_ffs_set();
+      const unsigned set_now = sim_->good_ffs_set();
       if (set_now >= circuit_->num_dffs()) {
         result_.all_ffs_initialized = true;
         state_.phase = Phase::DetectFaults;
@@ -614,7 +614,7 @@ void GaTestGenerator::generate_sequences() {
       // full fault list; a side-effect-free evaluation makes the decision,
       // so the committed state (and every parallel replica) only ever moves
       // forward (paper §IV's store/restore, realized by scratch evaluation).
-      const FaultSimStats probe = sim_.evaluate_sequence(best);
+      const FaultSimStats probe = sim_->evaluate_sequence(best);
       if (probe.detected == 0) {
         ++state_.seq_consecutive_failures;
         continue;
@@ -652,6 +652,7 @@ TestGenResult GaTestGenerator::run() {
          {"faults", static_cast<std::uint64_t>(faults_->size())},
          {"seed", static_cast<std::uint64_t>(config_.seed)},
          {"threads", config_.num_threads},
+         {"fsim_backend", std::string(sim_->backend_name())},
          {"resumed", resumed_}});
   if (!resumed_) {
     result_ = TestGenResult{};
@@ -762,7 +763,7 @@ void GaTestGenerator::telemetry_finalize_metrics() {
     if (total > c.value()) c.add(total - c.value());
   };
 
-  FsimCounters fc = sim_.counters();
+  FsimCounters fc = sim_->counters();
   for (const auto& ws : worker_sims_) fc.accumulate(ws->counters());
   set_total("fsim.vectors_committed", fc.vectors_committed);
   set_total("fsim.candidate_evaluations", fc.candidate_evaluations);
@@ -774,6 +775,10 @@ void GaTestGenerator::telemetry_finalize_metrics() {
   set_total("fsim.fault_group_lanes", fc.fault_group_lanes);
   set_total("fsim.lane_compactions", fc.lane_compactions);
   m.gauge("fsim.packed_utilization").set(fc.packed_utilization());
+  m.gauge("fsim.lane_width").set(static_cast<double>(fc.lane_width));
+  // Info-style backend label: `fsim.backend.<name>` = 1 for the engine this
+  // run used (metrics have no label dimension; scrapers match on the name).
+  m.gauge(std::string("fsim.backend.") + sim_->backend_name()).set(1.0);
 
   const FitnessCacheStats cs = cache_stats();
   set_total("fitness.cache.hits", cs.hits);

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "fsim/backend.h"
 #include "telemetry/json.h"
 #include "telemetry/trace.h"
 
@@ -64,7 +65,7 @@ bool map_config(const JsonValue& cfg, TestGenConfig& out, ProtocolError& err) {
         "seed",          "sample",        "threads",
         "gap",           "selection",     "crossover",
         "coding",        "fitness_cache", "lane_compaction",
-        "prune_untestable", "prune_proven"};
+        "prune_untestable", "prune_proven", "fsim_backend"};
     bool known = false;
     for (const char* k : kKnown) known = known || key == k;
     if (!known)
@@ -120,6 +121,14 @@ bool map_config(const JsonValue& cfg, TestGenConfig& out, ProtocolError& err) {
   if (!get_bool(cfg, "prune_untestable", out.prune_untestable, err))
     return false;
   if (!get_bool(cfg, "prune_proven", out.prune_proven, err)) return false;
+  if (const JsonValue* v = cfg.find("fsim_backend")) {
+    if (!v->is_string())
+      return fail(err, "bad-field", "fsim_backend must be a string");
+    if (!fault_sim_backend_known(v->str))
+      return fail(err, "bad-field",
+                  "unknown fsim_backend '" + v->str + "'");
+    out.fsim_backend = v->str;
+  }
   return true;
 }
 
@@ -272,6 +281,7 @@ std::string submit_json(const SubmitRequest& req) {
       .key("lane_compaction").value(c.lane_compaction)
       .key("prune_untestable").value(c.prune_untestable)
       .key("prune_proven").value(c.prune_proven)
+      .key("fsim_backend").value(c.fsim_backend)
   .end_object();
 
   w.key("budget").begin_object();

@@ -1,0 +1,390 @@
+// Backend conformance suite: every engine registered in the fault-sim
+// backend registry (fsim/backend.h) is run through the same parameterized
+// contract checks against the event-driven reference.  The contract is
+// bit-identity on every observable — per-frame detections, fault effects at
+// flip-flops, good/faulty event counts, flip-flop states — plus identical
+// snapshot/restore, fault-status export/import, state-epoch, pruning, and
+// lane-compaction semantics.  A new engine only has to register itself to be
+// picked up here.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/untestable.h"
+#include "circuitgen/circuitgen.h"
+#include "fault/fault.h"
+#include "fsim/backend.h"
+#include "fsim/fault_sim.h"
+#include "fsim/levelized_sim.h"
+#include "netlist/circuit.h"
+#include "sim/logic.h"
+#include "util/rng.h"
+
+namespace gatest {
+namespace {
+
+TestVector random_vector(const Circuit& c, Rng& rng) {
+  TestVector v(c.num_inputs());
+  for (Logic& b : v) b = rng.coin() ? Logic::One : Logic::Zero;
+  return v;
+}
+
+void expect_stats_equal(const FaultSimStats& got, const FaultSimStats& want,
+                        const std::string& ctx) {
+  EXPECT_EQ(got.detected, want.detected) << ctx;
+  EXPECT_EQ(got.fault_effects_at_ffs, want.fault_effects_at_ffs) << ctx;
+  EXPECT_EQ(got.good_events, want.good_events) << ctx;
+  EXPECT_EQ(got.faulty_events, want.faulty_events) << ctx;
+  EXPECT_EQ(got.ffs_set, want.ffs_set) << ctx;
+  EXPECT_EQ(got.ffs_changed, want.ffs_changed) << ctx;
+  EXPECT_EQ(got.faults_simulated, want.faults_simulated) << ctx;
+}
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(FsimBackendRegistry, ListsEventFirstAndKnowsEveryName) {
+  const auto& names = fault_sim_backend_names();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_EQ(names.front(), "event");
+  for (const std::string& n : names) EXPECT_TRUE(fault_sim_backend_known(n));
+  EXPECT_FALSE(fault_sim_backend_known("no-such-engine"));
+}
+
+TEST(FsimBackendRegistry, ConstructsEveryNameAndRejectsUnknown) {
+  const Circuit c = make_s27();
+  for (const std::string& n : fault_sim_backend_names()) {
+    FaultList fl(c);
+    auto sim = make_fault_sim_backend(n, c, fl);
+    ASSERT_NE(sim, nullptr);
+    EXPECT_EQ(sim->backend_name(), n);
+    EXPECT_GE(sim->lane_width(), 64u);
+    EXPECT_EQ(sim->counters().lane_width, sim->lane_width());
+  }
+  FaultList fl(c);
+  EXPECT_THROW(make_fault_sim_backend("no-such-engine", c, fl),
+               std::invalid_argument);
+  // Empty name means the default engine.
+  EXPECT_EQ(std::string(make_fault_sim_backend("", c, fl)->backend_name()),
+            "event");
+}
+
+TEST(FsimBackendRegistry, ForcedPortableDispatchIsNeverAvx2) {
+  const Circuit c = make_s27();
+  ::setenv("GATEST_FSIM_FORCE_PORTABLE", "1", 1);
+  FaultList fl(c);
+  LevelizedFaultSimulator sim(c, fl);
+  ::unsetenv("GATEST_FSIM_FORCE_PORTABLE");
+  EXPECT_FALSE(sim.using_avx2());
+}
+
+// ---- parameterized conformance ----------------------------------------------
+
+class BackendConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<FaultSimBackend> make(const Circuit& c,
+                                        FaultList& fl) const {
+    return make_fault_sim_backend(GetParam(), c, fl);
+  }
+};
+
+TEST_P(BackendConformanceTest, PerFrameObservablesMatchEventReference) {
+  const Circuit c = benchmark_circuit("s298", 3);
+  FaultList ref_fl(c);
+  SequentialFaultSimulator ref(c, ref_fl);
+  FaultList fl(c);
+  auto sim = make(c, fl);
+
+  Rng rng(71);
+  for (int t = 0; t < 30; ++t) {
+    const TestVector v = random_vector(c, rng);
+    const FaultSimStats want = ref.apply_vector(v, t);
+    const FaultSimStats got = sim->apply_vector(v, t);
+    expect_stats_equal(got, want,
+                       GetParam() + " frame " + std::to_string(t));
+    ASSERT_EQ(sim->good_ff_state(), ref.good_ff_state());
+    ASSERT_EQ(sim->good_ffs_set(), ref.good_ffs_set());
+  }
+  for (std::size_t f = 0; f < fl.size(); ++f) {
+    ASSERT_EQ(fl.status(f), ref_fl.status(f)) << fault_name(c, fl.fault(f));
+    ASSERT_EQ(fl.detected_by(f), ref_fl.detected_by(f))
+        << fault_name(c, fl.fault(f));
+  }
+}
+
+TEST_P(BackendConformanceTest, TransitionFaultsMatchEventReference) {
+  const Circuit c = benchmark_circuit("s344", 5);
+  const std::vector<Fault> tf = enumerate_transition_faults(c);
+  FaultList ref_fl(c, tf);
+  SequentialFaultSimulator ref(c, ref_fl);
+  FaultList fl(c, tf);
+  auto sim = make(c, fl);
+
+  Rng rng(73);
+  for (int t = 0; t < 25; ++t) {
+    const TestVector v = random_vector(c, rng);
+    const FaultSimStats want = ref.apply_vector(v, t);
+    const FaultSimStats got = sim->apply_vector(v, t);
+    expect_stats_equal(got, want,
+                       GetParam() + " frame " + std::to_string(t));
+  }
+  for (std::size_t f = 0; f < fl.size(); ++f)
+    ASSERT_EQ(fl.status(f), ref_fl.status(f)) << fault_name(c, fl.fault(f));
+}
+
+TEST_P(BackendConformanceTest, EvaluateMatchesApplyAndDoesNotMutate) {
+  const Circuit c = benchmark_circuit("s298", 3);
+  FaultList fl(c);
+  auto sim = make(c, fl);
+  Rng rng(79);
+  for (int i = 0; i < 5; ++i) sim->apply_vector(random_vector(c, rng), i);
+
+  const auto state = sim->good_ff_state();
+  const std::size_t det = fl.num_detected();
+  const std::uint64_t epoch = sim->state_epoch();
+
+  const TestVector v = random_vector(c, rng);
+  const FaultSimStats ev = sim->evaluate_vector(v);
+  // Evaluation leaves committed state, bookkeeping, and the epoch alone.
+  EXPECT_EQ(sim->good_ff_state(), state);
+  EXPECT_EQ(fl.num_detected(), det);
+  EXPECT_EQ(sim->state_epoch(), epoch);
+  const FaultSimStats ap = sim->apply_vector(v, 100);
+  expect_stats_equal(ev, ap, GetParam() + " evaluate-vs-apply");
+}
+
+TEST_P(BackendConformanceTest, EvaluateSequenceMatchesSequentialApplies) {
+  const Circuit c = benchmark_circuit("s298", 3);
+  FaultList fl(c);
+  auto sim = make(c, fl);
+  Rng rng(83);
+  for (int i = 0; i < 5; ++i) sim->apply_vector(random_vector(c, rng), i);
+
+  TestSequence seq;
+  for (int j = 0; j < 6; ++j) seq.push_back(random_vector(c, rng));
+  const FaultSimStats ev = sim->evaluate_sequence(seq);
+  const auto snap = sim->snapshot();
+  const FaultSimStats ap = sim->apply_sequence(seq, 100);
+  EXPECT_EQ(ev.detected, ap.detected);
+  EXPECT_EQ(ev.fault_effects_at_ffs, ap.fault_effects_at_ffs);
+  EXPECT_EQ(ev.faulty_events, ap.faulty_events);
+  sim->restore(snap);
+}
+
+TEST_P(BackendConformanceTest, FaultSamplingRestrictsSimulation) {
+  const Circuit c = benchmark_circuit("s298", 3);
+  FaultList fl(c);
+  auto sim = make(c, fl);
+  Rng rng(89);
+  const TestVector v = random_vector(c, rng);
+  std::vector<std::uint32_t> sample;
+  for (std::uint32_t i = 0; i < 50; ++i) sample.push_back(i);
+  const FaultSimStats s = sim->evaluate_vector(v, sample);
+  EXPECT_LE(s.faults_simulated, 50u);
+  EXPECT_LE(s.detected, 50u);
+}
+
+TEST_P(BackendConformanceTest, SnapshotRestoreRoundTrip) {
+  const Circuit c = benchmark_circuit("s298", 3);
+  FaultList fl(c);
+  auto sim = make(c, fl);
+  Rng rng(97);
+  for (int i = 0; i < 8; ++i) sim->apply_vector(random_vector(c, rng), i);
+
+  const FaultSimSnapshot snap = sim->snapshot();
+  const auto state = sim->good_ff_state();
+  const std::size_t det = fl.num_detected();
+
+  for (int i = 0; i < 8; ++i)
+    sim->apply_vector(random_vector(c, rng), 100 + i);
+  sim->restore(snap);
+  EXPECT_EQ(sim->good_ff_state(), state);
+  EXPECT_EQ(fl.num_detected(), det);
+
+  // Determinism after restore: same vector, same observables.
+  Rng rng2(101);
+  const TestVector v = random_vector(c, rng2);
+  const FaultSimStats s1 = sim->apply_vector(v, 200);
+  sim->restore(snap);
+  const FaultSimStats s2 = sim->apply_vector(v, 200);
+  expect_stats_equal(s1, s2, GetParam() + " restore determinism");
+}
+
+TEST_P(BackendConformanceTest, SnapshotsAreEngineIndependent) {
+  // A snapshot taken from the event reference restores into any backend and
+  // the machines evolve identically afterwards.
+  const Circuit c = benchmark_circuit("s298", 3);
+  FaultList ref_fl(c);
+  SequentialFaultSimulator ref(c, ref_fl);
+  Rng rng(103);
+  for (int i = 0; i < 8; ++i) ref.apply_vector(random_vector(c, rng), i);
+  const FaultSimSnapshot snap = ref.snapshot();
+
+  FaultList fl(c);
+  auto sim = make(c, fl);
+  sim->restore(snap);
+  EXPECT_EQ(sim->good_ff_state(), ref.good_ff_state());
+  for (int t = 0; t < 10; ++t) {
+    const TestVector v = random_vector(c, rng);
+    const FaultSimStats want = ref.apply_vector(v, 100 + t);
+    const FaultSimStats got = sim->apply_vector(v, 100 + t);
+    expect_stats_equal(got, want,
+                       GetParam() + " post-restore frame " + std::to_string(t));
+  }
+}
+
+TEST_P(BackendConformanceTest, StateEpochBumpSemantics) {
+  const Circuit c = make_s27();
+  FaultList fl(c);
+  auto sim = make(c, fl);
+  std::uint64_t e = sim->state_epoch();
+
+  sim->apply_vector(logic_vector("0101"), 0);
+  EXPECT_GT(sim->state_epoch(), e);
+  e = sim->state_epoch();
+
+  // Evaluation must never bump the epoch (memoized fitness stays valid).
+  sim->evaluate_vector(logic_vector("1010"));
+  sim->evaluate_vector_good_only(logic_vector("1111"));
+  EXPECT_EQ(sim->state_epoch(), e);
+
+  const FaultSimSnapshot snap = sim->snapshot();
+  EXPECT_EQ(sim->state_epoch(), e);  // snapshotting is read-only
+  sim->restore(snap);
+  EXPECT_GT(sim->state_epoch(), e);
+  e = sim->state_epoch();
+
+  std::vector<FaultStatus> status;
+  std::vector<std::int64_t> detected_by;
+  sim->export_fault_status(status, detected_by);
+  EXPECT_EQ(sim->state_epoch(), e);  // export is read-only
+  sim->import_fault_status(status, detected_by);
+  EXPECT_GT(sim->state_epoch(), e);
+  e = sim->state_epoch();
+
+  sim->reset();
+  EXPECT_GT(sim->state_epoch(), e);
+  e = sim->state_epoch();
+
+  TestSequence seq = {logic_vector("0000"), logic_vector("1111")};
+  sim->replay_committed(seq);
+  EXPECT_GT(sim->state_epoch(), e);
+}
+
+TEST_P(BackendConformanceTest, FaultStatusExportImportRoundTrip) {
+  const Circuit c = benchmark_circuit("s298", 3);
+  FaultList fl(c);
+  auto sim = make(c, fl);
+  Rng rng(107);
+  TestSequence committed;
+  for (int i = 0; i < 10; ++i) {
+    committed.push_back(random_vector(c, rng));
+    sim->apply_vector(committed.back(), i);
+  }
+
+  std::vector<FaultStatus> status;
+  std::vector<std::int64_t> detected_by;
+  sim->export_fault_status(status, detected_by);
+  const std::size_t det = fl.num_detected();
+  ASSERT_GT(det, 0u);
+
+  // Wipe and restore via replay + import (the run-control resume path).
+  const FaultSimStats replayed = sim->replay_committed(committed);
+  EXPECT_EQ(fl.num_detected(), det);
+  (void)replayed;
+  sim->import_fault_status(status, detected_by);
+  EXPECT_EQ(fl.num_detected(), det);
+  for (std::size_t f = 0; f < fl.size(); ++f) {
+    EXPECT_EQ(fl.status(f), status[f]);
+    EXPECT_EQ(fl.detected_by(f), detected_by[f]);
+  }
+}
+
+TEST_P(BackendConformanceTest, ProvenPruningLeavesObservablesIdentical) {
+  // The implication prover's pruned universe (--prune-untestable /
+  // --prune-proven) must not change any observable on any backend: pruned
+  // faults are counted back into faults_simulated and never simulated.
+  const Circuit c = benchmark_circuit("s344", 5);
+  FaultList plain_fl(c);
+  auto plain = make(c, plain_fl);
+  const std::vector<analysis::FaultProof> proofs =
+      analysis::prove_untestable(c, plain_fl.faults());
+  FaultList pruned_fl(c);
+  analysis::apply_proven_pruning(pruned_fl, proofs);
+  auto pruned = make(c, pruned_fl);
+
+  Rng rng(109);
+  for (int t = 0; t < 20; ++t) {
+    const TestVector v = random_vector(c, rng);
+    const FaultSimStats a = plain->apply_vector(v, t);
+    const FaultSimStats b = pruned->apply_vector(v, t);
+    expect_stats_equal(b, a, GetParam() + " pruned frame " + std::to_string(t));
+  }
+  for (std::size_t f = 0; f < plain_fl.size(); ++f)
+    ASSERT_EQ(pruned_fl.status(f) == FaultStatus::Detected,
+              plain_fl.status(f) == FaultStatus::Detected)
+        << fault_name(c, plain_fl.fault(f));
+}
+
+TEST_P(BackendConformanceTest, LaneCompactionChangesNoObservable) {
+  const Circuit c = benchmark_circuit("s298", 3);
+  FaultList plain_fl(c);
+  auto plain = make(c, plain_fl);
+  FaultList packed_fl(c);
+  auto packed = make(c, packed_fl);
+  LaneCompactionPolicy aggressive;
+  aggressive.occupancy_threshold = 1.0;
+  aggressive.min_commits = 1;
+  packed->set_lane_compaction(true, aggressive);
+  EXPECT_TRUE(packed->lane_compaction_enabled());
+  EXPECT_FALSE(plain->lane_compaction_enabled());
+
+  Rng rng(113);
+  for (int t = 0; t < 20; ++t) {
+    const TestVector v = random_vector(c, rng);
+    const FaultSimStats a = plain->apply_vector(v, t);
+    const FaultSimStats b = packed->apply_vector(v, t);
+    expect_stats_equal(b, a,
+                       GetParam() + " compacted frame " + std::to_string(t));
+  }
+  for (std::size_t f = 0; f < plain_fl.size(); ++f)
+    ASSERT_EQ(packed_fl.status(f), plain_fl.status(f))
+        << fault_name(c, plain_fl.fault(f));
+  EXPECT_GT(packed->counters().lane_compactions, 0u);
+}
+
+TEST_P(BackendConformanceTest, CountersTrackWorkAndReset) {
+  const Circuit c = benchmark_circuit("s298", 3);
+  FaultList fl(c);
+  auto sim = make(c, fl);
+  Rng rng(127);
+  for (int i = 0; i < 4; ++i) sim->apply_vector(random_vector(c, rng), i);
+  sim->evaluate_vector(random_vector(c, rng));
+
+  const FsimCounters& fc = sim->counters();
+  EXPECT_EQ(fc.vectors_committed, 4u);
+  EXPECT_EQ(fc.candidate_evaluations, 1u);
+  EXPECT_EQ(fc.frames_simulated, 5u);
+  EXPECT_GT(fc.fault_groups, 0u);
+  EXPECT_GT(fc.fault_group_lanes, 0u);
+  EXPECT_EQ(fc.lane_width, sim->lane_width());
+  EXPECT_GT(fc.packed_utilization(), 0.0);
+  EXPECT_LE(fc.packed_utilization(), 1.0);
+
+  sim->reset_counters();
+  EXPECT_EQ(sim->counters().vectors_committed, 0u);
+  EXPECT_EQ(sim->counters().fault_groups, 0u);
+  EXPECT_EQ(sim->counters().lane_width, sim->lane_width());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendConformanceTest,
+    ::testing::ValuesIn(fault_sim_backend_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace gatest

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "analysis/untestable.h"
 #include "circuitgen/circuitgen.h"
 #include "fault/fault.h"
+#include "fsim/backend.h"
 #include "fsim/fault_sim.h"
+#include "fsim/levelized_sim.h"
 #include "diagnosis/diagnosis.h"
 #include "gatest/test_generator.h"
 #include "netlist/circuit.h"
@@ -654,6 +658,18 @@ TEST(FsimDifferentialFuzz, RandomCircuitsMatchReference) {
     FaultList pruned_fl(c);
     analysis::apply_proven_pruning(pruned_fl, proofs);
     SequentialFaultSimulator pruned(c, pruned_fl);
+    // Fifth and sixth machines: the levelized wide-word backend in both of
+    // its dispatch paths (whatever this CPU picks, plus the forced-portable
+    // word loops).  Every registered engine must track the event engine
+    // bit for bit on every observable.
+    FaultList lev_fl(c);
+    std::unique_ptr<FaultSimBackend> lev =
+        make_fault_sim_backend("levelized", c, lev_fl);
+    ::setenv("GATEST_FSIM_FORCE_PORTABLE", "1", /*overwrite=*/1);
+    FaultList levp_fl(c);
+    LevelizedFaultSimulator levp(c, levp_fl);
+    ::unsetenv("GATEST_FSIM_FORCE_PORTABLE");
+    ASSERT_FALSE(levp.using_avx2());
 
     const int frames = 8 + static_cast<int>(rng.below(9));
     for (int t = 0; t < frames; ++t) {
@@ -689,6 +705,22 @@ TEST(FsimDifferentialFuzz, RandomCircuitsMatchReference) {
       ASSERT_EQ(pruned_s.ffs_changed, plain_s.ffs_changed);
       ASSERT_EQ(pruned_s.faults_simulated, plain_s.faults_simulated)
           << prof.name << " frame " << t << " (pruned)";
+      // The levelized backend (native dispatch and forced-portable) must be
+      // bit-identical to the event engine on all seven observables,
+      // including the phase-3 fitness input faulty_events.
+      for (auto* wide : {lev.get(), static_cast<FaultSimBackend*>(&levp)}) {
+        const FaultSimStats wide_s = wide->apply_vector(v, t);
+        ASSERT_EQ(wide_s.detected, plain_s.detected)
+            << prof.name << " frame " << t << " (levelized)";
+        ASSERT_EQ(wide_s.fault_effects_at_ffs, plain_s.fault_effects_at_ffs)
+            << prof.name << " frame " << t << " (levelized)";
+        ASSERT_EQ(wide_s.good_events, plain_s.good_events);
+        ASSERT_EQ(wide_s.faulty_events, plain_s.faulty_events)
+            << prof.name << " frame " << t << " (levelized)";
+        ASSERT_EQ(wide_s.ffs_set, plain_s.ffs_set);
+        ASSERT_EQ(wide_s.ffs_changed, plain_s.ffs_changed);
+        ASSERT_EQ(wide_s.faults_simulated, plain_s.faults_simulated);
+      }
     }
     for (std::size_t f = 0; f < plain_fl.size(); ++f) {
       ASSERT_EQ(plain_fl.status(f) == FaultStatus::Detected, ref.detected(f))
@@ -714,6 +746,18 @@ TEST(FsimDifferentialFuzz, RandomCircuitsMatchReference) {
             << prof.name << ": " << fault_name(c, pruned_fl.fault(f))
             << " (pruned)";
       }
+      ASSERT_EQ(lev_fl.status(f), plain_fl.status(f))
+          << prof.name << ": " << fault_name(c, lev_fl.fault(f))
+          << " (levelized)";
+      ASSERT_EQ(lev_fl.detected_by(f), plain_fl.detected_by(f))
+          << prof.name << ": " << fault_name(c, lev_fl.fault(f))
+          << " (levelized)";
+      ASSERT_EQ(levp_fl.status(f), plain_fl.status(f))
+          << prof.name << ": " << fault_name(c, levp_fl.fault(f))
+          << " (levelized portable)";
+      ASSERT_EQ(levp_fl.detected_by(f), plain_fl.detected_by(f))
+          << prof.name << ": " << fault_name(c, levp_fl.fault(f))
+          << " (levelized portable)";
     }
   }
   EXPECT_EQ(built, 50);

@@ -19,6 +19,7 @@
 
 #include "circuitgen/circuitgen.h"
 #include "fault/fault.h"
+#include "fsim/backend.h"
 #include "gatest/test_generator.h"
 #include "serve/client.h"
 #include "serve/http.h"
@@ -480,6 +481,7 @@ TEST(Protocol, SubmitJsonRoundTripsThroughParser) {
   req.config.crossover = CrossoverScheme::Uniform;
   req.config.sequence_coding = Coding::NonBinary;
   req.config.fitness_cache = true;
+  req.config.fsim_backend = "levelized";
   req.budget.max_evaluations = 1234;
   req.budget.max_vectors = 99;
 
@@ -497,9 +499,33 @@ TEST(Protocol, SubmitJsonRoundTripsThroughParser) {
   EXPECT_EQ(parsed.submit.config.crossover, req.config.crossover);
   EXPECT_EQ(parsed.submit.config.sequence_coding, req.config.sequence_coding);
   EXPECT_EQ(parsed.submit.config.fitness_cache, req.config.fitness_cache);
+  EXPECT_EQ(parsed.submit.config.fsim_backend, req.config.fsim_backend);
   EXPECT_EQ(parsed.submit.budget.max_evaluations,
             req.budget.max_evaluations);
   EXPECT_EQ(parsed.submit.budget.max_vectors, req.budget.max_vectors);
+}
+
+TEST(Protocol, FsimBackendValidatedAgainstRegistry) {
+  // Any registered engine name is accepted...
+  for (const std::string& name : fault_sim_backend_names()) {
+    Request parsed;
+    ProtocolError err;
+    ASSERT_TRUE(parse_request("{\"cmd\":\"submit\",\"profile\":\"s27\","
+                              "\"config\":{\"fsim_backend\":\"" +
+                                  name + "\"}}",
+                              parsed, err))
+        << err.code << ": " << err.message;
+    EXPECT_EQ(parsed.submit.config.fsim_backend, name);
+  }
+  // ...an unknown name or a non-string value is a structured bad-field error.
+  ProtocolError err = parse_error(
+      "{\"cmd\":\"submit\",\"profile\":\"s27\","
+      "\"config\":{\"fsim_backend\":\"warp\"}}");
+  EXPECT_EQ(err.code, "bad-field");
+  err = parse_error(
+      "{\"cmd\":\"submit\",\"profile\":\"s27\","
+      "\"config\":{\"fsim_backend\":7}}");
+  EXPECT_EQ(err.code, "bad-field");
 }
 
 // ---- job journal ------------------------------------------------------------
